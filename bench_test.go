@@ -1,0 +1,210 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation, plus the design-choice ablations from DESIGN.md §5.
+// Each benchmark runs the corresponding experiment end to end and reports
+// the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. Shape assertions live in the package
+// test suites; benchmarks only measure and report.
+package swing_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/experiments"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// benchOpt keeps benchmark iterations affordable while long enough for
+// steady-state behaviour.
+func benchOpt() experiments.Options {
+	return experiments.Options{Seed: 42, Duration: 120 * time.Second}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(experiments.Options{Seed: 42, Duration: 60 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res.Rows)
+	}
+	b.ReportMetric(float64(rows), "devices")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(experiments.Options{Seed: 42, Duration: 5 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res.Series[0]
+		if s.InitialDelayMs > 0 {
+			growth = s.FinalDelayMs / s.InitialDelayMs
+		}
+	}
+	b.ReportMetric(growth, "delay-growth-x")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	var badTx float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(experiments.Options{Seed: 42, Duration: 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		badTx = res.Signal[2].TransmissionMs
+	}
+	b.ReportMetric(badTx, "bad-signal-tx-ms")
+}
+
+// benchComparison runs the shared Figure 4-7 comparison and reports the
+// requested headline metric.
+func benchComparison(b *testing.B, report func(*testing.B, *experiments.Comparison)) {
+	b.Helper()
+	var cmp *experiments.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = experiments.RunComparison(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, cmp)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *experiments.Comparison) {
+		lrs, err := cmp.Get("facerec", routing.LRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, err := cmp.Get("facerec", routing.RR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lrs.ThroughputFPS, "lrs-fps")
+		b.ReportMetric(lrs.ThroughputFPS/rr.ThroughputFPS, "thr-gain-x")
+		b.ReportMetric(rr.Latency.Mean()/lrs.Latency.Mean(), "lat-gain-x")
+	})
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *experiments.Comparison) {
+		lrs, err := cmp.Get("facerec", routing.LRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weak := lrs.Devices["B"].SourceInputFPS + lrs.Devices["C"].SourceInputFPS +
+			lrs.Devices["D"].SourceInputFPS
+		b.ReportMetric(weak, "lrs-weak-input-fps")
+	})
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *experiments.Comparison) {
+		for _, p := range []routing.PolicyKind{routing.PRS, routing.LRS} {
+			res, err := cmp.Get("facerec", p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.AggregatePowerW, p.String()+"-watts")
+		}
+	})
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *experiments.Comparison) {
+		for _, p := range []routing.PolicyKind{routing.RR, routing.PRS, routing.LRS} {
+			res, err := cmp.Get("facerec", p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.FPSPerWatt, p.String()+"-fps-per-watt")
+		}
+	})
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	var lrsPlayedFrac float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8(experiments.Options{Seed: 42, Duration: 15 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fp := range res.Policies {
+			if fp.Policy == routing.LRS && len(fp.Arrivals) > 0 {
+				lrsPlayedFrac = float64(fp.Played) / float64(len(fp.Arrivals))
+			}
+		}
+	}
+	b.ReportMetric(lrsPlayedFrac, "lrs-played-frac")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	var lost float64
+	var recovery float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(experiments.Options{Seed: 42, Duration: 60 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost = float64(res.FramesLost)
+		recovery = res.RecoveredWithin.Seconds()
+	}
+	b.ReportMetric(lost, "frames-lost")
+	b.ReportMetric(recovery, "recovery-s")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	var gBad float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig10(experiments.Options{Seed: 42, Duration: 180 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gBad = res.EpochMeans[2]["G"]
+	}
+	b.ReportMetric(gBad, "g-bad-epoch-fps")
+}
+
+func benchAblation(b *testing.B, run func(experiments.Options) (*experiments.AblationResult, error)) {
+	b.Helper()
+	var res *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = run(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		unit := strings.ReplaceAll(row.Label, " ", "-") + "-fps"
+		b.ReportMetric(row.ThroughputFPS, unit)
+	}
+}
+
+func BenchmarkAblationRouting(b *testing.B) {
+	benchAblation(b, experiments.RunAblationRouting)
+}
+
+func BenchmarkAblationProbe(b *testing.B) {
+	benchAblation(b, experiments.RunAblationProbe)
+}
+
+func BenchmarkAblationEWMA(b *testing.B) {
+	benchAblation(b, experiments.RunAblationEWMA)
+}
+
+func BenchmarkAblationReorder(b *testing.B) {
+	benchAblation(b, experiments.RunAblationReorder)
+}
+
+func BenchmarkAblationHeadroom(b *testing.B) {
+	benchAblation(b, experiments.RunAblationHeadroom)
+}

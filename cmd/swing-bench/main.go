@@ -1,0 +1,82 @@
+// Command swing-bench regenerates every table and figure of the paper's
+// evaluation in one pass and writes a combined report (and optionally
+// per-experiment CSV files).
+//
+// Usage:
+//
+//	swing-bench [-seed 42] [-out report.txt] [-csvdir results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	swing "github.com/swingframework/swing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swing-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swing-bench", flag.ContinueOnError)
+	var (
+		seed   = fs.Int64("seed", 42, "simulation seed")
+		out    = fs.String("out", "", "write the combined report to this file (default stdout)")
+		csvdir = fs.String("csvdir", "", "also write each experiment's tables as CSV under this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var report strings.Builder
+	start := time.Now()
+	fmt.Fprintf(&report, "Swing evaluation report (seed %d, generated in ", *seed)
+
+	var body strings.Builder
+	for _, name := range swing.Experiments() {
+		expStart := time.Now()
+		rep, err := swing.RunExperiment(name, swing.ExperimentOptions{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(&body, "%s\n(generated in %s)\n\n", rep.String(), time.Since(expStart).Round(time.Millisecond))
+		if *csvdir != "" {
+			if err := writeCSVs(*csvdir, name, rep); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(&report, "%s)\n\n", time.Since(start).Round(time.Millisecond))
+	report.WriteString(body.String())
+
+	if *out == "" {
+		fmt.Print(report.String())
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+func writeCSVs(dir, name string, rep *swing.ExperimentReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range rep.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", name, i))
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	swing "github.com/swingframework/swing"
+)
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := swing.RunExperiment("table1", swing.ExperimentOptions{Seed: 1, Duration: 5e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSVs(dir, "table1", rep); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(rep.Tables) {
+		t.Fatalf("%d csv files for %d tables", len(entries), len(rep.Tables))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Phone") {
+		t.Fatalf("csv content: %q", string(data)[:60])
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunReportToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "report.txt")
+	if err := run([]string{"-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "Figure 4", "Figure 10", "Cloudlet"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

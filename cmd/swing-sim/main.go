@@ -1,0 +1,109 @@
+// Command swing-sim regenerates any single table or figure from the
+// paper's evaluation on the simulated nine-device testbed.
+//
+// Usage:
+//
+//	swing-sim -exp fig4 [-seed 42] [-duration 300s]
+//	swing-sim -list
+//	swing-sim -policy LRS -app facerec -duration 120s   (one ad hoc run)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	swing "github.com/swingframework/swing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swing-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swing-sim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "", "experiment to regenerate (table1, fig1, fig2, fig4..fig10)")
+		list     = fs.Bool("list", false, "list available experiments")
+		seed     = fs.Int64("seed", 42, "simulation seed")
+		duration = fs.Duration("duration", 0, "override the experiment's default duration")
+		policy   = fs.String("policy", "", "ad hoc run: routing policy (RR, PR, LR, PRS, LRS)")
+		appName  = fs.String("app", "facerec", "ad hoc run: application (facerec or voicetrans)")
+		jsonOut  = fs.Bool("json", false, "ad hoc run: emit the full result as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range swing.Experiments() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	if *policy != "" {
+		return adhoc(*policy, *appName, *seed, *duration, *jsonOut)
+	}
+
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (or -list, or -policy); try -exp fig4")
+	}
+	rep, err := swing.RunExperiment(*exp, swing.ExperimentOptions{Seed: *seed, Duration: *duration})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	return nil
+}
+
+// adhoc runs one policy/app combination and prints a summary.
+func adhoc(policyName, appName string, seed int64, duration time.Duration, jsonOut bool) error {
+	p, err := swing.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	var app *swing.App
+	switch appName {
+	case "facerec":
+		app, err = swing.FaceRecognition()
+	case "voicetrans":
+		app, err = swing.VoiceTranslation()
+	default:
+		return fmt.Errorf("unknown app %q (facerec or voicetrans)", appName)
+	}
+	if err != nil {
+		return err
+	}
+	if duration == 0 {
+		duration = 300 * time.Second
+	}
+	res, err := swing.RunSim(swing.TestbedConfig(app, p, seed, duration))
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("app=%s policy=%s duration=%s seed=%d\n", res.App, res.Policy, res.Duration, seed)
+	fmt.Printf("throughput: %.2f FPS (target %.0f)\n", res.ThroughputFPS, app.TargetFPS)
+	fmt.Printf("latency ms: mean=%.1f min=%.1f max=%.1f stddev=%.1f\n",
+		res.Latency.Mean(), res.Latency.Min(), res.Latency.Max(), res.Latency.Stddev())
+	fmt.Printf("power: %.2f W aggregate, %.2f FPS/W\n", res.AggregatePowerW, res.FPSPerWatt)
+	fmt.Printf("frames: generated=%d delivered=%d dropped=%d lost=%d skipped=%d\n",
+		res.Generated, res.Delivered, res.DroppedAtSource, res.LostOnLeave, res.SkippedByReorder)
+	fmt.Println("per-device:")
+	for _, id := range swing.WorkerIDs() {
+		d := res.Devices[id]
+		fmt.Printf("  %s: input=%.2f FPS cpu=%.0f%% power=%.2f W tx=%d B\n",
+			id, d.SourceInputFPS, d.CPUUtil*100, d.TotalPowerW(), d.TxBytes)
+	}
+	return nil
+}

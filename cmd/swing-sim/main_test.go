@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-duration", "10s"}); err != nil {
+		t.Fatalf("run -exp table1: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunMissingArgs(t *testing.T) {
+	err := run(nil)
+	if err == nil {
+		t.Fatal("empty invocation accepted")
+	}
+	if !strings.Contains(err.Error(), "-exp") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunAdhoc(t *testing.T) {
+	if err := run([]string{"-policy", "LRS", "-duration", "10s"}); err != nil {
+		t.Fatalf("ad hoc run: %v", err)
+	}
+}
+
+func TestRunAdhocBadPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "WRONG"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestRunAdhocBadApp(t *testing.T) {
+	if err := run([]string{"-policy", "LRS", "-app", "nonsense"}); err == nil {
+		t.Fatal("bad app accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunAdhocJSON(t *testing.T) {
+	if err := run([]string{"-policy", "RR", "-duration", "5s", "-json"}); err != nil {
+		t.Fatalf("json run: %v", err)
+	}
+}

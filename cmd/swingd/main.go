@@ -1,0 +1,179 @@
+// Command swingd runs a live Swing node: a master that coordinates a
+// swarm and streams sensed frames into it, or a worker that joins a
+// master and contributes compute. Nodes find each other via UDP discovery
+// or an explicit address.
+//
+// Usage:
+//
+//	swingd -role master -app facerec -listen :7716 [-fps 24] [-duration 30s]
+//	swingd -role worker -id B [-master host:7716] [-speed 2.0]
+//
+// With no -master, a worker listens for the master's UDP announcement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	swing "github.com/swingframework/swing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swingd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swingd", flag.ContinueOnError)
+	var (
+		role     = fs.String("role", "", "master or worker")
+		appName  = fs.String("app", "facerec", "application (facerec or voicetrans)")
+		listen   = fs.String("listen", ":7716", "master: control/data listen address")
+		policyN  = fs.String("policy", "LRS", "master: routing policy")
+		fps      = fs.Float64("fps", 24, "master: source frame rate")
+		duration = fs.Duration("duration", 30*time.Second, "master: streaming duration (0 = until interrupted)")
+		announce = fs.String("announce", "", "master: UDP discovery target, e.g. 255.255.255.255:17716")
+		id       = fs.String("id", "", "worker: device id")
+		master   = fs.String("master", "", "worker: master address (empty = discover via UDP)")
+		discover = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
+		speed    = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := loadApp(*appName)
+	if err != nil {
+		return err
+	}
+	switch *role {
+	case "master":
+		return runMaster(app, *listen, *policyN, *fps, *duration, *announce)
+	case "worker":
+		return runWorker(app, *id, *master, *discover, *speed)
+	default:
+		return fmt.Errorf("missing or invalid -role %q (master or worker)", *role)
+	}
+}
+
+func loadApp(name string) (*swing.App, error) {
+	switch name {
+	case "facerec":
+		return swing.FaceRecognition()
+	case "voicetrans":
+		return swing.VoiceTranslation()
+	default:
+		return nil, fmt.Errorf("unknown app %q", name)
+	}
+}
+
+func runMaster(app *swing.App, listen, policyName string, fps float64, duration time.Duration, announceTarget string) error {
+	policy, err := swing.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	delivered := 0
+	m, err := swing.StartMaster(swing.MasterConfig{
+		App:        app,
+		Policy:     policy,
+		ListenAddr: listen,
+		OnResult: func(r swing.LiveResult) {
+			delivered++
+			if delivered%24 == 0 {
+				result, _ := r.Tuple.MustString("result")
+				fmt.Printf("frame %d: %q from %s (latency %s)\n",
+					r.Tuple.SeqNo, result, r.Worker, r.Latency.Round(time.Millisecond))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = m.Close() }()
+	fmt.Println("master listening on", m.Addr())
+
+	if announceTarget != "" {
+		ann, err := swing.Announce(announceTarget,
+			swing.Announcement{App: app.Name(), Addr: m.Addr()}, time.Second)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ann.Close() }()
+	}
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
+
+	src := swing.NewFrameSource(app.FrameBytes, 1)
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / fps))
+	defer ticker.Stop()
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	submitted, dropped := 0, 0
+	for {
+		select {
+		case <-ticker.C:
+			if err := m.Submit(src.Next()); err != nil {
+				dropped++
+			} else {
+				submitted++
+			}
+		case <-deadline:
+			st := m.Stats()
+			fmt.Printf("done: submitted=%d dropped=%d arrived=%d played=%d skipped=%d\n",
+				submitted, dropped, st.Arrived, st.Played, st.Skipped)
+			return nil
+		case <-interrupted:
+			fmt.Println("interrupted")
+			return nil
+		}
+	}
+}
+
+func runWorker(app *swing.App, id, masterAddr, discoverAddr string, speed float64) error {
+	if id == "" {
+		return fmt.Errorf("worker needs -id")
+	}
+	if masterAddr == "" {
+		fmt.Println("discovering master on", discoverAddr, "...")
+		ann, err := swing.Discover(discoverAddr, app.Name(), 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("discovery: %w", err)
+		}
+		masterAddr = ann.Addr
+		fmt.Println("found master at", masterAddr)
+	}
+	w, err := swing.StartWorker(swing.WorkerConfig{
+		DeviceID:    id,
+		MasterAddr:  masterAddr,
+		App:         app,
+		SpeedFactor: speed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %s joined %s (speed factor %.1f)\n", id, masterAddr, speed)
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		w.Wait()
+		close(done)
+	}()
+	select {
+	case <-interrupted:
+		fmt.Println("leaving swarm")
+		return w.Close()
+	case <-done:
+		fmt.Printf("master closed the session; processed %d tuples\n", w.Processed())
+		return nil
+	}
+}

@@ -1,0 +1,81 @@
+// Collaborative face recognition on the paper's nine-device testbed
+// (simulated): the scenario from the paper's introduction — a security
+// team patrols a route and pools its phones to analyze a 24 FPS video
+// stream none of the devices could handle alone.
+//
+// The example runs the swarm once under round-robin (the data-center
+// default) and once under Swing's LRS, and prints the comparison the
+// paper's Figure 4 makes.
+//
+// Run with: go run ./examples/facerec
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	swing "github.com/swingframework/swing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	app, err := swing.FaceRecognition()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("swarm: 8 heterogeneous phones/tablets, B/C/D in weak Wi-Fi spots")
+	fmt.Printf("workload: %d-byte video frames at %.0f FPS\n\n", app.FrameBytes, app.TargetFPS)
+
+	type outcome struct {
+		policy swing.Policy
+		res    *swing.SimResult
+	}
+	var outcomes []outcome
+	for _, p := range []swing.Policy{swing.RR, swing.LRS} {
+		res, err := swing.RunSim(swing.TestbedConfig(app, p, 42, 120*time.Second))
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{policy: p, res: res})
+	}
+
+	for _, o := range outcomes {
+		res := o.res
+		fmt.Printf("--- %s ---\n", o.policy)
+		fmt.Printf("throughput: %6.2f FPS  (target %.0f: %s)\n",
+			res.ThroughputFPS, app.TargetFPS, verdict(res.MeetsTarget(app.TargetFPS, 0.05)))
+		fmt.Printf("latency:    %6.0f ms mean, %6.0f ms worst\n",
+			res.Latency.Mean(), res.Latency.Max())
+		fmt.Printf("energy:     %6.2f W across the swarm, %.2f FPS/W\n",
+			res.AggregatePowerW, res.FPSPerWatt)
+		fmt.Println("per-device share of the stream:")
+		for _, id := range swing.WorkerIDs() {
+			d := res.Devices[id]
+			bar := ""
+			for i := 0; i < int(d.SourceInputFPS); i++ {
+				bar += "#"
+			}
+			fmt.Printf("  %s %5.1f FPS %s\n", id, d.SourceInputFPS, bar)
+		}
+		fmt.Println()
+	}
+
+	rr, lrs := outcomes[0].res, outcomes[1].res
+	fmt.Printf("LRS vs RR: %.1fx throughput, %.1fx lower latency (paper: 2.7x, 6.7x)\n",
+		lrs.ThroughputFPS/rr.ThroughputFPS, rr.Latency.Mean()/lrs.Latency.Mean())
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "met"
+	}
+	return "MISSED"
+}

@@ -1,0 +1,3 @@
+module github.com/swingframework/swing
+
+go 1.23

@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// collectEmitter captures emitted tuples for test assertions.
+type collectEmitter struct {
+	out []*tuple.Tuple
+}
+
+func (c *collectEmitter) Emit(t *tuple.Tuple) error {
+	c.out = append(c.out, t)
+	return nil
+}
+
+var _ graph.Emitter = (*collectEmitter)(nil)
+
+func TestFaceRecognitionGraph(t *testing.T) {
+	app, err := FaceRecognition()
+	if err != nil {
+		t.Fatalf("FaceRecognition: %v", err)
+	}
+	if app.Name() != "facerec" {
+		t.Fatalf("Name = %q", app.Name())
+	}
+	if app.FrameBytes != 6000 {
+		t.Fatalf("FrameBytes = %d, want 6000 (paper §VI-A)", app.FrameBytes)
+	}
+	if app.TargetFPS != 24 {
+		t.Fatalf("TargetFPS = %v, want 24", app.TargetFPS)
+	}
+	if app.TotalWork != 1.0 {
+		t.Fatalf("TotalWork = %v, want 1.0 (Table I calibration unit)", app.TotalWork)
+	}
+	path, err := app.Graph.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"source", "detect", "recognize", "display"}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestVoiceTranslationGraph(t *testing.T) {
+	app, err := VoiceTranslation()
+	if err != nil {
+		t.Fatalf("VoiceTranslation: %v", err)
+	}
+	if app.FrameBytes != 72000 {
+		t.Fatalf("FrameBytes = %d, want 72000 (paper §VI-A)", app.FrameBytes)
+	}
+	if app.TotalWork <= 1.0 {
+		t.Fatalf("TotalWork = %v, want > 1.0 (heavier than face rec)", app.TotalWork)
+	}
+	path, err := app.Graph.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestAppsReturnsBoth(t *testing.T) {
+	all, err := Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("%d apps", len(all))
+	}
+}
+
+func TestFrameSourceDeterministic(t *testing.T) {
+	a := NewFrameSource(6000, 7)
+	b := NewFrameSource(6000, 7)
+	for i := 0; i < 5; i++ {
+		ta, tb := a.Next(), b.Next()
+		if !ta.Equal(tb) {
+			t.Fatalf("frame %d differs between same-seed sources", i)
+		}
+		if ta.ID != uint64(i) || ta.SeqNo != uint64(i) {
+			t.Fatalf("frame identity = %d/%d, want %d", ta.ID, ta.SeqNo, i)
+		}
+		fb, err := ta.MustBytes(FieldFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fb) != 6000 {
+			t.Fatalf("frame size = %d", len(fb))
+		}
+	}
+	if a.Generated() != 5 {
+		t.Fatalf("Generated = %d", a.Generated())
+	}
+	c := NewFrameSource(6000, 8)
+	if c.Next().Equal(NewFrameSource(6000, 7).Next()) {
+		t.Fatal("different seeds produce identical frames")
+	}
+}
+
+func TestFrameContentsVary(t *testing.T) {
+	s := NewFrameSource(64, 1)
+	f1, err := s.Next().MustBytes(FieldFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Next().MustBytes(FieldFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FrameDigest(f1) == FrameDigest(f2) {
+		t.Fatal("consecutive frames identical")
+	}
+}
+
+func TestFaceDetectorPipeline(t *testing.T) {
+	src := NewFrameSource(6000, 42)
+	frame := src.Next()
+	frame.EmitNanos = 12345
+
+	var det collectEmitter
+	if err := (&FaceDetector{}).ProcessData(&det, frame); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if len(det.out) != 1 {
+		t.Fatalf("detector emitted %d tuples", len(det.out))
+	}
+	face := det.out[0]
+	if face.ID != frame.ID || face.EmitNanos != 12345 {
+		t.Fatal("detector dropped tuple identity/timestamp")
+	}
+	fb, err := face.MustBytes(FieldFace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 2100 { // 35% of 6000
+		t.Fatalf("face region = %d bytes, want 2100", len(fb))
+	}
+
+	var rec collectEmitter
+	if err := (&FaceRecognizer{}).ProcessData(&rec, face); err != nil {
+		t.Fatalf("recognize: %v", err)
+	}
+	name, err := rec.out[0].MustString(FieldResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range knownNames {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recognized %q not in database", name)
+	}
+}
+
+func TestFaceDetectorRejectsBadTuple(t *testing.T) {
+	bad := tuple.New(1, 1)
+	bad.Set("unrelated", tuple.Int64(5))
+	var em collectEmitter
+	if err := (&FaceDetector{}).ProcessData(&em, bad); err == nil {
+		t.Fatal("detector accepted tuple without frame")
+	}
+	if err := (&FaceRecognizer{}).ProcessData(&em, bad); err == nil {
+		t.Fatal("recognizer accepted tuple without face")
+	}
+}
+
+func TestVoicePipeline(t *testing.T) {
+	src := NewFrameSource(72000, 9)
+	audio := src.Next()
+
+	var rec collectEmitter
+	if err := (&SpeechRecognizer{}).ProcessData(&rec, audio); err != nil {
+		t.Fatalf("speech recognize: %v", err)
+	}
+	text, err := rec.out[0].MustString(FieldText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Fields(text)) != 2 {
+		t.Fatalf("recognized text = %q, want two words", text)
+	}
+
+	var tr collectEmitter
+	if err := (&Translator{}).ProcessData(&tr, rec.out[0]); err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	result, err := tr.out[0].MustString(FieldResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Fields(result)) != 2 {
+		t.Fatalf("translated = %q", result)
+	}
+}
+
+func TestTranslateText(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"hello world", "hola mundo"},
+		{"bob friend", "roberto amigo"},
+		{"unknown token", "unknown token"},
+		{"", ""},
+		{"  hello  ", "hola"},
+	}
+	for _, c := range cases {
+		if got := translateText(c.in); got != c.want {
+			t.Errorf("translateText(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRecognizeNameStable(t *testing.T) {
+	b := []byte("some face bytes")
+	if recognizeName(b) != recognizeName(b) {
+		t.Fatal("recognition not deterministic")
+	}
+}
+
+func TestBurnScalesWithWork(t *testing.T) {
+	payload := make([]byte, 1000)
+	// More work must not be faster; just verify it runs and returns a
+	// content-dependent digest.
+	d1 := Burn(payload, 0.01)
+	payload[0] = 1
+	d2 := Burn(payload, 0.01)
+	if d1 == d2 {
+		t.Fatal("digest ignores payload")
+	}
+	if Burn(nil, 0.01) == 0 {
+		t.Fatal("nil payload digest is zero")
+	}
+	if Burn(payload, 0) != 0x9e3779b97f4a7c15 {
+		t.Fatal("zero work changed accumulator")
+	}
+}
+
+// TestDetectorOutputSmallerProperty: the detector always shrinks payloads
+// (its OutputScale contract with the network model).
+func TestDetectorOutputSmallerProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := NewFrameSource(6000, seed)
+		frame := src.Next()
+		var em collectEmitter
+		if err := (&FaceDetector{}).ProcessData(&em, frame); err != nil {
+			return false
+		}
+		in, err := frame.MustBytes(FieldFrame)
+		if err != nil {
+			return false
+		}
+		out, err := em.out[0].MustBytes(FieldFace)
+		if err != nil {
+			return false
+		}
+		return len(out) < len(in) && len(out) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBurnOneWorkUnit(b *testing.B) {
+	payload := make([]byte, 6000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Burn(payload, 1.0)
+	}
+}

@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// burnIterationsPerWork calibrates real-mode CPU burn: how many rounds of
+// the arithmetic kernel equal one work unit. On commodity hardware one
+// work unit lands in the tens of milliseconds — the same order as the
+// paper's phones — but absolute speed does not matter: the routing layer
+// adapts to whatever it measures.
+const burnIterationsPerWork = 400_000
+
+// Burn performs `work` work units of real CPU computation over the
+// payload and returns a digest so the compiler cannot elide the loop.
+func Burn(payload []byte, work float64) uint64 {
+	iters := int(work * burnIterationsPerWork)
+	var acc uint64 = 0x9e3779b97f4a7c15
+	n := len(payload)
+	for i := 0; i < iters; i++ {
+		if n > 0 {
+			acc ^= uint64(payload[i%n])
+		}
+		acc = acc*6364136223846793005 + 1442695040888963407
+		acc ^= acc >> 29
+	}
+	return acc
+}
+
+// FaceDetector is the real-mode processor for the "detect" unit: it scans
+// the frame (burning detect-stage work) and emits a cropped face region.
+type FaceDetector struct{}
+
+var _ graph.Processor = (*FaceDetector)(nil)
+
+// ProcessData implements graph.Processor.
+func (d *FaceDetector) ProcessData(em graph.Emitter, t *tuple.Tuple) error {
+	frame, err := t.MustBytes(FieldFrame)
+	if err != nil {
+		return fmt.Errorf("detect: %w", err)
+	}
+	digest := Burn(frame, faceDetectWork)
+	// "Crop" a deterministic face region: 35% of the frame starting at a
+	// content-dependent offset.
+	size := len(frame) * 35 / 100
+	if size == 0 {
+		size = 1
+	}
+	off := 0
+	if len(frame) > size {
+		off = int(digest % uint64(len(frame)-size))
+	}
+	face := make([]byte, size)
+	copy(face, frame[off:])
+	out := tuple.New(t.ID, t.SeqNo)
+	out.EmitNanos = t.EmitNanos
+	out.Set(FieldFace, tuple.Bytes(face))
+	return em.Emit(out)
+}
+
+// FaceRecognizer is the real-mode processor for the "recognize" unit: it
+// matches the face region against the name database.
+type FaceRecognizer struct{}
+
+var _ graph.Processor = (*FaceRecognizer)(nil)
+
+// ProcessData implements graph.Processor.
+func (r *FaceRecognizer) ProcessData(em graph.Emitter, t *tuple.Tuple) error {
+	face, err := t.MustBytes(FieldFace)
+	if err != nil {
+		return fmt.Errorf("recognize: %w", err)
+	}
+	Burn(face, faceRecognizeWork)
+	out := tuple.New(t.ID, t.SeqNo)
+	out.EmitNanos = t.EmitNanos
+	out.Set(FieldResult, tuple.String(recognizeName(face)))
+	return em.Emit(out)
+}
+
+// SpeechRecognizer is the real-mode processor for the voice app's
+// "recognize" unit: audio in, English text out.
+type SpeechRecognizer struct{}
+
+var _ graph.Processor = (*SpeechRecognizer)(nil)
+
+// ProcessData implements graph.Processor.
+func (r *SpeechRecognizer) ProcessData(em graph.Emitter, t *tuple.Tuple) error {
+	audio, err := t.MustBytes(FieldFrame)
+	if err != nil {
+		return fmt.Errorf("speech recognize: %w", err)
+	}
+	Burn(audio, voiceRecognizeWork)
+	// Deterministically "hear" two words from the audio content.
+	h := fnv.New64a()
+	_, _ = h.Write(audio)
+	sum := h.Sum64()
+	w1 := knownNames[sum%uint64(len(knownNames))]
+	w2 := [...]string{"hello", "world", "friend"}[(sum>>8)%3]
+	out := tuple.New(t.ID, t.SeqNo)
+	out.EmitNanos = t.EmitNanos
+	out.Set(FieldText, tuple.String(w1+" "+w2))
+	return em.Emit(out)
+}
+
+// Translator is the real-mode processor for the "translate" unit: English
+// text in, Spanish text out.
+type Translator struct{}
+
+var _ graph.Processor = (*Translator)(nil)
+
+// ProcessData implements graph.Processor.
+func (tr *Translator) ProcessData(em graph.Emitter, t *tuple.Tuple) error {
+	text, err := t.MustString(FieldText)
+	if err != nil {
+		return fmt.Errorf("translate: %w", err)
+	}
+	Burn([]byte(text), voiceTranslateWork)
+	out := tuple.New(t.ID, t.SeqNo)
+	out.EmitNanos = t.EmitNanos
+	out.Set(FieldResult, tuple.String(translateText(text)))
+	return em.Emit(out)
+}
+
+// translateText translates a whitespace-separated English phrase.
+func translateText(text string) string {
+	var out []byte
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			if len(out) > 0 {
+				out = append(out, ' ')
+			}
+			out = append(out, translateWord(text[start:end])...)
+		}
+	}
+	for i := 0; i < len(text); i++ {
+		if text[i] == ' ' {
+			flush(i)
+			start = i + 1
+		}
+	}
+	flush(len(text))
+	return string(out)
+}
+
+// FrameDigest is a helper for tests and examples: a stable digest of a
+// frame payload.
+func FrameDigest(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// TestDelayComponentsSumBelowLatency: for every delivered frame, the
+// decomposed components cannot exceed the end-to-end latency (the
+// remainder is source-backlog wait).
+func TestDelayComponentsSumBelowLatency(t *testing.T) {
+	app := faceApp(t)
+	cfg := TestbedConfig(app, routing.LRS, 3, 30*time.Second)
+	cfg.KeepFrameRecords = true
+	res := mustRun(t, cfg)
+	if len(res.Frames) == 0 {
+		t.Fatal("no frames")
+	}
+	for _, f := range res.Frames {
+		sum := f.Transmission + f.Queuing + f.Processing
+		if sum > f.Latency+time.Millisecond {
+			t.Fatalf("frame %d: components %v exceed latency %v", f.Seq, sum, f.Latency)
+		}
+		if f.Processing <= 0 {
+			t.Fatalf("frame %d: no processing time", f.Seq)
+		}
+		if f.SinkAt < f.BornAt {
+			t.Fatalf("frame %d: arrived before birth", f.Seq)
+		}
+	}
+}
+
+// TestThroughputSeriesCoversRun: the timeline has one sample per
+// SampleInterval across the whole run.
+func TestThroughputSeriesCoversRun(t *testing.T) {
+	app := faceApp(t)
+	res := mustRun(t, TestbedConfig(app, routing.LRS, 3, 30*time.Second))
+	if got := res.Throughput.Len(); got != 30 {
+		t.Fatalf("%d throughput samples for a 30 s run", got)
+	}
+	for _, id := range device.WorkerIDs() {
+		if res.SourceInput[id].Len() != 30 {
+			t.Fatalf("device %s input series has %d samples", id, res.SourceInput[id].Len())
+		}
+	}
+}
+
+// TestSourceBacklogShedding: an overloaded swarm sheds frames at the
+// source ring buffer rather than growing latency without bound.
+func TestSourceBacklogShedding(t *testing.T) {
+	app := faceApp(t)
+	cfg := Config{
+		Seed:         1,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     60 * time.Second,
+		SourceDevice: "A",
+		Workers:      []string{"E"}, // ~2 FPS capacity vs 24 offered
+		Profiles:     device.TestbedProfiles(),
+	}
+	res := mustRun(t, cfg)
+	if res.DroppedAtSource == 0 {
+		t.Fatal("overloaded source shed nothing")
+	}
+	// Latency stays bounded by the ring buffer (5 s) plus queueing caps.
+	maxLatency := time.Duration(res.Latency.Max() * float64(time.Millisecond))
+	bound := 5*time.Second + time.Duration(2*(48+16))*500*time.Millisecond
+	if maxLatency > bound {
+		t.Fatalf("max latency %v despite bounded buffers", maxLatency)
+	}
+	// Conservation still holds.
+	if res.Delivered+res.DroppedAtSource > res.Generated {
+		t.Fatal("accounting overflow")
+	}
+}
+
+// TestCrossChainingStillMeetsTarget: the generalized any-to-any
+// deployment also sustains the face-recognition target under LRS.
+func TestCrossChainingStillMeetsTarget(t *testing.T) {
+	app := faceApp(t)
+	cfg := TestbedConfig(app, routing.LRS, 9, 60*time.Second)
+	cfg.CrossChaining = true
+	res := mustRun(t, cfg)
+	if !res.MeetsTarget(24, 0.15) {
+		t.Fatalf("cross-chaining throughput %v", res.ThroughputFPS)
+	}
+}
+
+// TestVoiceAllPolicies: the voice workload runs under every policy and
+// preserves the L* > P*/RR ordering.
+func TestVoiceAllPolicies(t *testing.T) {
+	app := voiceApp(t)
+	thr := map[routing.PolicyKind]float64{}
+	for _, p := range routing.Policies() {
+		res := mustRun(t, TestbedConfig(app, p, 42, 120*time.Second))
+		thr[p] = res.ThroughputFPS
+	}
+	if thr[routing.LRS] < 2*thr[routing.RR] || thr[routing.LR] < 2*thr[routing.RR] {
+		t.Fatalf("voice orderings broken: %v", thr)
+	}
+	if thr[routing.LRS] < thr[routing.PRS] {
+		t.Fatalf("voice LRS %v below PRS %v", thr[routing.LRS], thr[routing.PRS])
+	}
+}
+
+// TestCustomAppOnSwarm: a user-composed app (not one of the paper's two)
+// runs on the simulated swarm through the same machinery.
+func TestCustomAppOnSwarm(t *testing.T) {
+	g, err := graph.NewBuilder("objdetect").
+		Source("lidar").
+		Operator("segment", graph.WithWork(0.3), graph.WithOutputScale(0.5)).
+		Operator("classify", graph.WithWork(0.5), graph.WithOutputScale(0.02)).
+		Sink("hud").
+		Chain("lidar", "segment", "classify", "hud").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &apps.App{Graph: g, FrameBytes: 12000, TargetFPS: 10, TotalWork: 0.8}
+	cfg := TestbedConfig(app, routing.LRS, 4, 30*time.Second)
+	res := mustRun(t, cfg)
+	if !res.MeetsTarget(10, 0.1) {
+		t.Fatalf("custom app throughput %v, want ~10", res.ThroughputFPS)
+	}
+}
+
+// TestTestbedConfigShape: the canonical testbed config matches the
+// paper's §VI-B setup.
+func TestTestbedConfigShape(t *testing.T) {
+	app := faceApp(t)
+	cfg := TestbedConfig(app, routing.LRS, 1, time.Minute)
+	if cfg.SourceDevice != "A" {
+		t.Fatalf("source = %q", cfg.SourceDevice)
+	}
+	if len(cfg.Workers) != 8 {
+		t.Fatalf("%d workers", len(cfg.Workers))
+	}
+	for _, weak := range []string{"B", "C", "D"} {
+		m, ok := cfg.Mobility[weak]
+		if !ok {
+			t.Fatalf("%s not placed at a weak spot", weak)
+		}
+		if m.RSSIAt(0) > -70 {
+			t.Fatalf("%s signal %v not weak", weak, m.RSSIAt(0))
+		}
+	}
+}
+
+// TestHigherInputNeedsMoreWorkers: LRS selection grows with the input
+// rate (the energy-proportionality claim behind Worker Selection).
+func TestHigherInputNeedsMoreWorkers(t *testing.T) {
+	app := faceApp(t)
+	activeWorkers := func(fps float64) int {
+		cfg := TestbedConfig(app, routing.LRS, 6, 60*time.Second)
+		cfg.InputFPS = fps
+		res := mustRun(t, cfg)
+		n := 0
+		for _, id := range device.WorkerIDs() {
+			if res.Devices[id].SourceInputFPS > 0.5 {
+				n++
+			}
+		}
+		return n
+	}
+	low, high := activeWorkers(6), activeWorkers(24)
+	if low >= high {
+		t.Fatalf("active workers: %d at 6 FPS vs %d at 24 FPS", low, high)
+	}
+	if low > 3 {
+		t.Fatalf("6 FPS engaged %d workers; one fast device suffices", low)
+	}
+}

@@ -1,0 +1,264 @@
+// Package core implements the Swing swarm: the distributed execution of an
+// application dataflow graph across a set of heterogeneous mobile devices,
+// with per-upstream LRS resource management (paper §IV, §V).
+//
+// The package drives the shared routing logic (internal/routing) on top of
+// a deterministic discrete-event model of the testbed: device compute
+// (internal/device), wireless links and mobility (internal/netem), and the
+// paper's runtime mechanics — per-link send queues with TCP-like
+// backpressure, shared-radio airtime, ACK-based latency feedback, worker
+// join/leave and the sink-side reorder buffer. Every experiment in
+// internal/experiments is a configuration of this simulator.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/netem"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// ScriptAction is a scripted membership change during a run.
+type ScriptAction uint8
+
+// Script actions.
+const (
+	// ActionJoin adds a worker to the swarm at the given time (§VI-C
+	// "Joining").
+	ActionJoin ScriptAction = iota + 1
+	// ActionLeave abruptly terminates a worker (§VI-C "Leaving"):
+	// frames queued on or in flight to the device are lost.
+	ActionLeave
+)
+
+// ScriptEvent schedules one membership change.
+type ScriptEvent struct {
+	At     time.Duration
+	Action ScriptAction
+	Device string
+}
+
+// Config parameterizes one swarm run.
+type Config struct {
+	// Seed drives all simulation randomness; equal seeds reproduce runs
+	// exactly.
+	Seed int64
+	// App is the application under test.
+	App *apps.App
+	// Policy selects the resource-management algorithm.
+	Policy routing.PolicyKind
+	// Routing optionally overrides routing parameters; zero value means
+	// routing.DefaultConfig(Policy).
+	Routing *routing.Config
+	// Duration is the measured run length (virtual time).
+	Duration time.Duration
+
+	// SourceDevice hosts the source unit and acts as master (paper:
+	// device A). It also hosts the sink unless SinkDevice is set.
+	SourceDevice string
+	// SinkDevice hosts the sink unit; defaults to SourceDevice.
+	SinkDevice string
+	// Workers host the operator units. Each worker runs an instance of
+	// every operator unit (the paper's deployment: every device installs
+	// the whole app and the master activates units).
+	Workers []string
+
+	// Profiles maps device IDs to capability/power profiles; it must
+	// cover SourceDevice, SinkDevice and all Workers.
+	Profiles map[string]device.Profile
+	// Mobility maps device IDs to RSSI traces; devices default to
+	// netem.Static(netem.RSSIGood).
+	Mobility map[string]netem.Mobility
+	// BackgroundLoad maps device IDs to a background CPU load fraction
+	// in [0, 0.95] from other apps (Figure 2 middle).
+	BackgroundLoad map[string]float64
+
+	// InputFPS overrides the app's target input rate when positive.
+	InputFPS float64
+
+	// QueueCap bounds each unit instance's input queue in tuples
+	// (receive-window analog). Zero selects the default (48).
+	QueueCap int
+	// OutboxCap bounds each per-link send queue in tuples (socket-buffer
+	// analog). Zero selects the default (16).
+	OutboxCap int
+	// SourceBacklogCap bounds the source's frame backlog: the camera's
+	// ring buffer. When the swarm cannot keep up, newly sensed frames
+	// are shed at the full buffer, bounding end-to-end latency the way a
+	// real sensing pipeline does. Zero selects the default (120 frames,
+	// 5 s at 24 FPS); Figure 1 overrides it with a large value to show
+	// unbounded delay growth.
+	SourceBacklogCap int
+
+	// ReorderBuffer is the sink reorder buffer timespan; the paper sizes
+	// it to 1 s of source frames (§VI-B "Tuple Order"). Zero selects 1 s.
+	ReorderBuffer time.Duration
+
+	// CrossChaining lets every operator instance route to all instances
+	// of its downstream unit across devices. The default (false) keeps
+	// operator→operator edges on-device — each worker hosts a vertical
+	// slice of the pipeline, as in the paper's Figure 3 deployment — so
+	// the source's routing decision selects the device for the whole
+	// chain.
+	CrossChaining bool
+
+	// ThermalFactor scales sustained-load slowdown: a device at
+	// utilisation u processes (1+ThermalFactor·u)x slower, modeling
+	// mobile SoC throttling. Negative disables; zero selects 0.5.
+	ThermalFactor float64
+	// ProcNoiseSigma is the sigma of the log-normal processing-time
+	// jitter. Negative disables; zero selects 0.20.
+	ProcNoiseSigma float64
+
+	// LeaveDetectDelay is how long upstreams keep routing to a departed
+	// device before the broken connection is detected (frames sent in
+	// that window are lost, §VI-C "Leaving"). Zero selects 500 ms.
+	LeaveDetectDelay time.Duration
+
+	// Script lists membership changes during the run.
+	Script []ScriptEvent
+
+	// SampleInterval is the metrics sampling period. Zero selects 1 s.
+	SampleInterval time.Duration
+
+	// KeepFrameRecords retains per-frame delivery records (needed by the
+	// Figure 1/8 harnesses; costs memory on long runs).
+	KeepFrameRecords bool
+}
+
+// Defaults applied by Run.
+const (
+	defaultQueueCap         = 48
+	defaultOutboxCap        = 16
+	defaultSourceBacklogCap = 120
+	defaultReorderBuffer    = time.Second
+	defaultThermalFactor    = 0.5
+	defaultProcNoiseSigma   = 0.20
+	defaultLeaveDetect      = 500 * time.Millisecond
+	defaultSampleInterval   = time.Second
+)
+
+// withDefaults returns a copy of c with zero values replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.SinkDevice == "" {
+		c.SinkDevice = c.SourceDevice
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = defaultQueueCap
+	}
+	if c.OutboxCap == 0 {
+		c.OutboxCap = defaultOutboxCap
+	}
+	if c.SourceBacklogCap == 0 {
+		c.SourceBacklogCap = defaultSourceBacklogCap
+	}
+	if c.ReorderBuffer == 0 {
+		c.ReorderBuffer = defaultReorderBuffer
+	}
+	if c.ThermalFactor == 0 {
+		c.ThermalFactor = defaultThermalFactor // see defaults above
+	} else if c.ThermalFactor < 0 {
+		c.ThermalFactor = 0
+	}
+	if c.ProcNoiseSigma == 0 {
+		c.ProcNoiseSigma = defaultProcNoiseSigma
+	} else if c.ProcNoiseSigma < 0 {
+		c.ProcNoiseSigma = 0
+	}
+	if c.LeaveDetectDelay == 0 {
+		c.LeaveDetectDelay = defaultLeaveDetect
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = defaultSampleInterval
+	}
+	if c.InputFPS == 0 && c.App != nil {
+		c.InputFPS = c.App.TargetFPS
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting).
+func (c Config) Validate() error {
+	if c.App == nil {
+		return errors.New("core: nil app")
+	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("core: invalid policy %d", c.Policy)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("core: non-positive duration %v", c.Duration)
+	}
+	if c.SourceDevice == "" {
+		return errors.New("core: no source device")
+	}
+	if len(c.Workers) == 0 && len(c.Script) == 0 {
+		return errors.New("core: no workers")
+	}
+	if c.InputFPS <= 0 {
+		return fmt.Errorf("core: non-positive input rate %v", c.InputFPS)
+	}
+	need := append([]string{c.SourceDevice, c.SinkDevice}, c.Workers...)
+	for _, ev := range c.Script {
+		if ev.Device == "" || ev.Action < ActionJoin || ev.Action > ActionLeave {
+			return fmt.Errorf("core: invalid script event %+v", ev)
+		}
+		need = append(need, ev.Device)
+	}
+	for _, id := range need {
+		if _, ok := c.Profiles[id]; !ok {
+			return fmt.Errorf("core: no profile for device %q", id)
+		}
+	}
+	for id, bg := range c.BackgroundLoad {
+		if bg < 0 || bg > 0.95 {
+			return fmt.Errorf("core: background load %v for %q outside [0, 0.95]", bg, id)
+		}
+	}
+	if err := c.App.Graph.Validate(); err != nil {
+		return fmt.Errorf("core: invalid app graph: %w", err)
+	}
+	if _, err := c.App.Graph.Path(); err != nil {
+		// The swarm executes one result per sensed frame: sequence
+		// numbers drive the sink reorder buffer and the frame
+		// accounting. Fan-out graphs would emit several results per
+		// frame, so they are rejected here rather than silently
+		// double-counted. (The graph API itself supports DAGs for
+		// future multi-sink deployments.)
+		return fmt.Errorf("core: only linear pipelines are supported: %w", err)
+	}
+	return nil
+}
+
+// routingConfig resolves the effective routing configuration.
+func (c Config) routingConfig() routing.Config {
+	if c.Routing != nil {
+		rc := *c.Routing
+		rc.Policy = c.Policy
+		return rc
+	}
+	return routing.DefaultConfig(c.Policy)
+}
+
+// TestbedConfig returns the paper's §VI-B baseline configuration: app on
+// the nine-device testbed, A as source/master/sink, workers B..I, with
+// B, C and D placed at weak-signal locations.
+func TestbedConfig(app *apps.App, policy routing.PolicyKind, seed int64, duration time.Duration) Config {
+	return Config{
+		Seed:         seed,
+		App:          app,
+		Policy:       policy,
+		Duration:     duration,
+		SourceDevice: "A",
+		Workers:      device.WorkerIDs(),
+		Profiles:     device.TestbedProfiles(),
+		Mobility: map[string]netem.Mobility{
+			"B": netem.Static(netem.RSSIBad),
+			"C": netem.Static(netem.RSSIBad),
+			"D": netem.Static(netem.RSSIBad),
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"github.com/swingframework/swing/internal/metrics"
+)
+
+// DeviceStats aggregates one device's run statistics (the per-device
+// quantities of Figures 5 and 6).
+type DeviceStats struct {
+	// Device is the device ID.
+	Device string `json:"device"`
+	// CPUUtil is the mean CPU utilisation in [0, 1], including
+	// background load and the framework overhead.
+	CPUUtil float64 `json:"cpuUtil"`
+	// SourceInputFPS is the mean rate of tuples routed from the source
+	// to this device (Figure 5 right).
+	SourceInputFPS float64 `json:"sourceInputFps"`
+	// TxBytes is the total bytes transmitted by this device's radio.
+	TxBytes int64 `json:"txBytes"`
+	// CPUPowerW / WiFiPowerW are mean app-attributable (dynamic) power
+	// draws estimated by the paper's utilisation model (Figure 6).
+	CPUPowerW  float64 `json:"cpuPowerW"`
+	WiFiPowerW float64 `json:"wifiPowerW"`
+	// EnergyJ is the total dynamic energy across CPU and Wi-Fi.
+	EnergyJ float64 `json:"energyJoules"`
+	// Processed counts tuples this device finished processing.
+	Processed int64 `json:"processed"`
+	// PresentFor is how long the device was part of the swarm.
+	PresentFor time.Duration `json:"presentForNanos"`
+}
+
+// TotalPowerW is the device's mean total dynamic power.
+func (d DeviceStats) TotalPowerW() float64 { return d.CPUPowerW + d.WiFiPowerW }
+
+// FrameStat records one delivered frame end to end (Figures 1 and 8).
+type FrameStat struct {
+	Seq    uint64        `json:"seq"`
+	BornAt time.Duration `json:"bornAtNanos"`
+	SinkAt time.Duration `json:"sinkAtNanos"`
+	// PlayAt is the reorder-buffer playback instant; zero if the frame
+	// was skipped by the reorder buffer.
+	PlayAt time.Duration `json:"playAtNanos"`
+	// Latency is SinkAt − BornAt.
+	Latency time.Duration `json:"latencyNanos"`
+	// Transmission, Queuing and Processing decompose the end-to-end
+	// delay (Figure 2): time on links (including send-queue wait), time
+	// waiting in worker input queues, and compute time.
+	Transmission time.Duration `json:"transmissionNanos"`
+	Queuing      time.Duration `json:"queuingNanos"`
+	Processing   time.Duration `json:"processingNanos"`
+	// Worker is the device that performed the first operator stage.
+	Worker string `json:"worker"`
+}
+
+// Result aggregates everything an experiment harness needs from one run.
+type Result struct {
+	App    string `json:"app"`
+	Policy string `json:"policy"`
+	// Duration is the simulated run length.
+	Duration time.Duration `json:"durationNanos"`
+
+	// Generated counts frames produced by the source; Delivered counts
+	// frames that reached the sink; DroppedAtSource counts frames shed
+	// from the source backlog; LostOnLeave counts frames lost to device
+	// departures; SkippedByReorder counts frames the reorder buffer gave
+	// up waiting for.
+	Generated        int64 `json:"generated"`
+	Delivered        int64 `json:"delivered"`
+	DroppedAtSource  int64 `json:"droppedAtSource"`
+	LostOnLeave      int64 `json:"lostOnLeave"`
+	SkippedByReorder int64 `json:"skippedByReorder"`
+
+	// ThroughputFPS is Delivered / Duration: the paper's "average system
+	// throughput" (Figure 4 top).
+	ThroughputFPS float64 `json:"throughputFps"`
+	// Latency summarizes per-frame end-to-end delay in milliseconds
+	// (Figure 4 bottom: min, max, mean, variance).
+	Latency metrics.Summary `json:"latencyMs"`
+	// Transmission, Queuing, Processing summarize the per-frame delay
+	// decomposition in milliseconds (Figure 2).
+	Transmission metrics.Summary `json:"transmissionMs"`
+	Queuing      metrics.Summary `json:"queuingMs"`
+	Processing   metrics.Summary `json:"processingMs"`
+
+	// Devices holds per-device statistics keyed by device ID.
+	Devices map[string]*DeviceStats `json:"devices"`
+
+	// AggregatePowerW is the swarm-wide mean dynamic power (the number
+	// atop each Figure 6 group).
+	AggregatePowerW float64 `json:"aggregatePowerW"`
+	// FPSPerWatt is ThroughputFPS / AggregatePowerW (Figure 7).
+	FPSPerWatt float64 `json:"fpsPerWatt"`
+
+	// Throughput is the 1s-window sink throughput over time (Figures 9
+	// and 10 top).
+	Throughput *metrics.Series `json:"throughput"`
+	// SourceInput maps device ID to its over-time input rate from the
+	// source (Figure 10 bottom).
+	SourceInput map[string]*metrics.Series `json:"sourceInput"`
+
+	// Frames holds per-frame records when Config.KeepFrameRecords is
+	// set, ordered by sink arrival.
+	Frames []FrameStat `json:"frames,omitempty"`
+}
+
+// MeetsTarget reports whether mean throughput reached the target rate
+// within the tolerance fraction (e.g. 0.05 for 5%).
+func (r *Result) MeetsTarget(targetFPS, tolerance float64) bool {
+	return r.ThroughputFPS >= targetFPS*(1-tolerance)
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// TestPaperDurationRun executes the paper's actual experiment length — a
+// ten-minute run (14400 frames at 24 FPS) — and checks the headline holds
+// at full scale, not just on shortened test horizons.
+func TestPaperDurationRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10-minute simulated run in -short mode")
+	}
+	app := faceApp(t)
+	lrs := mustRun(t, TestbedConfig(app, routing.LRS, 42, 10*time.Minute))
+	rr := mustRun(t, TestbedConfig(app, routing.RR, 42, 10*time.Minute))
+
+	if lrs.Generated != 14400 {
+		t.Fatalf("generated %d frames, want 14400", lrs.Generated)
+	}
+	if !lrs.MeetsTarget(24, 0.05) {
+		t.Fatalf("LRS throughput %v over 10 minutes", lrs.ThroughputFPS)
+	}
+	gain := lrs.ThroughputFPS / rr.ThroughputFPS
+	if gain < 2 || gain > 4 {
+		t.Fatalf("LRS/RR gain %.2fx at full length; paper reports 2.7x", gain)
+	}
+	if lrs.Latency.Mean() > 1500 {
+		t.Fatalf("LRS steady-state latency %v ms", lrs.Latency.Mean())
+	}
+}
+
+// BenchmarkSwarmSimulation measures simulator speed: simulated seconds of
+// the full nine-device testbed per wall-clock second.
+func BenchmarkSwarmSimulation(b *testing.B) {
+	app, err := newFaceApp()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const simDur = 60 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(TestbedConfig(app, routing.LRS, int64(i+1), simDur)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(simDur.Seconds()/perOp.Seconds(), "sim-s/real-s")
+}
+
+// BenchmarkSwarmSimulationRR benches the congested (worst-case event
+// volume) policy.
+func BenchmarkSwarmSimulationRR(b *testing.B) {
+	app, err := newFaceApp()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(TestbedConfig(app, routing.RR, int64(i+1), 60*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/netem"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+func faceApp(t *testing.T) *apps.App {
+	t.Helper()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatalf("FaceRecognition: %v", err)
+	}
+	return app
+}
+
+func voiceApp(t *testing.T) *apps.App {
+	t.Helper()
+	app, err := apps.VoiceTranslation()
+	if err != nil {
+		t.Fatalf("VoiceTranslation: %v", err)
+	}
+	return app
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	app := faceApp(t)
+	a := mustRun(t, TestbedConfig(app, routing.LRS, 7, 30*time.Second))
+	b := mustRun(t, TestbedConfig(app, routing.LRS, 7, 30*time.Second))
+	if a.Delivered != b.Delivered || a.ThroughputFPS != b.ThroughputFPS {
+		t.Fatalf("same seed diverged: %d/%f vs %d/%f",
+			a.Delivered, a.ThroughputFPS, b.Delivered, b.ThroughputFPS)
+	}
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.Max() != b.Latency.Max() {
+		t.Fatal("same seed produced different latency stats")
+	}
+	for id, da := range a.Devices {
+		db := b.Devices[id]
+		if da.Processed != db.Processed || da.TxBytes != db.TxBytes {
+			t.Fatalf("device %s diverged across same-seed runs", id)
+		}
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	app := faceApp(t)
+	a := mustRun(t, TestbedConfig(app, routing.LRS, 1, 30*time.Second))
+	b := mustRun(t, TestbedConfig(app, routing.LRS, 2, 30*time.Second))
+	if a.Latency.Mean() == b.Latency.Mean() && a.Delivered == b.Delivered &&
+		a.Devices["H"].Processed == b.Devices["H"].Processed {
+		t.Fatal("different seeds produced identical runs (RNG unused?)")
+	}
+}
+
+func TestConservationOfFrames(t *testing.T) {
+	app := faceApp(t)
+	for _, p := range routing.Policies() {
+		res := mustRun(t, TestbedConfig(app, p, 11, 45*time.Second))
+		accounted := res.Delivered + res.DroppedAtSource + res.LostOnLeave
+		if accounted > res.Generated {
+			t.Fatalf("%s: accounted %d > generated %d", p, accounted, res.Generated)
+		}
+		// The rest is in-pipeline at the horizon; it must be bounded by
+		// total queue capacity (source backlog + per-instance queues +
+		// outboxes), not unbounded leakage.
+		inFlight := res.Generated - accounted
+		if inFlight > 120+8*2*(48+16)+64 {
+			t.Fatalf("%s: %d frames unaccounted", p, inFlight)
+		}
+	}
+}
+
+func TestSingleDeviceKeepsUpAtLowRate(t *testing.T) {
+	app := faceApp(t)
+	cfg := Config{
+		Seed:         1,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     30 * time.Second,
+		SourceDevice: "A",
+		Workers:      []string{"H"},
+		Profiles:     device.TestbedProfiles(),
+		InputFPS:     5, // H sustains ~14 FPS; 5 is easy
+	}
+	res := mustRun(t, cfg)
+	if res.DroppedAtSource != 0 {
+		t.Fatalf("dropped %d frames at source", res.DroppedAtSource)
+	}
+	if res.ThroughputFPS < 4.8 {
+		t.Fatalf("throughput = %v, want ~5", res.ThroughputFPS)
+	}
+	// End-to-end latency ≈ tx (few ms) + ~71 ms processing, far below 1 s.
+	if res.Latency.Mean() > 300 {
+		t.Fatalf("mean latency = %v ms, want well under 300", res.Latency.Mean())
+	}
+}
+
+// TestQueueBuildupSingleDevice reproduces Figure 1's mechanism: a single
+// device fed 24 FPS falls behind and per-frame delay grows over time.
+func TestQueueBuildupSingleDevice(t *testing.T) {
+	app := faceApp(t)
+	cfg := Config{
+		Seed:             1,
+		App:              app,
+		Policy:           routing.RR,
+		Duration:         20 * time.Second,
+		SourceDevice:     "A",
+		Workers:          []string{"B"}, // ~10 FPS capacity vs 24 offered
+		Profiles:         device.TestbedProfiles(),
+		SourceBacklogCap: 100000,
+		QueueCap:         100000,
+		KeepFrameRecords: true,
+	}
+	res := mustRun(t, cfg)
+	if len(res.Frames) < 50 {
+		t.Fatalf("only %d frames delivered", len(res.Frames))
+	}
+	early := res.Frames[10].Latency
+	late := res.Frames[len(res.Frames)-1].Latency
+	if late < 4*early {
+		t.Fatalf("delay did not build up: early %v late %v", early, late)
+	}
+	// Delivered rate is capped by B's service rate (~10.8 FPS idle, less
+	// under thermal throttling).
+	if res.ThroughputFPS > 11.5 || res.ThroughputFPS < 5 {
+		t.Fatalf("throughput = %v, want ~6-11 (B's capacity)", res.ThroughputFPS)
+	}
+}
+
+// TestFigure4Shape asserts the paper's headline comparisons on the
+// nine-device testbed (§VI-B1, Figure 4): LRS meets the 24 FPS target,
+// RR collapses (paper: 2.7x gap), latency-based routing beats
+// processing-based routing, and P* policies miss the target.
+func TestFigure4Shape(t *testing.T) {
+	app := faceApp(t)
+	results := map[routing.PolicyKind]*Result{}
+	for _, p := range routing.Policies() {
+		results[p] = mustRun(t, TestbedConfig(app, p, 42, 120*time.Second))
+	}
+	lrs, rr, lr, pr, prs := results[routing.LRS], results[routing.RR],
+		results[routing.LR], results[routing.PR], results[routing.PRS]
+
+	if !lrs.MeetsTarget(24, 0.05) {
+		t.Fatalf("LRS throughput %v misses the 24 FPS target", lrs.ThroughputFPS)
+	}
+	if !lr.MeetsTarget(24, 0.05) {
+		t.Fatalf("LR throughput %v misses the 24 FPS target", lr.ThroughputFPS)
+	}
+	if rr.ThroughputFPS > lrs.ThroughputFPS/1.8 {
+		t.Fatalf("RR %v vs LRS %v: want >=1.8x gap (paper: 2.7x)",
+			rr.ThroughputFPS, lrs.ThroughputFPS)
+	}
+	if prs.MeetsTarget(24, 0.05) {
+		t.Fatalf("PRS throughput %v should miss the target", prs.ThroughputFPS)
+	}
+	if pr.MeetsTarget(24, 0.05) {
+		t.Fatalf("PR throughput %v should miss the target", pr.ThroughputFPS)
+	}
+	if lrs.Latency.Mean() > rr.Latency.Mean()/4 {
+		t.Fatalf("LRS latency %v vs RR %v: want >=4x reduction (paper: 6.7x)",
+			lrs.Latency.Mean(), rr.Latency.Mean())
+	}
+	if lrs.Latency.Mean() > prs.Latency.Mean() {
+		t.Fatal("LRS latency above PRS")
+	}
+}
+
+// TestWeakLinkAvoidance: L* policies starve weak-signal devices; P*
+// policies keep feeding the computationally fast but weakly connected B
+// (Figure 5's observation).
+func TestWeakLinkAvoidance(t *testing.T) {
+	app := faceApp(t)
+	lrs := mustRun(t, TestbedConfig(app, routing.LRS, 42, 120*time.Second))
+	prs := mustRun(t, TestbedConfig(app, routing.PRS, 42, 120*time.Second))
+
+	weakLRS := lrs.Devices["B"].SourceInputFPS + lrs.Devices["C"].SourceInputFPS + lrs.Devices["D"].SourceInputFPS
+	goodLRS := lrs.Devices["G"].SourceInputFPS + lrs.Devices["H"].SourceInputFPS + lrs.Devices["I"].SourceInputFPS
+	if weakLRS > goodLRS/4 {
+		t.Fatalf("LRS sends %v FPS to weak devices vs %v to strong", weakLRS, goodLRS)
+	}
+	if prs.Devices["B"].SourceInputFPS < 2*lrs.Devices["B"].SourceInputFPS {
+		t.Fatalf("PRS input to weak-link B (%v) not above LRS (%v)",
+			prs.Devices["B"].SourceInputFPS, lrs.Devices["B"].SourceInputFPS)
+	}
+}
+
+// TestWorkerSelectionSavesEnergy: the *S policies concentrate load on
+// fewer devices, lowering aggregate power vs their non-selective variants
+// (Figure 6: PRS is the most frugal).
+func TestWorkerSelectionSavesEnergy(t *testing.T) {
+	app := faceApp(t)
+	lr := mustRun(t, TestbedConfig(app, routing.LR, 42, 120*time.Second))
+	prs := mustRun(t, TestbedConfig(app, routing.PRS, 42, 120*time.Second))
+	lrs := mustRun(t, TestbedConfig(app, routing.LRS, 42, 120*time.Second))
+	if prs.AggregatePowerW >= lr.AggregatePowerW {
+		t.Fatalf("PRS power %v not below LR %v", prs.AggregatePowerW, lr.AggregatePowerW)
+	}
+	if lrs.AggregatePowerW >= lr.AggregatePowerW {
+		t.Fatalf("LRS power %v not below LR %v", lrs.AggregatePowerW, lr.AggregatePowerW)
+	}
+	// Low-variance latency policies produce far fewer reorder skips than
+	// RR (Figure 8).
+	rr := mustRun(t, TestbedConfig(app, routing.RR, 42, 120*time.Second))
+	if lrs.SkippedByReorder*4 > rr.SkippedByReorder {
+		t.Fatalf("LRS skips %d not well below RR %d", lrs.SkippedByReorder, rr.SkippedByReorder)
+	}
+}
+
+// TestJoinRecovery reproduces Figure 9 (left): with two modest workers the
+// swarm undershoots; a fast joiner lifts throughput within ~2 s.
+func TestJoinRecovery(t *testing.T) {
+	app := faceApp(t)
+	cfg := Config{
+		Seed:         3,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     40 * time.Second,
+		SourceDevice: "A",
+		Workers:      []string{"B", "D"},
+		Profiles:     device.TestbedProfiles(),
+		Script: []ScriptEvent{
+			{At: 20 * time.Second, Action: ActionJoin, Device: "G"},
+		},
+	}
+	res := mustRun(t, cfg)
+	before := res.Throughput.MeanBetween(10*time.Second, 20*time.Second)
+	after := res.Throughput.MeanBetween(25*time.Second, 40*time.Second)
+	if after < before+3 {
+		t.Fatalf("join did not lift throughput: before %v after %v", before, after)
+	}
+	if g := res.Devices["G"]; g == nil || g.SourceInputFPS == 0 {
+		t.Fatal("joiner G received no traffic")
+	}
+}
+
+// TestLeaveRecovery reproduces Figure 9 (right): killing a worker loses a
+// handful of frames, throughput dips and recovers to what the remaining
+// devices sustain.
+func TestLeaveRecovery(t *testing.T) {
+	app := faceApp(t)
+	cfg := Config{
+		Seed:         3,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     60 * time.Second,
+		SourceDevice: "A",
+		Workers:      []string{"B", "G", "H"},
+		Profiles:     device.TestbedProfiles(),
+		Script: []ScriptEvent{
+			{At: 30 * time.Second, Action: ActionLeave, Device: "G"},
+		},
+	}
+	res := mustRun(t, cfg)
+	if res.LostOnLeave == 0 {
+		t.Fatal("no frames lost on abrupt leave")
+	}
+	if res.LostOnLeave > 60 {
+		t.Fatalf("%d frames lost; want a small number (paper: 13)", res.LostOnLeave)
+	}
+	after := res.Throughput.MeanBetween(35*time.Second, 60*time.Second)
+	if after < 10 {
+		t.Fatalf("post-leave throughput %v; B+H sustain more", after)
+	}
+	if g := res.Devices["G"]; g.PresentFor > 31*time.Second {
+		t.Fatalf("G present for %v after leaving at 30s", g.PresentFor)
+	}
+}
+
+// TestMobilityRerouting reproduces Figure 10: as G walks into weak signal,
+// LRS shifts its share to B and H and overall throughput recovers.
+func TestMobilityRerouting(t *testing.T) {
+	app := faceApp(t)
+	walk, err := netem.NewWalk([]netem.Epoch{
+		{Until: 40 * time.Second, RSSI: netem.RSSIGood},
+		{Until: 80 * time.Second, RSSI: netem.RSSIFair},
+		{Until: 120 * time.Second, RSSI: netem.RSSIBad},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seed:         5,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     120 * time.Second,
+		SourceDevice: "A",
+		Workers:      []string{"B", "G", "H"},
+		Profiles:     device.TestbedProfiles(),
+		Mobility:     map[string]netem.Mobility{"G": walk},
+		InputFPS:     20, // B+G+H capacity headroom so reroute can recover
+	}
+	res := mustRun(t, cfg)
+	gEarly := res.SourceInput["G"].MeanBetween(10*time.Second, 40*time.Second)
+	gLate := res.SourceInput["G"].MeanBetween(90*time.Second, 120*time.Second)
+	if gLate > gEarly/2 {
+		t.Fatalf("G's share did not collapse in weak signal: early %v late %v", gEarly, gLate)
+	}
+	othersLate := res.SourceInput["B"].MeanBetween(90*time.Second, 120*time.Second) +
+		res.SourceInput["H"].MeanBetween(90*time.Second, 120*time.Second)
+	othersEarly := res.SourceInput["B"].MeanBetween(10*time.Second, 40*time.Second) +
+		res.SourceInput["H"].MeanBetween(10*time.Second, 40*time.Second)
+	if othersLate <= othersEarly {
+		t.Fatal("load did not shift to the remaining devices")
+	}
+}
+
+// TestDelayDecomposition reproduces Figure 2's three causal links.
+func TestDelayDecomposition(t *testing.T) {
+	app := faceApp(t)
+	base := Config{
+		Seed:         9,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     30 * time.Second,
+		SourceDevice: "A",
+		Workers:      []string{"B"},
+		Profiles:     device.TestbedProfiles(),
+		InputFPS:     5,
+	}
+
+	t.Run("signal strength drives transmission delay", func(t *testing.T) {
+		good := base
+		res1 := mustRun(t, good)
+		bad := base
+		bad.Mobility = map[string]netem.Mobility{"B": netem.Static(netem.RSSIFair)}
+		res2 := mustRun(t, bad)
+		if res2.Transmission.Mean() < 2.5*res1.Transmission.Mean() {
+			t.Fatalf("fair-signal tx %v not >> good-signal tx %v",
+				res2.Transmission.Mean(), res1.Transmission.Mean())
+		}
+	})
+
+	t.Run("cpu load drives processing delay", func(t *testing.T) {
+		idle := base
+		res1 := mustRun(t, idle)
+		loaded := base
+		loaded.BackgroundLoad = map[string]float64{"B": 0.6}
+		res2 := mustRun(t, loaded)
+		if res2.Processing.Mean() < 1.8*res1.Processing.Mean() {
+			t.Fatalf("loaded processing %v not ~2.5x idle %v",
+				res2.Processing.Mean(), res1.Processing.Mean())
+		}
+	})
+
+	t.Run("input rate drives queuing delay", func(t *testing.T) {
+		slow := base
+		slow.InputFPS = 5
+		res1 := mustRun(t, slow)
+		fast := base
+		fast.InputFPS = 20 // B sustains ~10 FPS
+		res2 := mustRun(t, fast)
+		if res2.Queuing.Mean() < 10*res1.Queuing.Mean()+10 {
+			t.Fatalf("saturated queuing %v not >> light-load queuing %v",
+				res2.Queuing.Mean(), res1.Queuing.Mean())
+		}
+	})
+}
+
+// TestReorderBufferPlayback: delivered frames carry playback stamps, and
+// playback order is sequential.
+func TestReorderBufferPlayback(t *testing.T) {
+	app := faceApp(t)
+	cfg := TestbedConfig(app, routing.LRS, 8, 30*time.Second)
+	cfg.KeepFrameRecords = true
+	res := mustRun(t, cfg)
+	if len(res.Frames) == 0 {
+		t.Fatal("no frame records kept")
+	}
+	type play struct {
+		seq uint64
+		at  time.Duration
+	}
+	var plays []play
+	for _, f := range res.Frames {
+		if f.PlayAt == 0 {
+			continue
+		}
+		if f.PlayAt < f.SinkAt {
+			t.Fatalf("frame %d played before arriving", f.Seq)
+		}
+		plays = append(plays, play{seq: f.Seq, at: f.PlayAt})
+	}
+	if len(plays) < len(res.Frames)/2 {
+		t.Fatalf("only %d/%d frames played", len(plays), len(res.Frames))
+	}
+	// Playback is in sequence order: sorted by instant (ties by seq, the
+	// order the reorder loop emits), seq must be strictly increasing.
+	sort.Slice(plays, func(i, j int) bool {
+		if plays[i].at != plays[j].at {
+			return plays[i].at < plays[j].at
+		}
+		return plays[i].seq < plays[j].seq
+	})
+	for i := 1; i < len(plays); i++ {
+		if plays[i].seq <= plays[i-1].seq {
+			t.Fatalf("playback order violated: seq %d at %v then seq %d at %v",
+				plays[i-1].seq, plays[i-1].at, plays[i].seq, plays[i].at)
+		}
+	}
+}
+
+func TestVoiceTranslationRuns(t *testing.T) {
+	app := voiceApp(t)
+	lrs := mustRun(t, TestbedConfig(app, routing.LRS, 42, 90*time.Second))
+	rr := mustRun(t, TestbedConfig(app, routing.RR, 42, 90*time.Second))
+	if lrs.ThroughputFPS < 3*rr.ThroughputFPS {
+		t.Fatalf("voice LRS %v not >> RR %v", lrs.ThroughputFPS, rr.ThroughputFPS)
+	}
+}
+
+func TestCrossChainingMode(t *testing.T) {
+	app := faceApp(t)
+	cfg := TestbedConfig(app, routing.LRS, 4, 30*time.Second)
+	cfg.CrossChaining = true
+	res := mustRun(t, cfg)
+	if res.Delivered == 0 {
+		t.Fatal("cross-chaining delivered nothing")
+	}
+}
+
+func TestDeterministicRoutingOverride(t *testing.T) {
+	app := faceApp(t)
+	rc := routing.DefaultConfig(routing.LRS)
+	rc.Deterministic = true
+	cfg := TestbedConfig(app, routing.LRS, 4, 30*time.Second)
+	cfg.Routing = &rc
+	res := mustRun(t, cfg)
+	if !res.MeetsTarget(24, 0.1) {
+		t.Fatalf("deterministic LRS throughput %v", res.ThroughputFPS)
+	}
+}
+
+func TestDeviceStatsSane(t *testing.T) {
+	app := faceApp(t)
+	res := mustRun(t, TestbedConfig(app, routing.LRS, 6, 60*time.Second))
+	var totalInput float64
+	for id, d := range res.Devices {
+		if d.CPUUtil < 0 || d.CPUUtil > 1 {
+			t.Errorf("%s CPU util %v outside [0,1]", id, d.CPUUtil)
+		}
+		if d.CPUPowerW < 0 || d.WiFiPowerW < 0 {
+			t.Errorf("%s negative power", id)
+		}
+		if d.TotalPowerW() != d.CPUPowerW+d.WiFiPowerW {
+			t.Errorf("%s TotalPowerW mismatch", id)
+		}
+		totalInput += d.SourceInputFPS
+	}
+	// Everything the source dispatched went to some worker; at most the
+	// input rate.
+	if totalInput > 24.5 {
+		t.Fatalf("summed per-device input %v exceeds source rate", totalInput)
+	}
+	if totalInput < 20 {
+		t.Fatalf("summed per-device input %v; LRS should dispatch ~24", totalInput)
+	}
+	if res.FPSPerWatt <= 0 {
+		t.Fatal("FPS/Watt not positive")
+	}
+	if math.Abs(res.FPSPerWatt-res.ThroughputFPS/res.AggregatePowerW) > 1e-9 {
+		t.Fatal("FPS/Watt inconsistent with throughput and power")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	app := faceApp(t)
+	ok := TestbedConfig(app, routing.LRS, 1, time.Second)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		errSub string
+	}{
+		{"nil app", func(c *Config) { c.App = nil }, "nil app"},
+		{"bad policy", func(c *Config) { c.Policy = 0 }, "policy"},
+		{"no duration", func(c *Config) { c.Duration = 0 }, "duration"},
+		{"no source", func(c *Config) { c.SourceDevice = "" }, "source"},
+		{"no workers", func(c *Config) { c.Workers = nil; c.Script = nil }, "workers"},
+		{"unknown profile", func(c *Config) { c.Workers = []string{"Z"} }, "profile"},
+		{"bad bg load", func(c *Config) { c.BackgroundLoad = map[string]float64{"B": 2} }, "background"},
+		{"bad script", func(c *Config) { c.Script = []ScriptEvent{{Device: ""}} }, "script"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := ok
+			c.mutate(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatalf("%s accepted", c.name)
+			}
+			if !strings.Contains(err.Error(), c.errSub) {
+				t.Fatalf("err %q missing %q", err, c.errSub)
+			}
+		})
+	}
+}
+
+func TestMeetsTarget(t *testing.T) {
+	r := &Result{ThroughputFPS: 23}
+	if !r.MeetsTarget(24, 0.05) {
+		t.Fatal("23 within 5% of 24 rejected")
+	}
+	if r.MeetsTarget(24, 0.01) {
+		t.Fatal("23 within 1% of 24 accepted")
+	}
+}
+
+// newFaceApp is the benchmark-friendly (non-testing.T) app constructor.
+func newFaceApp() (*apps.App, error) { return apps.FaceRecognition() }

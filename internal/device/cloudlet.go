@@ -1,0 +1,34 @@
+package device
+
+// Cloudlet support (paper §II: "Swing does support 'cloudlet mode' through
+// Android virtual machines if a cloudlet infrastructure is available").
+//
+// A cloudlet is modeled as just another swarm device — the framework's
+// whole point is that the resource manager needs no special cases: a
+// stationary, wall-powered server simply presents a much higher capability
+// and (being wall-powered) contributes no battery-relevant energy. LRS
+// discovers its speed through the same ACK latency estimates and routes
+// accordingly.
+
+// CloudletProfile returns a profile for a small edge server running
+// Android VMs: roughly an order of magnitude faster than the fastest
+// phone, on a wired-backhaul Wi-Fi link.
+func CloudletProfile(id string) Profile {
+	return Profile{
+		ID:         id,
+		Model:      "Edge Server (Android VM)",
+		Capability: 140, // ~7 ms per face-recognition frame
+		Cores:      16,
+		Power: PowerProfile{
+			// Wall-powered: power still modeled (Figure 6 methodology)
+			// but battery lifetime is irrelevant.
+			CPUIdleW: 20, CPUPeakW: 95,
+			WiFiIdleW: 2, WiFiPeakW: 6, WiFiPeakBps: 300e6,
+			BatteryWh: 0.001, // sentinel: not battery-operated
+		},
+	}
+}
+
+// IsWallPowered reports whether a profile represents infrastructure rather
+// than a battery-operated mobile device.
+func IsWallPowered(p Profile) bool { return p.Power.BatteryWh < 0.01 }

@@ -1,0 +1,41 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCloudletProfileValid(t *testing.T) {
+	p := CloudletProfile("X")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.ID != "X" {
+		t.Fatalf("ID = %q", p.ID)
+	}
+}
+
+func TestCloudletOutclassesPhones(t *testing.T) {
+	cl := CloudletProfile("X")
+	phones := TestbedProfiles()
+	for id, p := range phones {
+		if cl.Capability < 5*p.Capability {
+			t.Errorf("cloudlet not >> device %s (%v vs %v)", id, cl.Capability, p.Capability)
+		}
+	}
+	// One face-recognition frame lands well under 10 ms.
+	if d := cl.ProcessingDelay(1.0, 0); d > 10*time.Millisecond {
+		t.Fatalf("cloudlet frame delay %v", d)
+	}
+}
+
+func TestIsWallPowered(t *testing.T) {
+	if !IsWallPowered(CloudletProfile("X")) {
+		t.Fatal("cloudlet not wall powered")
+	}
+	for id, p := range TestbedProfiles() {
+		if IsWallPowered(p) {
+			t.Errorf("phone %s reported wall powered", id)
+		}
+	}
+}

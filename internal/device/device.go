@@ -1,0 +1,207 @@
+// Package device models the heterogeneous mobile devices of the paper's
+// wireless testbed (§III, Table I): per-device compute capability, CPU
+// contention from background apps, and the linear utilisation-based power
+// model the paper uses to estimate per-device CPU and Wi-Fi energy (§VI-B,
+// "Power Consumption").
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Profile describes the static capabilities of one device.
+//
+// Capability is measured in abstract work units per second. An application
+// stage with Work w executes in w/Capability seconds on an otherwise idle
+// device. Profiles for the paper's testbed calibrate Capability against
+// Table I: the face-recognition stage is defined as exactly one work unit,
+// so Capability = 1000 / processing-delay-ms.
+type Profile struct {
+	// ID is the single-letter device name used in the paper (A..I).
+	ID string
+	// Model is the commercial device model, for reports.
+	Model string
+	// Capability is compute throughput in work units per second.
+	Capability float64
+	// Cores approximates multiprogramming capacity; a background load of
+	// u on a c-core device leaves roughly (1 - u/c)·Capability for Swing.
+	Cores int
+
+	Power PowerProfile
+}
+
+// PowerProfile holds the parameters of the paper's offline power profiling
+// procedure: idle and peak power for CPU and Wi-Fi, measured (in the
+// paper) via battery-level deltas under 30-minute stress runs.
+type PowerProfile struct {
+	// CPUIdleW and CPUPeakW bound the linear CPU power model:
+	// P = idle + util·(peak − idle).
+	CPUIdleW float64
+	CPUPeakW float64
+	// WiFiIdleW and WiFiPeakW bound the linear Wi-Fi power model;
+	// WiFiPeakBps is the transfer rate at which Wi-Fi power peaks.
+	WiFiIdleW   float64
+	WiFiPeakW   float64
+	WiFiPeakBps float64
+	// BatteryWh is the battery capacity, for energy-exhaustion estimates.
+	BatteryWh float64
+}
+
+// Validation errors.
+var (
+	ErrBadCapability = errors.New("device: capability must be positive")
+	ErrBadPower      = errors.New("device: invalid power profile")
+)
+
+// Validate checks profile invariants.
+func (p Profile) Validate() error {
+	if p.ID == "" {
+		return errors.New("device: empty id")
+	}
+	if p.Capability <= 0 {
+		return fmt.Errorf("%w: %q has %v", ErrBadCapability, p.ID, p.Capability)
+	}
+	if p.Cores <= 0 {
+		return fmt.Errorf("device: %q has %d cores", p.ID, p.Cores)
+	}
+	pw := p.Power
+	if pw.CPUPeakW < pw.CPUIdleW || pw.CPUIdleW < 0 {
+		return fmt.Errorf("%w: %q cpu idle %v peak %v", ErrBadPower, p.ID, pw.CPUIdleW, pw.CPUPeakW)
+	}
+	if pw.WiFiPeakW < pw.WiFiIdleW || pw.WiFiIdleW < 0 {
+		return fmt.Errorf("%w: %q wifi idle %v peak %v", ErrBadPower, p.ID, pw.WiFiIdleW, pw.WiFiPeakW)
+	}
+	if pw.WiFiPeakBps <= 0 {
+		return fmt.Errorf("%w: %q wifi peak rate %v", ErrBadPower, p.ID, pw.WiFiPeakBps)
+	}
+	return nil
+}
+
+// ProcessingDelay returns the time to execute work units on this device
+// given a background CPU load fraction bg in [0, 1). The background load
+// occupies bg of total multi-core capacity, so the effective rate is
+// Capability·(1 − bg); this reproduces Figure 2's processing-delay growth
+// as CPU usage rises.
+func (p Profile) ProcessingDelay(work, bg float64) time.Duration {
+	if work <= 0 {
+		return 0
+	}
+	if bg < 0 {
+		bg = 0
+	}
+	if bg > 0.95 {
+		bg = 0.95 // a saturated device still makes (slow) progress
+	}
+	eff := p.Capability * (1 - bg)
+	return time.Duration(work / eff * float64(time.Second))
+}
+
+// ServiceRate returns the tuples-per-second this device sustains for a
+// stage of the given work under background load bg.
+func (p Profile) ServiceRate(work, bg float64) float64 {
+	if work <= 0 {
+		return 0
+	}
+	d := p.ProcessingDelay(work, bg)
+	return float64(time.Second) / float64(d)
+}
+
+// CPUPower evaluates the linear CPU power model at utilisation util∈[0,1].
+func (pp PowerProfile) CPUPower(util float64) float64 {
+	util = clamp01(util)
+	return pp.CPUIdleW + util*(pp.CPUPeakW-pp.CPUIdleW)
+}
+
+// WiFiPower evaluates the linear Wi-Fi power model at transfer rate bps.
+func (pp PowerProfile) WiFiPower(bps float64) float64 {
+	if bps < 0 {
+		bps = 0
+	}
+	frac := bps / pp.WiFiPeakBps
+	return pp.WiFiIdleW + clamp01(frac)*(pp.WiFiPeakW-pp.WiFiIdleW)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+// EnergyAccount integrates a device's CPU and Wi-Fi energy over a run,
+// following the paper's online measurement procedure: periodic utilisation
+// and transfer-rate samples evaluated against the offline profile.
+type EnergyAccount struct {
+	profile PowerProfile
+
+	cpuJoules  float64
+	wifiJoules float64
+	elapsed    time.Duration
+}
+
+// NewEnergyAccount returns an account using the given power profile.
+func NewEnergyAccount(p PowerProfile) *EnergyAccount {
+	return &EnergyAccount{profile: p}
+}
+
+// Sample charges an interval during which the device ran at CPU
+// utilisation util and transferred at rate bps.
+func (a *EnergyAccount) Sample(interval time.Duration, util, bps float64) {
+	if interval <= 0 {
+		return
+	}
+	sec := interval.Seconds()
+	a.cpuJoules += a.profile.CPUPower(util) * sec
+	a.wifiJoules += a.profile.WiFiPower(bps) * sec
+	a.elapsed += interval
+}
+
+// CPUJoules returns accumulated CPU energy.
+func (a *EnergyAccount) CPUJoules() float64 { return a.cpuJoules }
+
+// WiFiJoules returns accumulated Wi-Fi energy.
+func (a *EnergyAccount) WiFiJoules() float64 { return a.wifiJoules }
+
+// TotalJoules returns accumulated total energy.
+func (a *EnergyAccount) TotalJoules() float64 { return a.cpuJoules + a.wifiJoules }
+
+// Elapsed returns total sampled time.
+func (a *EnergyAccount) Elapsed() time.Duration { return a.elapsed }
+
+// MeanCPUWatts is average CPU power over the sampled interval.
+func (a *EnergyAccount) MeanCPUWatts() float64 {
+	if a.elapsed <= 0 {
+		return 0
+	}
+	return a.cpuJoules / a.elapsed.Seconds()
+}
+
+// MeanWiFiWatts is average Wi-Fi power over the sampled interval.
+func (a *EnergyAccount) MeanWiFiWatts() float64 {
+	if a.elapsed <= 0 {
+		return 0
+	}
+	return a.wifiJoules / a.elapsed.Seconds()
+}
+
+// MeanWatts is average total power over the sampled interval.
+func (a *EnergyAccount) MeanWatts() float64 {
+	return a.MeanCPUWatts() + a.MeanWiFiWatts()
+}
+
+// BatteryLifetime estimates how long the device battery lasts at the mean
+// observed power draw. Returns 0 when nothing was sampled.
+func (a *EnergyAccount) BatteryLifetime(batteryWh float64) time.Duration {
+	w := a.MeanWatts()
+	if w <= 0 || batteryWh <= 0 {
+		return 0
+	}
+	hours := batteryWh / w
+	return time.Duration(hours * float64(time.Hour))
+}

@@ -1,0 +1,328 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validProfile() Profile {
+	return Profile{
+		ID:         "X",
+		Model:      "Test",
+		Capability: 10,
+		Cores:      2,
+		Power: PowerProfile{
+			CPUIdleW: 0.3, CPUPeakW: 2.0,
+			WiFiIdleW: 0.1, WiFiPeakW: 0.9, WiFiPeakBps: 40e6,
+			BatteryWh: 7,
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"empty id", func(p *Profile) { p.ID = "" }},
+		{"zero capability", func(p *Profile) { p.Capability = 0 }},
+		{"negative capability", func(p *Profile) { p.Capability = -1 }},
+		{"zero cores", func(p *Profile) { p.Cores = 0 }},
+		{"cpu peak below idle", func(p *Profile) { p.Power.CPUPeakW = 0.1 }},
+		{"negative cpu idle", func(p *Profile) { p.Power.CPUIdleW = -0.1 }},
+		{"wifi peak below idle", func(p *Profile) { p.Power.WiFiPeakW = 0.01 }},
+		{"zero wifi peak rate", func(p *Profile) { p.Power.WiFiPeakBps = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validProfile()
+			c.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("%s passed validation", c.name)
+			}
+		})
+	}
+}
+
+func TestProcessingDelayIdle(t *testing.T) {
+	p := validProfile() // 10 units/s
+	got := p.ProcessingDelay(1.0, 0)
+	if got != 100*time.Millisecond {
+		t.Fatalf("delay = %v, want 100ms", got)
+	}
+}
+
+func TestProcessingDelayScalesWithLoad(t *testing.T) {
+	p := validProfile()
+	idle := p.ProcessingDelay(1, 0)
+	half := p.ProcessingDelay(1, 0.5)
+	if half != 2*idle {
+		t.Fatalf("50%% load delay = %v, want 2x idle %v", half, idle)
+	}
+}
+
+func TestProcessingDelaySaturationClamp(t *testing.T) {
+	p := validProfile()
+	full := p.ProcessingDelay(1, 1.0)
+	over := p.ProcessingDelay(1, 5.0)
+	if full != over {
+		t.Fatalf("load clamp broken: %v vs %v", full, over)
+	}
+	if full <= p.ProcessingDelay(1, 0.9) {
+		t.Fatal("saturated device not slower than 90% loaded")
+	}
+}
+
+func TestProcessingDelayZeroWork(t *testing.T) {
+	p := validProfile()
+	if d := p.ProcessingDelay(0, 0.3); d != 0 {
+		t.Fatalf("zero work delay = %v", d)
+	}
+	if r := p.ServiceRate(0, 0); r != 0 {
+		t.Fatalf("zero work rate = %v", r)
+	}
+}
+
+func TestServiceRateInvertsDelay(t *testing.T) {
+	p := validProfile()
+	r := p.ServiceRate(1, 0)
+	if math.Abs(r-10) > 1e-6 {
+		t.Fatalf("rate = %v, want 10", r)
+	}
+}
+
+func TestCPUPowerLinear(t *testing.T) {
+	pp := validProfile().Power
+	if got := pp.CPUPower(0); got != 0.3 {
+		t.Fatalf("idle = %v", got)
+	}
+	if got := pp.CPUPower(1); got != 2.0 {
+		t.Fatalf("peak = %v", got)
+	}
+	if got := pp.CPUPower(0.5); math.Abs(got-1.15) > 1e-9 {
+		t.Fatalf("half = %v, want 1.15", got)
+	}
+	if pp.CPUPower(-1) != pp.CPUPower(0) || pp.CPUPower(2) != pp.CPUPower(1) {
+		t.Fatal("utilisation not clamped")
+	}
+}
+
+func TestWiFiPowerLinear(t *testing.T) {
+	pp := validProfile().Power
+	if got := pp.WiFiPower(0); got != 0.1 {
+		t.Fatalf("idle = %v", got)
+	}
+	if got := pp.WiFiPower(40e6); got != 0.9 {
+		t.Fatalf("peak = %v", got)
+	}
+	if got := pp.WiFiPower(80e6); got != 0.9 {
+		t.Fatal("rate not clamped at peak")
+	}
+	if got := pp.WiFiPower(-5); got != 0.1 {
+		t.Fatal("negative rate not clamped")
+	}
+}
+
+func TestDynPowerExcludesIdle(t *testing.T) {
+	pp := validProfile().Power
+	if got := pp.CPUDynPower(0); got != 0 {
+		t.Fatalf("dyn power at idle = %v", got)
+	}
+	if got := pp.CPUDynPower(1); math.Abs(got-1.7) > 1e-9 {
+		t.Fatalf("dyn peak = %v, want 1.7", got)
+	}
+	if got := pp.WiFiDynPower(0); got != 0 {
+		t.Fatalf("wifi dyn at 0 = %v", got)
+	}
+	if got := pp.WiFiDynPower(40e6); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("wifi dyn peak = %v, want 0.8", got)
+	}
+}
+
+func TestEnergyAccount(t *testing.T) {
+	a := NewEnergyAccount(validProfile().Power)
+	a.Sample(10*time.Second, 1.0, 0)  // 2.0 W CPU, 0.1 W WiFi
+	a.Sample(10*time.Second, 0, 40e6) // 0.3 W CPU, 0.9 W WiFi
+	if got := a.CPUJoules(); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("cpu joules = %v, want 23", got)
+	}
+	if got := a.WiFiJoules(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("wifi joules = %v, want 10", got)
+	}
+	if got := a.TotalJoules(); math.Abs(got-33) > 1e-9 {
+		t.Fatalf("total = %v", got)
+	}
+	if got := a.Elapsed(); got != 20*time.Second {
+		t.Fatalf("elapsed = %v", got)
+	}
+	if got := a.MeanWatts(); math.Abs(got-1.65) > 1e-9 {
+		t.Fatalf("mean watts = %v, want 1.65", got)
+	}
+}
+
+func TestEnergyAccountIgnoresNonPositiveInterval(t *testing.T) {
+	a := NewEnergyAccount(validProfile().Power)
+	a.Sample(0, 1, 1e6)
+	a.Sample(-time.Second, 1, 1e6)
+	if a.TotalJoules() != 0 || a.Elapsed() != 0 {
+		t.Fatal("non-positive intervals charged energy")
+	}
+	if a.MeanWatts() != 0 {
+		t.Fatal("mean watts nonzero with no samples")
+	}
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	a := NewEnergyAccount(validProfile().Power)
+	a.Sample(time.Minute, 1.0, 0) // 2.1 W total
+	life := a.BatteryLifetime(7)  // 7 Wh / 2.1 W = 3.33 h
+	want := time.Duration(7.0 / 2.1 * float64(time.Hour))
+	if d := life - want; d < -time.Second || d > time.Second {
+		t.Fatalf("lifetime = %v, want ~%v", life, want)
+	}
+	if a.BatteryLifetime(0) != 0 {
+		t.Fatal("zero battery lifetime nonzero")
+	}
+}
+
+func TestTestbedProfilesComplete(t *testing.T) {
+	profiles := TestbedProfiles()
+	want := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I"}
+	if len(profiles) != len(want) {
+		t.Fatalf("%d profiles, want %d", len(profiles), len(want))
+	}
+	for _, id := range want {
+		p, ok := profiles[id]
+		if !ok {
+			t.Fatalf("missing device %s", id)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("device %s invalid: %v", id, err)
+		}
+		if p.ID != id {
+			t.Errorf("device %s has ID %s", id, p.ID)
+		}
+	}
+}
+
+// TestTableIDelaysReproduced checks that simulating one face-recognition
+// frame (1.0 work units) on each worker reproduces Table I's processing
+// delays.
+func TestTableIDelaysReproduced(t *testing.T) {
+	profiles := TestbedProfiles()
+	wantMs := map[string]float64{
+		"B": 92.9, "C": 121.6, "D": 167.7, "E": 463.4,
+		"F": 166.4, "G": 82.2, "H": 71.3, "I": 78.0,
+	}
+	for id, ms := range wantMs {
+		got := profiles[id].ProcessingDelay(1.0, 0)
+		want := time.Duration(ms * float64(time.Millisecond))
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 50*time.Microsecond {
+			t.Errorf("device %s delay = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestTableIThroughputsReproduced checks the Table I throughput row
+// (floor of service rate) for each worker.
+func TestTableIThroughputsReproduced(t *testing.T) {
+	profiles := TestbedProfiles()
+	wantFPS := map[string]int{
+		"B": 10, "C": 8, "D": 5, "E": 2, "F": 6, "G": 12, "H": 14, "I": 12,
+	}
+	// Note: Table I reports D:6 and F:5 against delays 167.7 and 166.4 ms,
+	// i.e. the two columns are swapped for D/F in the paper (1/167.7 ≈ 5.96,
+	// 1/166.4 ≈ 6.01); likewise H reports 13 FPS for a 71.3 ms delay
+	// (1/71.3 ≈ 14.0). We assert the delays, which are the measured
+	// quantity, and accept ±1 FPS on the derived throughput.
+	for id, want := range wantFPS {
+		got := int(profiles[id].ServiceRate(1.0, 0))
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1 {
+			t.Errorf("device %s throughput = %d FPS, want %d±1", id, got, want)
+		}
+	}
+}
+
+func TestFastestSlowestRatio(t *testing.T) {
+	// §III: "the fastest phone H reports throughput that is 6 times higher
+	// than that of the slowest phone E".
+	profiles := TestbedProfiles()
+	ratio := profiles["H"].Capability / profiles["E"].Capability
+	if ratio < 5.5 || ratio > 7.5 {
+		t.Fatalf("H/E capability ratio = %.2f, want ~6.5", ratio)
+	}
+}
+
+func TestWorkerIDs(t *testing.T) {
+	ids := WorkerIDs()
+	if len(ids) != 8 {
+		t.Fatalf("%d workers, want 8", len(ids))
+	}
+	profiles := TestbedProfiles()
+	for _, id := range ids {
+		if id == "A" {
+			t.Fatal("A (source) listed as worker")
+		}
+		if _, ok := profiles[id]; !ok {
+			t.Fatalf("worker %s has no profile", id)
+		}
+	}
+}
+
+func TestOldDeviceLessEfficient(t *testing.T) {
+	// E must burn more energy per work unit than H (Figure 6's premise).
+	profiles := TestbedProfiles()
+	perWork := func(p Profile) float64 {
+		// Dynamic power at full utilisation divided by capability.
+		return p.Power.CPUDynPower(1) / p.Capability
+	}
+	if perWork(profiles["E"]) <= perWork(profiles["H"]) {
+		t.Fatal("E not less efficient than H")
+	}
+}
+
+// TestDelayMonotonicProperty: processing delay never decreases as
+// background load rises.
+func TestDelayMonotonicProperty(t *testing.T) {
+	p := validProfile()
+	f := func(a, b float64) bool {
+		la, lb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if la > lb {
+			la, lb = lb, la
+		}
+		return p.ProcessingDelay(1, la) <= p.ProcessingDelay(1, lb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPowerBoundsProperty: modeled power always lies within [idle, peak].
+func TestPowerBoundsProperty(t *testing.T) {
+	pp := validProfile().Power
+	f := func(util, bps float64) bool {
+		cp := pp.CPUPower(util)
+		wp := pp.WiFiPower(bps)
+		return cp >= pp.CPUIdleW && cp <= pp.CPUPeakW &&
+			wp >= pp.WiFiIdleW && wp <= pp.WiFiPeakW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package discovery implements Swing's device discovery (paper §IV-C): the
+// master periodically announces itself over UDP and workers listen for the
+// announcement to learn the master's control address — a portable
+// stand-in for the Android Network Service Discovery the prototype used.
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Magic prefixes every announcement datagram.
+const Magic = "SWING1"
+
+// DefaultPort is the default UDP announcement port.
+const DefaultPort = 17716
+
+// Announcement is one master beacon.
+type Announcement struct {
+	// App is the application name the master is coordinating.
+	App string
+	// Addr is the master's control address ("host:port").
+	Addr string
+}
+
+// Encode renders the announcement datagram.
+func (a Announcement) Encode() []byte {
+	return []byte(Magic + " " + a.App + " " + a.Addr)
+}
+
+// ErrBadAnnouncement reports an unparseable datagram.
+var ErrBadAnnouncement = errors.New("discovery: bad announcement")
+
+// Parse decodes an announcement datagram.
+func Parse(b []byte) (Announcement, error) {
+	parts := strings.Fields(string(b))
+	if len(parts) != 3 || parts[0] != Magic {
+		return Announcement{}, fmt.Errorf("%w: %q", ErrBadAnnouncement, string(b))
+	}
+	return Announcement{App: parts[1], Addr: parts[2]}, nil
+}
+
+// Announcer broadcasts the master's presence on a fixed period.
+type Announcer struct {
+	conn   net.Conn
+	stop   chan struct{}
+	done   chan struct{}
+	closeO sync.Once
+}
+
+// NewAnnouncer starts announcing ann to target (e.g.
+// "255.255.255.255:17716" on a LAN or "127.0.0.1:17716" for local runs)
+// every period.
+func NewAnnouncer(target string, ann Announcement, period time.Duration) (*Announcer, error) {
+	if period <= 0 {
+		return nil, errors.New("discovery: non-positive period")
+	}
+	conn, err := net.Dial("udp", target)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: dial %s: %w", target, err)
+	}
+	a := &Announcer{
+		conn: conn,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	payload := ann.Encode()
+	go func() {
+		defer close(a.done)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		// Announce immediately, then on the ticker.
+		_, _ = conn.Write(payload)
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = conn.Write(payload)
+			case <-a.stop:
+				return
+			}
+		}
+	}()
+	return a, nil
+}
+
+// Close stops announcing and releases the socket.
+func (a *Announcer) Close() error {
+	a.closeO.Do(func() {
+		close(a.stop)
+		<-a.done
+		_ = a.conn.Close()
+	})
+	return nil
+}
+
+// Listen blocks until a master announcement for app arrives on the UDP
+// listen address (e.g. ":17716"), or the timeout expires.
+func Listen(listenAddr, app string, timeout time.Duration) (Announcement, error) {
+	pc, err := net.ListenPacket("udp", listenAddr)
+	if err != nil {
+		return Announcement{}, fmt.Errorf("discovery: listen %s: %w", listenAddr, err)
+	}
+	defer func() { _ = pc.Close() }()
+	if timeout > 0 {
+		if err := pc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return Announcement{}, fmt.Errorf("discovery: deadline: %w", err)
+		}
+	}
+	buf := make([]byte, 512)
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return Announcement{}, fmt.Errorf("discovery: read: %w", err)
+		}
+		ann, err := Parse(buf[:n])
+		if err != nil {
+			continue // unrelated datagram on the port
+		}
+		if app != "" && ann.App != app {
+			continue
+		}
+		return ann, nil
+	}
+}

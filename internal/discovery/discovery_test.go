@@ -1,0 +1,130 @@
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func freeUDPPort(t *testing.T) int {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := pc.LocalAddr().(*net.UDPAddr).Port
+	_ = pc.Close()
+	return port
+}
+
+func TestEncodeParse(t *testing.T) {
+	ann := Announcement{App: "facerec", Addr: "192.168.1.2:7000"}
+	got, err := Parse(ann.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ann {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("HELLO x y"),
+		[]byte("SWING1 onlyapp"),
+		[]byte("SWING1 a b c d"),
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); !errors.Is(err, ErrBadAnnouncement) {
+			t.Errorf("Parse(%q) err = %v", c, err)
+		}
+	}
+}
+
+func TestAnnounceAndListen(t *testing.T) {
+	port := freeUDPPort(t)
+	target := fmt.Sprintf("127.0.0.1:%d", port)
+	listenAddr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	found := make(chan Announcement, 1)
+	errs := make(chan error, 1)
+	go func() {
+		ann, err := Listen(listenAddr, "facerec", 5*time.Second)
+		if err != nil {
+			errs <- err
+			return
+		}
+		found <- ann
+	}()
+	time.Sleep(50 * time.Millisecond) // listener binds first
+
+	ann := Announcement{App: "facerec", Addr: "10.0.0.1:7000"}
+	a, err := NewAnnouncer(target, ann, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	select {
+	case got := <-found:
+		if got != ann {
+			t.Fatalf("got %+v", got)
+		}
+	case err := <-errs:
+		t.Fatalf("Listen: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("announcement never received")
+	}
+}
+
+func TestListenFiltersApps(t *testing.T) {
+	port := freeUDPPort(t)
+	target := fmt.Sprintf("127.0.0.1:%d", port)
+
+	wrong, err := NewAnnouncer(target, Announcement{App: "otherapp", Addr: "1.2.3.4:1"}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = wrong.Close() }()
+
+	_, err = Listen(fmt.Sprintf("127.0.0.1:%d", port), "facerec", 400*time.Millisecond)
+	if err == nil {
+		t.Fatal("listener matched the wrong app")
+	}
+}
+
+func TestListenTimeout(t *testing.T) {
+	port := freeUDPPort(t)
+	start := time.Now()
+	_, err := Listen(fmt.Sprintf("127.0.0.1:%d", port), "facerec", 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("no timeout")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout too slow")
+	}
+}
+
+func TestAnnouncerCloseIdempotent(t *testing.T) {
+	port := freeUDPPort(t)
+	a, err := NewAnnouncer(fmt.Sprintf("127.0.0.1:%d", port), Announcement{App: "x", Addr: "y:1"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnouncerBadPeriod(t *testing.T) {
+	if _, err := NewAnnouncer("127.0.0.1:9", Announcement{}, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

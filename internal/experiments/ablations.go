@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// AblationRow is one parameter point of a design-choice sweep.
+type AblationRow struct {
+	Label         string
+	ThroughputFPS float64
+	LatencyMeanMs float64
+	LatencyStddev float64
+	PowerW        float64
+	Skipped       int64
+}
+
+// AblationResult is one complete sweep.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+func ablationRun(app string, cfg core.Config, label string) (AblationRow, error) {
+	res, err := core.Run(cfg)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("ablation %s/%s: %w", app, label, err)
+	}
+	return AblationRow{
+		Label:         label,
+		ThroughputFPS: res.ThroughputFPS,
+		LatencyMeanMs: res.Latency.Mean(),
+		LatencyStddev: res.Latency.Stddev(),
+		PowerW:        res.AggregatePowerW,
+		Skipped:       res.SkippedByReorder,
+	}, nil
+}
+
+// RunAblationRouting compares the paper's weighted-random per-tuple
+// routing against deterministic smooth-weighted round-robin (§V-A
+// discusses the probabilistic choice).
+func RunAblationRouting(opt Options) (*AblationResult, error) {
+	opt = opt.withDefaults(120 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "routing draw: weighted random vs deterministic SWRR"}
+	for _, det := range []bool{false, true} {
+		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
+		rc := routing.DefaultConfig(routing.LRS)
+		rc.Deterministic = det
+		cfg.Routing = &rc
+		label := "weighted-random"
+		if det {
+			label = "deterministic-swrr"
+		}
+		row, err := ablationRun(app.Name(), cfg, label)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationProbe sweeps the probe cadence: how often upstreams switch
+// to round-robin to refresh estimates of unselected workers (§V-B).
+func RunAblationProbe(opt Options) (*AblationResult, error) {
+	opt = opt.withDefaults(120 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "probe cadence (reconfigure rounds between probes)"}
+	for _, every := range []int{0, 2, 5, 15} {
+		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
+		rc := routing.DefaultConfig(routing.LRS)
+		rc.ProbeEvery = every
+		cfg.Routing = &rc
+		label := fmt.Sprintf("every %d rounds", every)
+		if every == 0 {
+			label = "no probing"
+		}
+		row, err := ablationRun(app.Name(), cfg, label)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationEWMA sweeps the latency-estimate smoothing factor.
+func RunAblationEWMA(opt Options) (*AblationResult, error) {
+	opt = opt.withDefaults(120 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "latency EWMA smoothing factor"}
+	for _, alpha := range []float64{0.05, 0.3, 0.7, 1.0} {
+		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
+		rc := routing.DefaultConfig(routing.LRS)
+		rc.Alpha = alpha
+		cfg.Routing = &rc
+		row, err := ablationRun(app.Name(), cfg, fmt.Sprintf("alpha=%.2f", alpha))
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationReorder sweeps the sink reorder-buffer timespan (the paper
+// engineers it to 1 s, §VI-B "Tuple Order").
+func RunAblationReorder(opt Options) (*AblationResult, error) {
+	opt = opt.withDefaults(120 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "sink reorder buffer timespan"}
+	for _, span := range []time.Duration{
+		125 * time.Millisecond, 500 * time.Millisecond, time.Second, 4 * time.Second,
+	} {
+		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
+		cfg.ReorderBuffer = span
+		row, err := ablationRun(app.Name(), cfg, span.String())
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RunAblationHeadroom sweeps Worker Selection's over-provisioning margin
+// (the paper selects the exact minimum, h = 0).
+func RunAblationHeadroom(opt Options) (*AblationResult, error) {
+	opt = opt.withDefaults(120 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Name: "worker-selection headroom (select until sum mu >= (1+h) lambda)"}
+	for _, h := range []float64{0, 0.1, 0.25, 0.5} {
+		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
+		rc := routing.DefaultConfig(routing.LRS)
+		rc.Headroom = h
+		cfg.Routing = &rc
+		row, err := ablationRun(app.Name(), cfg, fmt.Sprintf("h=%.2f", h))
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Ablations runs every design-choice sweep.
+func Ablations(opt Options) ([]*AblationResult, error) {
+	runs := []func(Options) (*AblationResult, error){
+		RunAblationRouting,
+		RunAblationProbe,
+		RunAblationEWMA,
+		RunAblationReorder,
+		RunAblationHeadroom,
+	}
+	out := make([]*AblationResult, 0, len(runs))
+	for _, f := range runs {
+		r, err := f(opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderAblations builds a report from sweep results.
+func RenderAblations(results []*AblationResult) *Report {
+	rep := &Report{
+		ID:    "Ablations",
+		Title: "Design-choice sweeps (LRS, face recognition)",
+	}
+	for _, r := range results {
+		t := newPaperTable(r.Name, "Setting", "Throughput (FPS)", "Lat mean (ms)", "Lat stddev (ms)", "Power (W)", "Skipped")
+		for _, row := range r.Rows {
+			t.AddRow(row.Label, row.ThroughputFPS, row.LatencyMeanMs, row.LatencyStddev, row.PowerW, row.Skipped)
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep
+}

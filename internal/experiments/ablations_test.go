@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ablOpt() Options { return Options{Seed: 42, Duration: 60 * time.Second} }
+
+func TestAblationRouting(t *testing.T) {
+	res, err := RunAblationRouting(ablOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// The deterministic variant must not lose meaningful throughput vs
+	// the paper's probabilistic draw.
+	wr, det := res.Rows[0], res.Rows[1]
+	if det.ThroughputFPS < 0.9*wr.ThroughputFPS {
+		t.Fatalf("SWRR %v FPS vs weighted random %v", det.ThroughputFPS, wr.ThroughputFPS)
+	}
+	if wr.ThroughputFPS < 22 {
+		t.Fatalf("weighted random below target: %v", wr.ThroughputFPS)
+	}
+}
+
+func TestAblationProbe(t *testing.T) {
+	res, err := RunAblationProbe(ablOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Probing is cheap: every cadence (and none) sustains the target
+		// on the static testbed. Its value shows under dynamics.
+		if row.ThroughputFPS < 21 {
+			t.Errorf("%s: throughput %v", row.Label, row.ThroughputFPS)
+		}
+	}
+}
+
+func TestAblationEWMA(t *testing.T) {
+	res, err := RunAblationEWMA(ablOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.ThroughputFPS < 20 {
+			t.Errorf("%s: throughput %v", row.Label, row.ThroughputFPS)
+		}
+	}
+}
+
+func TestAblationReorder(t *testing.T) {
+	res, err := RunAblationReorder(ablOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Smaller reorder buffers skip more frames.
+	smallest, largest := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if smallest.Skipped <= largest.Skipped {
+		t.Fatalf("skips not decreasing with buffer size: %d (125ms) vs %d (4s)",
+			smallest.Skipped, largest.Skipped)
+	}
+}
+
+func TestAblationHeadroom(t *testing.T) {
+	res, err := RunAblationHeadroom(ablOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero headroom (the paper's choice) already meets the target.
+	if res.Rows[0].ThroughputFPS < 22 {
+		t.Fatalf("h=0 throughput %v", res.Rows[0].ThroughputFPS)
+	}
+	// More headroom never reduces throughput materially.
+	for _, row := range res.Rows[1:] {
+		if row.ThroughputFPS < res.Rows[0].ThroughputFPS-2 {
+			t.Errorf("%s: throughput %v below h=0's %v",
+				row.Label, row.ThroughputFPS, res.Rows[0].ThroughputFPS)
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	results, err := Ablations(ablOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d sweeps", len(results))
+	}
+	rep := RenderAblations(results)
+	out := rep.String()
+	for _, want := range []string{"probe", "EWMA", "reorder", "headroom", "SWRR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestIntroBatteryClaim(t *testing.T) {
+	res, err := RunIntro(Options{Seed: 42, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Paper §I: battery exhausted in "about two hours" with "40% of
+		// the energy consumed by computation". Accept 1-3.5 h and
+		// 30-60% across the heterogeneous fleet.
+		if r.BatteryLife < time.Hour || r.BatteryLife > 3*time.Hour+30*time.Minute {
+			t.Errorf("%s: battery life %v, want ~2h", r.Device, r.BatteryLife)
+		}
+		if r.ComputeShare < 0.30 || r.ComputeShare > 0.60 {
+			t.Errorf("%s: compute share %.2f, want ~0.4", r.Device, r.ComputeShare)
+		}
+		// No phone sustains the 24 FPS workload alone (§I Figure 1).
+		if r.SustainedFPS >= 24 {
+			t.Errorf("%s sustains %v FPS solo", r.Device, r.SustainedFPS)
+		}
+	}
+}
+
+func TestCloudletExtension(t *testing.T) {
+	res, err := RunCloudlet(Options{Seed: 42, Duration: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	swarm, cloudlet, hybrid := res.Rows[0], res.Rows[1], res.Rows[2]
+	// All three modes meet the target — the cloudlet needs no special
+	// handling from LRS.
+	for _, r := range res.Rows {
+		if r.ThroughputFPS < 22.8 {
+			t.Errorf("%s: throughput %v", r.Mode, r.ThroughputFPS)
+		}
+	}
+	// The cloudlet slashes latency and phone battery draw.
+	if cloudlet.LatencyMeanMs > swarm.LatencyMeanMs/5 {
+		t.Errorf("cloudlet latency %v not << swarm %v",
+			cloudlet.LatencyMeanMs, swarm.LatencyMeanMs)
+	}
+	if hybrid.MobilePowerW > swarm.MobilePowerW/2 {
+		t.Errorf("hybrid phone draw %v not well below swarm-only %v",
+			hybrid.MobilePowerW, swarm.MobilePowerW)
+	}
+	if cloudlet.MobilePowerW > 0.5 {
+		t.Errorf("cloudlet-only phone draw %v should be near zero", cloudlet.MobilePowerW)
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/metrics"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// Comparison holds the policy-comparison runs that Figures 4-7 share: five
+// policies times two applications on the standard testbed (§VI-B).
+type Comparison struct {
+	// Results[app][policy] is the run result.
+	Results map[string]map[routing.PolicyKind]*core.Result
+	// Apps lists application names in presentation order.
+	Apps []string
+}
+
+// RunComparison executes all ten runs (memoizing nothing: each run takes
+// tens of milliseconds).
+func RunComparison(opt Options) (*Comparison, error) {
+	opt = opt.withDefaults(300 * time.Second)
+	all, err := apps.Apps()
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Results: make(map[string]map[routing.PolicyKind]*core.Result)}
+	for _, app := range all {
+		cmp.Apps = append(cmp.Apps, app.Name())
+		byPolicy := make(map[routing.PolicyKind]*core.Result, 5)
+		for _, p := range routing.Policies() {
+			res, err := runTestbed(app, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			byPolicy[p] = res
+		}
+		cmp.Results[app.Name()] = byPolicy
+	}
+	return cmp, nil
+}
+
+// Get returns the result for an app/policy pair.
+func (c *Comparison) Get(app string, p routing.PolicyKind) (*core.Result, error) {
+	byPolicy, ok := c.Results[app]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no results for app %q", app)
+	}
+	res, ok := byPolicy[p]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no result for %s/%s", app, p)
+	}
+	return res, nil
+}
+
+// Fig4 renders average throughput plus min/max/mean/variance of per-frame
+// latency for every policy and app (paper Figure 4).
+func Fig4(opt Options) (*Report, error) {
+	cmp, err := RunComparison(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig4From(cmp)
+}
+
+// Fig4From renders Figure 4 from an existing comparison.
+func Fig4From(cmp *Comparison) (*Report, error) {
+	var tables []*metrics.Table
+	var notes []string
+	for _, app := range cmp.Apps {
+		t := newPaperTable(fmt.Sprintf("%s: system throughput and per-frame latency", appTitle(app)),
+			"Policy", "Throughput (FPS)", "Lat mean (ms)", "Lat min (ms)", "Lat max (ms)", "Lat stddev (ms)")
+		for _, p := range routing.Policies() {
+			res, err := cmp.Get(app, p)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(p.String(), res.ThroughputFPS, res.Latency.Mean(),
+				res.Latency.Min(), res.Latency.Max(), res.Latency.Stddev())
+		}
+		tables = append(tables, t)
+	}
+	fr, err := cmp.Get("facerec", routing.LRS)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := cmp.Get("facerec", routing.RR)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, fmt.Sprintf(
+		"face recognition: LRS delivers %.1fx the throughput of RR at %.1fx lower"+
+			" mean latency (paper: 2.7x and 6.7x)",
+		fr.ThroughputFPS/rr.ThroughputFPS, rr.Latency.Mean()/fr.Latency.Mean()))
+	return &Report{
+		ID:     "Figure 4",
+		Title:  "Throughput and latency of data routing methods",
+		Tables: tables,
+		Notes:  notes,
+	}, nil
+}
+
+// Fig5 renders per-device CPU usage and source input rates (paper
+// Figure 5).
+func Fig5(opt Options) (*Report, error) {
+	cmp, err := RunComparison(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig5From(cmp)
+}
+
+// Fig5From renders Figure 5 from an existing comparison.
+func Fig5From(cmp *Comparison) (*Report, error) {
+	var tables []*metrics.Table
+	for _, app := range cmp.Apps {
+		cpu := newPaperTable(fmt.Sprintf("%s: per-device CPU usage (%%)", appTitle(app)),
+			append([]string{"Policy"}, workerIDs...)...)
+		in := newPaperTable(fmt.Sprintf("%s: input frame rate from source (FPS)", appTitle(app)),
+			append([]string{"Policy"}, workerIDs...)...)
+		for _, p := range routing.Policies() {
+			res, err := cmp.Get(app, p)
+			if err != nil {
+				return nil, err
+			}
+			cpuRow := []any{p.String()}
+			inRow := []any{p.String()}
+			for _, id := range workerIDs {
+				d := res.Devices[id]
+				cpuRow = append(cpuRow, d.CPUUtil*100)
+				inRow = append(inRow, d.SourceInputFPS)
+			}
+			cpu.AddRow(cpuRow...)
+			in.AddRow(inRow...)
+		}
+		tables = append(tables, cpu, in)
+	}
+	return &Report{
+		ID:     "Figure 5",
+		Title:  "Resource usage and input data rate of each device",
+		Tables: tables,
+		Notes: []string{
+			"RR spreads input evenly; P* policies keep feeding fast-but-weakly-" +
+				"connected B; L* policies starve weak-signal devices B, C, D;" +
+				" *S policies concentrate load on a selected subset",
+		},
+	}, nil
+}
+
+// Fig6 renders per-device and aggregate power (paper Figure 6).
+func Fig6(opt Options) (*Report, error) {
+	cmp, err := RunComparison(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig6From(cmp)
+}
+
+// Fig6From renders Figure 6 from an existing comparison.
+func Fig6From(cmp *Comparison) (*Report, error) {
+	var tables []*metrics.Table
+	for _, app := range cmp.Apps {
+		t := newPaperTable(fmt.Sprintf("%s: estimated power per device (W, CPU+WiFi)", appTitle(app)),
+			append(append([]string{"Policy"}, workerIDs...), "Aggregate")...)
+		for _, p := range routing.Policies() {
+			res, err := cmp.Get(app, p)
+			if err != nil {
+				return nil, err
+			}
+			row := []any{p.String()}
+			for _, id := range workerIDs {
+				row = append(row, res.Devices[id].TotalPowerW())
+			}
+			row = append(row, res.AggregatePowerW)
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return &Report{
+		ID:     "Figure 6",
+		Title:  "Energy consumption of each device",
+		Tables: tables,
+		Notes: []string{
+			"power follows the paper's utilisation model: idle-subtracted CPU" +
+				" power plus transfer-rate-scaled Wi-Fi power; PRS is the most" +
+				" frugal because it uses only the fastest, most efficient devices",
+		},
+	}, nil
+}
+
+// Fig7 renders energy efficiency in FPS per Watt (paper Figure 7).
+func Fig7(opt Options) (*Report, error) {
+	cmp, err := RunComparison(opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig7From(cmp)
+}
+
+// Fig7From renders Figure 7 from an existing comparison.
+func Fig7From(cmp *Comparison) (*Report, error) {
+	t := newPaperTable("Energy efficiency of routing schemes (FPS per Watt)",
+		"Policy", "Face Recognition", "Voice Translation")
+	for _, p := range routing.Policies() {
+		row := []any{p.String()}
+		for _, app := range cmp.Apps {
+			res, err := cmp.Get(app, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.FPSPerWatt)
+		}
+		t.AddRow(row...)
+	}
+	return &Report{
+		ID:     "Figure 7",
+		Title:  "Efficiency of routing schemes",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"worker selection (*S) improves efficiency; LRS is the only policy" +
+				" that also meets the real-time input rate",
+		},
+	}, nil
+}
+
+func appTitle(name string) string {
+	switch name {
+	case "facerec":
+		return "Face Recognition"
+	case "voicetrans":
+		return "Voice Translation"
+	default:
+		return name
+	}
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III and §VI) on the simulated nine-device testbed. Each
+// harness configures internal/core, runs it, and renders the same rows or
+// series the paper reports, plus structured results for programmatic
+// checks (bench_test.go asserts the published shape on them).
+//
+// Index (see DESIGN.md §4 for the full mapping):
+//
+//	Table1  — per-device processing delay and throughput
+//	Fig1    — single-device delay buildup at 24 FPS
+//	Fig2    — delay decomposition vs signal / CPU load / input rate
+//	Fig4    — throughput and latency per policy, both apps
+//	Fig5    — per-device CPU usage and source input rate per policy
+//	Fig6    — per-device and aggregate power per policy
+//	Fig7    — energy efficiency (FPS/Watt) per policy
+//	Fig8    — tuple arrival order and reorder-buffer playback
+//	Fig9    — throughput timeline across join and leave events
+//	Fig10   — throughput and per-device load under mobility
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/metrics"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives all randomness. Zero selects 42.
+	Seed int64
+	// Duration overrides the experiment's default measured length.
+	Duration time.Duration
+}
+
+func (o Options) withDefaults(defaultDur time.Duration) Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Duration == 0 {
+		o.Duration = defaultDur
+	}
+	return o
+}
+
+// Report is a rendered experiment: one or more tables plus notes
+// comparing the measured shape against the paper.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// String renders the report as plain text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
+	if len(r.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// workerIDs is the Table I worker order.
+var workerIDs = []string{"B", "C", "D", "E", "F", "G", "H", "I"}
+
+func faceApp() (*apps.App, error) { return apps.FaceRecognition() }
+
+// runTestbed runs one policy on the paper's standard testbed setup.
+func runTestbed(app *apps.App, p routing.PolicyKind, opt Options) (*core.Result, error) {
+	cfg := core.TestbedConfig(app, p, opt.Seed, opt.Duration)
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("run %s/%s: %w", app.Name(), p, err)
+	}
+	return res, nil
+}
+
+// Names of all experiments, in paper order, for CLI listing.
+func Names() []string {
+	return []string{
+		"intro", "table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "cloudlet", "ablations",
+	}
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, opt Options) (*Report, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "intro":
+		return Intro(opt)
+	case "table1":
+		return Table1(opt)
+	case "fig1":
+		return Fig1(opt)
+	case "fig2":
+		return Fig2(opt)
+	case "fig4":
+		return Fig4(opt)
+	case "fig5":
+		return Fig5(opt)
+	case "fig6":
+		return Fig6(opt)
+	case "fig7":
+		return Fig7(opt)
+	case "fig8":
+		return Fig8(opt)
+	case "fig9":
+		return Fig9(opt)
+	case "fig10":
+		return Fig10(opt)
+	case "cloudlet":
+		return Cloudlet(opt)
+	case "ablations":
+		results, err := Ablations(opt)
+		if err != nil {
+			return nil, err
+		}
+		return RenderAblations(results), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// Short experiment options keep the suite fast; shape assertions tolerate
+// the shorter horizons.
+func quick() Options { return Options{Seed: 42, Duration: 60 * time.Second} }
+
+func TestTable1MatchesPaperDelays(t *testing.T) {
+	res, err := RunTable1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		rel := (r.DelayMs - r.PaperDelay) / r.PaperDelay
+		if rel < -0.1 || rel > 0.1 {
+			t.Errorf("%s: measured %v ms vs paper %v ms (%.0f%% off)",
+				r.Device, r.DelayMs, r.PaperDelay, rel*100)
+		}
+		// No device sustains 24 FPS (the paper's premise).
+		if r.Throughput >= 24 {
+			t.Errorf("%s sustains %v FPS; none should reach 24", r.Device, r.Throughput)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%s throughput %v", r.Device, r.Throughput)
+		}
+	}
+}
+
+func TestFig1DelaysBuildUp(t *testing.T) {
+	res, err := RunFig1(Options{Seed: 42, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 8 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	byDev := map[string]Fig1Series{}
+	for _, s := range res.Series {
+		byDev[s.Device] = s
+		if s.FinalDelayMs < 1.5*s.InitialDelayMs {
+			t.Errorf("%s: delay did not build (%.0f -> %.0f ms)",
+				s.Device, s.InitialDelayMs, s.FinalDelayMs)
+		}
+	}
+	// The slowest phone (E) degrades faster than the fastest (H).
+	if byDev["E"].FinalDelayMs < 1.4*byDev["H"].FinalDelayMs {
+		t.Errorf("E final %v not >> H final %v",
+			byDev["E"].FinalDelayMs, byDev["H"].FinalDelayMs)
+	}
+}
+
+func TestFig2Decomposition(t *testing.T) {
+	res, err := RunFig2(Options{Seed: 42, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal: transmission delay grows monotonically good -> fair -> bad.
+	if !(res.Signal[0].TransmissionMs < res.Signal[1].TransmissionMs &&
+		res.Signal[1].TransmissionMs < res.Signal[2].TransmissionMs) {
+		t.Errorf("transmission not monotone in signal: %+v", res.Signal)
+	}
+	// Processing stays roughly flat across signal levels.
+	if res.Signal[2].ProcessingMs > 2*res.Signal[0].ProcessingMs {
+		t.Errorf("processing moved with signal: %+v", res.Signal)
+	}
+	// CPU load: processing grows.
+	if !(res.CPULoad[0].ProcessingMs < res.CPULoad[1].ProcessingMs &&
+		res.CPULoad[1].ProcessingMs < res.CPULoad[2].ProcessingMs) {
+		t.Errorf("processing not monotone in CPU load: %+v", res.CPULoad)
+	}
+	// Input rate: queuing grows and dominates at 20 FPS (B does ~10).
+	if !(res.Rate[0].QueuingMs < res.Rate[2].QueuingMs) {
+		t.Errorf("queuing not growing with rate: %+v", res.Rate)
+	}
+	if res.Rate[2].QueuingMs < res.Rate[2].ProcessingMs {
+		t.Errorf("queuing %v should dominate processing %v at saturation",
+			res.Rate[2].QueuingMs, res.Rate[2].ProcessingMs)
+	}
+}
+
+func TestComparisonFigure4Claims(t *testing.T) {
+	cmp, err := RunComparison(Options{Seed: 42, Duration: 120 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := cmp.Results["facerec"]
+	lrs, rr := fr[routing.LRS], fr[routing.RR]
+	thrGain := lrs.ThroughputFPS / rr.ThroughputFPS
+	latGain := rr.Latency.Mean() / lrs.Latency.Mean()
+	if thrGain < 1.8 {
+		t.Errorf("LRS/RR throughput gain %.2fx; paper reports 2.7x", thrGain)
+	}
+	if latGain < 4 {
+		t.Errorf("RR/LRS latency ratio %.2fx; paper reports 6.7x", latGain)
+	}
+	// LRS meets the target on face recognition.
+	if !lrs.MeetsTarget(24, 0.05) {
+		t.Errorf("LRS throughput %v misses target", lrs.ThroughputFPS)
+	}
+	// Voice translation: LRS still dominates RR.
+	vt := cmp.Results["voicetrans"]
+	if vt[routing.LRS].ThroughputFPS < 3*vt[routing.RR].ThroughputFPS {
+		t.Errorf("voice LRS %v not >> RR %v",
+			vt[routing.LRS].ThroughputFPS, vt[routing.RR].ThroughputFPS)
+	}
+	// Worker selection saves energy (Figure 6/7 claim): PRS draws less
+	// power than the non-selective LR while doing comparable-or-less
+	// work, and selection lifts efficiency over the unselected variants.
+	if fr[routing.PRS].AggregatePowerW >= fr[routing.LR].AggregatePowerW {
+		t.Errorf("PRS power %v not below LR %v",
+			fr[routing.PRS].AggregatePowerW, fr[routing.LR].AggregatePowerW)
+	}
+	if fr[routing.PRS].FPSPerWatt <= fr[routing.PR].FPSPerWatt {
+		t.Errorf("PRS efficiency %v not above PR %v",
+			fr[routing.PRS].FPSPerWatt, fr[routing.PR].FPSPerWatt)
+	}
+	if fr[routing.LRS].FPSPerWatt <= fr[routing.RR].FPSPerWatt {
+		t.Errorf("LRS efficiency %v not above RR %v",
+			fr[routing.LRS].FPSPerWatt, fr[routing.RR].FPSPerWatt)
+	}
+}
+
+func TestFig8OrderingShape(t *testing.T) {
+	res, err := RunFig8(Options{Seed: 42, Duration: 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[routing.PolicyKind]Fig8Policy{}
+	for _, fp := range res.Policies {
+		byPolicy[fp.Policy] = fp
+		if len(fp.Arrivals) == 0 {
+			t.Fatalf("%s: no arrivals", fp.Policy)
+		}
+	}
+	lrs, rr := byPolicy[routing.LRS], byPolicy[routing.RR]
+	// LRS delivers more frames with smoother playback than RR: a larger
+	// fraction of its delivered frames make it through the reorder
+	// buffer in time.
+	if len(lrs.Arrivals) <= len(rr.Arrivals) {
+		t.Errorf("LRS delivered %d <= RR %d", len(lrs.Arrivals), len(rr.Arrivals))
+	}
+	lrsPlayed := float64(lrs.Played) / float64(len(lrs.Arrivals))
+	rrPlayed := float64(rr.Played) / float64(len(rr.Arrivals))
+	if lrsPlayed <= rrPlayed {
+		t.Errorf("LRS played fraction %.3f not above RR %.3f", lrsPlayed, rrPlayed)
+	}
+	if lrs.Played == 0 {
+		t.Error("LRS played nothing")
+	}
+}
+
+func TestFig9JoinLeave(t *testing.T) {
+	res, err := RunFig9(Options{Seed: 42, Duration: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinAfter < res.JoinBefore+3 {
+		t.Errorf("join: before %v after %v; want a clear lift", res.JoinBefore, res.JoinAfter)
+	}
+	if res.FramesLost == 0 || res.FramesLost > 60 {
+		t.Errorf("leave lost %d frames; want a small positive number (paper: 13)", res.FramesLost)
+	}
+	if res.RecoveredWithin > 5*time.Second {
+		t.Errorf("recovery took %v; want seconds (paper: ~1 s)", res.RecoveredWithin)
+	}
+	if res.LeaveAfter <= 0 {
+		t.Error("no post-leave throughput")
+	}
+}
+
+func TestFig10Mobility(t *testing.T) {
+	res, err := RunFig10(Options{Seed: 42, Duration: 180 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gGood := res.EpochMeans[0]["G"]
+	gBad := res.EpochMeans[2]["G"]
+	if gBad > gGood/2 {
+		t.Errorf("G's load did not collapse: good %v bad %v", gGood, gBad)
+	}
+	othersGood := res.EpochMeans[0]["B"] + res.EpochMeans[0]["H"]
+	othersBad := res.EpochMeans[2]["B"] + res.EpochMeans[2]["H"]
+	if othersBad <= othersGood {
+		t.Errorf("load did not shift: others good %v bad %v", othersGood, othersBad)
+	}
+	// Overall throughput holds up within 25% of the good-signal epoch.
+	if res.OverallMeans[2] < 0.75*res.OverallMeans[0] {
+		t.Errorf("overall collapsed: good %v bad %v", res.OverallMeans[0], res.OverallMeans[2])
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, name := range Names() {
+		opt := quick()
+		// Keep the slowest ones shorter in this smoke pass.
+		switch name {
+		case "fig1":
+			opt.Duration = 3 * time.Second
+		case "fig2":
+			opt.Duration = 15 * time.Second
+		case "fig8":
+			opt.Duration = 10 * time.Second
+		case "fig10":
+			opt.Duration = 90 * time.Second
+		}
+		rep, err := Run(name, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.ID == "" || len(rep.Tables) == 0 {
+			t.Fatalf("%s: empty report", name)
+		}
+		out := rep.String()
+		if !strings.Contains(out, rep.ID) {
+			t.Fatalf("%s: report missing ID header", name)
+		}
+	}
+	if _, err := Run("nonsense", quick()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestComparisonGetErrors(t *testing.T) {
+	empty := &Comparison{}
+	if _, err := empty.Get("facerec", routing.LRS); err == nil {
+		t.Fatal("empty comparison returned a result")
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/metrics"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// Fig1Series is one device's delay-over-time trace (paper Figure 1).
+type Fig1Series struct {
+	Device string
+	// Points sample total per-frame delay (ms) against the frame's sink
+	// arrival time.
+	Points []metrics.Point
+	// FinalDelayMs is the mean delay over the last second of the run.
+	FinalDelayMs float64
+	// InitialDelayMs is the mean delay over the first second.
+	InitialDelayMs float64
+}
+
+// Fig1Result carries all per-device traces.
+type Fig1Result struct {
+	Series []Fig1Series
+}
+
+// RunFig1 reproduces Figure 1: each device alone receives a 24 FPS face
+// recognition stream; none keeps up, so per-frame total delay builds over
+// the 5-second window.
+func RunFig1(opt Options) (*Fig1Result, error) {
+	opt = opt.withDefaults(5 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{}
+	for _, id := range workerIDs {
+		cfg := core.Config{
+			Seed:         opt.Seed,
+			App:          app,
+			Policy:       routing.RR,
+			Duration:     opt.Duration,
+			SourceDevice: "A",
+			Workers:      []string{id},
+			Profiles:     device.TestbedProfiles(),
+			// Figure 1 shows unbounded queue growth: disable shedding.
+			SourceBacklogCap: 1 << 20,
+			QueueCap:         1 << 20,
+			KeepFrameRecords: true,
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := Fig1Series{Device: id}
+		var first, last metrics.Summary
+		for _, f := range res.Frames {
+			ms := float64(f.Latency) / float64(time.Millisecond)
+			s.Points = append(s.Points, metrics.Point{At: f.SinkAt, Value: ms})
+			if f.SinkAt < time.Second {
+				first.Observe(ms)
+			}
+			if f.SinkAt > opt.Duration-time.Second {
+				last.Observe(ms)
+			}
+		}
+		s.InitialDelayMs = first.Mean()
+		s.FinalDelayMs = last.Mean()
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// Fig1 renders the Figure 1 reproduction.
+func Fig1(opt Options) (*Report, error) {
+	res, err := RunFig1(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := newPaperTable("Total delay per frame under sustained 24 FPS load",
+		"Phone", "Delay @1s (ms)", "Delay @end (ms)", "Growth")
+	for _, s := range res.Series {
+		growth := "-"
+		if s.InitialDelayMs > 0 {
+			growth = fmt.Sprintf("%.1fx", s.FinalDelayMs/s.InitialDelayMs)
+		}
+		t.AddRow(s.Device, s.InitialDelayMs, s.FinalDelayMs, growth)
+	}
+	return &Report{
+		ID:     "Figure 1",
+		Title:  "Delay per frame when processed on different phones at 24 FPS load",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"delays build up rapidly on every device because none sustains 24 FPS;" +
+				" the fastest (H) degrades slowest, the slowest (E) fastest",
+		},
+	}, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/metrics"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// Fig9Result carries the join and leave timelines (paper Figure 9).
+type Fig9Result struct {
+	// Join: B and D compute; G joins at JoinAt.
+	JoinThroughput *metrics.Series
+	JoinAt         time.Duration
+	JoinBefore     float64 // mean FPS in the 10 s before the join
+	JoinAfter      float64 // mean FPS from 5 s after the join to the end
+
+	// Leave: B, G, H compute; G is killed at LeaveAt.
+	LeaveThroughput *metrics.Series
+	LeaveAt         time.Duration
+	LeaveBefore     float64
+	LeaveAfter      float64
+	FramesLost      int64
+	// RecoveredWithin is the time from the leave until windowed
+	// throughput first returns to 90% of its post-leave steady state.
+	RecoveredWithin time.Duration
+}
+
+// RunFig9 reproduces Figure 9's two scenarios.
+func RunFig9(opt Options) (*Fig9Result, error) {
+	opt = opt.withDefaults(60 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{}
+
+	// Joining: start with B, D; G joins mid-run.
+	joinAt := opt.Duration / 2
+	cfgJoin := core.Config{
+		Seed:         opt.Seed,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     opt.Duration,
+		SourceDevice: "A",
+		Workers:      []string{"B", "D"},
+		Profiles:     device.TestbedProfiles(),
+		Script:       []core.ScriptEvent{{At: joinAt, Action: core.ActionJoin, Device: "G"}},
+	}
+	resJoin, err := core.Run(cfgJoin)
+	if err != nil {
+		return nil, err
+	}
+	out.JoinThroughput = resJoin.Throughput
+	out.JoinAt = joinAt
+	out.JoinBefore = resJoin.Throughput.MeanBetween(joinAt-10*time.Second, joinAt)
+	out.JoinAfter = resJoin.Throughput.MeanBetween(joinAt+5*time.Second, opt.Duration)
+
+	// Leaving: B, G, H; G killed mid-run.
+	leaveAt := opt.Duration / 2
+	cfgLeave := core.Config{
+		Seed:         opt.Seed,
+		App:          app,
+		Policy:       routing.LRS,
+		Duration:     opt.Duration,
+		SourceDevice: "A",
+		Workers:      []string{"B", "G", "H"},
+		Profiles:     device.TestbedProfiles(),
+		Script:       []core.ScriptEvent{{At: leaveAt, Action: core.ActionLeave, Device: "G"}},
+	}
+	resLeave, err := core.Run(cfgLeave)
+	if err != nil {
+		return nil, err
+	}
+	out.LeaveThroughput = resLeave.Throughput
+	out.LeaveAt = leaveAt
+	out.LeaveBefore = resLeave.Throughput.MeanBetween(leaveAt-10*time.Second, leaveAt)
+	out.LeaveAfter = resLeave.Throughput.MeanBetween(leaveAt+5*time.Second, opt.Duration)
+	out.FramesLost = resLeave.LostOnLeave
+
+	// Recovery time: first sample after the leave reaching 90% of the
+	// post-leave steady state.
+	target := 0.9 * out.LeaveAfter
+	out.RecoveredWithin = opt.Duration - leaveAt
+	for _, pt := range resLeave.Throughput.Points() {
+		if pt.At > leaveAt && pt.Value >= target {
+			out.RecoveredWithin = pt.At - leaveAt
+			break
+		}
+	}
+	return out, nil
+}
+
+// Fig9 renders the Figure 9 reproduction.
+func Fig9(opt Options) (*Report, error) {
+	res, err := RunFig9(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := newPaperTable("Throughput across membership changes (LRS, face recognition)",
+		"Scenario", "Before (FPS)", "After (FPS)", "Frames lost", "Recovery")
+	t.AddRow("G joins B,D", res.JoinBefore, res.JoinAfter, 0, "< 1 s")
+	t.AddRow("G leaves B,G,H", res.LeaveBefore, res.LeaveAfter, res.FramesLost,
+		fmt.Sprintf("%.1f s", res.RecoveredWithin.Seconds()))
+
+	tl := newPaperTable("Join timeline (1 s windows around the event)",
+		"t (s)", "Throughput (FPS)")
+	for _, pt := range res.JoinThroughput.Points() {
+		if pt.At >= res.JoinAt-5*time.Second && pt.At <= res.JoinAt+5*time.Second {
+			tl.AddRow(pt.At.Seconds(), pt.Value)
+		}
+	}
+	tl2 := newPaperTable("Leave timeline (1 s windows around the event)",
+		"t (s)", "Throughput (FPS)")
+	for _, pt := range res.LeaveThroughput.Points() {
+		if pt.At >= res.LeaveAt-5*time.Second && pt.At <= res.LeaveAt+5*time.Second {
+			tl2.AddRow(pt.At.Seconds(), pt.Value)
+		}
+	}
+	return &Report{
+		ID:     "Figure 9",
+		Title:  "Throughput changes when a device joins or leaves",
+		Tables: []*metrics.Table{t, tl, tl2},
+		Notes: []string{
+			"a joining device lifts throughput within about a second; an abrupt" +
+				" leave loses the frames in flight to the departed device (paper:" +
+				" 13) and recovers once upstreams detect the broken link and reroute",
+		},
+	}, nil
+}

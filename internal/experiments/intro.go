@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/metrics"
+	"github.com/swingframework/swing/internal/routing"
+)
+
+// Peripheral power draw of a phone running a camera-based sensing app
+// with the screen on, which the capability profiles do not model because
+// the swarm experiments keep worker screens off. The intro scenario —
+// one user running the whole app on her own phone — pays for them.
+const (
+	screenW = 1.1
+	cameraW = 0.45
+)
+
+// IntroRow is one device's solo-operation battery economics.
+type IntroRow struct {
+	Device string
+	// SustainedFPS is what the device alone delivers (cf. 24 needed).
+	SustainedFPS float64
+	// TotalW is the mean total draw: idle + compute + Wi-Fi + screen +
+	// camera.
+	TotalW float64
+	// ComputeShare is the fraction of energy spent on computation.
+	ComputeShare float64
+	// BatteryLife is the estimated time to exhaust a full battery.
+	BatteryLife time.Duration
+}
+
+// IntroResult carries the single-device battery analysis.
+type IntroResult struct {
+	Rows []IntroRow
+}
+
+// RunIntro reproduces the introduction's motivating measurement: running
+// the face-recognition app continuously on a single phone "exhausts a
+// fully charged phone battery in about two hours, with 40% of the energy
+// consumed by computation".
+func RunIntro(opt Options) (*IntroResult, error) {
+	opt = opt.withDefaults(60 * time.Second)
+	app, err := faceApp()
+	if err != nil {
+		return nil, err
+	}
+	profiles := device.TestbedProfiles()
+	out := &IntroResult{}
+	for _, id := range workerIDs {
+		cfg := core.Config{
+			Seed:         opt.Seed,
+			App:          app,
+			Policy:       routing.RR,
+			Duration:     opt.Duration,
+			SourceDevice: "A",
+			Workers:      []string{id},
+			Profiles:     profiles,
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		prof := profiles[id]
+		d := res.Devices[id]
+		// The solo scenario runs capture + compute on one device: charge
+		// the full stack. d.CPUPowerW is the dynamic compute draw.
+		computeW := d.CPUPowerW
+		totalW := prof.Power.CPUIdleW + computeW + d.WiFiPowerW + screenW + cameraW
+		life := time.Duration(prof.Power.BatteryWh / totalW * float64(time.Hour))
+		out.Rows = append(out.Rows, IntroRow{
+			Device:       id,
+			SustainedFPS: res.ThroughputFPS,
+			TotalW:       totalW,
+			ComputeShare: computeW / totalW,
+			BatteryLife:  life,
+		})
+	}
+	return out, nil
+}
+
+// Intro renders the introduction's battery-exhaustion analysis.
+func Intro(opt Options) (*Report, error) {
+	res, err := RunIntro(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := newPaperTable("Continuous on-device face recognition (solo, screen on)",
+		"Phone", "Sustained FPS", "Total draw (W)", "Compute share", "Battery life")
+	for _, r := range res.Rows {
+		t.AddRow(r.Device, r.SustainedFPS, r.TotalW,
+			r.ComputeShare, r.BatteryLife.Round(time.Minute).String())
+	}
+	return &Report{
+		ID:     "Intro",
+		Title:  "Single-device battery exhaustion (paper §I: ~2 hours, ~40% on computation)",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"screen and camera draw use era-typical constants (1.1 W + 0.45 W);" +
+				" the paper's claim is reproduced when compute lands near 40% of" +
+				" total energy and lifetime near two hours",
+		},
+	}, nil
+}

@@ -1,0 +1,94 @@
+package graph
+
+// Builder offers the fluent composition style shown in the paper's API
+// example (FUBuilder + connectTo). Errors are accumulated and returned by
+// Build so chained calls stay readable.
+//
+//	g, err := graph.NewBuilder("facerec").
+//		Source("source").
+//		Operator("detect", graph.WithWork(0.4), graph.WithOutputScale(0.9)).
+//		Operator("recognize", graph.WithWork(0.6), graph.WithOutputScale(0.01)).
+//		Sink("display").
+//		Chain("source", "detect", "recognize", "display").
+//		Build()
+type Builder struct {
+	g    *Graph
+	errs []error
+}
+
+// UnitOption configures a unit added through the Builder.
+type UnitOption func(*Unit)
+
+// WithWork sets the unit's abstract compute cost per tuple.
+func WithWork(w float64) UnitOption {
+	return func(u *Unit) { u.Work = w }
+}
+
+// WithOutputScale sets the emitted-tuple size as a fraction of input size.
+func WithOutputScale(s float64) UnitOption {
+	return func(u *Unit) { u.OutputScale = s }
+}
+
+// WithProcessor sets the factory creating the unit's Processor per replica.
+func WithProcessor(f func() Processor) UnitOption {
+	return func(u *Unit) { u.NewProcessor = f }
+}
+
+// NewBuilder starts composing an application graph.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: New(name)}
+}
+
+func (b *Builder) add(id string, role Role, opts []UnitOption) *Builder {
+	u := Unit{ID: id, Role: role}
+	for _, opt := range opts {
+		opt(&u)
+	}
+	if err := b.g.AddUnit(u); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Source adds a source unit.
+func (b *Builder) Source(id string, opts ...UnitOption) *Builder {
+	return b.add(id, RoleSource, opts)
+}
+
+// Operator adds a processing unit.
+func (b *Builder) Operator(id string, opts ...UnitOption) *Builder {
+	return b.add(id, RoleOperator, opts)
+}
+
+// Sink adds a sink unit.
+func (b *Builder) Sink(id string, opts ...UnitOption) *Builder {
+	return b.add(id, RoleSink, opts)
+}
+
+// Connect adds one edge.
+func (b *Builder) Connect(from, to string) *Builder {
+	if err := b.g.Connect(from, to); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Chain connects consecutive IDs into a pipeline.
+func (b *Builder) Chain(ids ...string) *Builder {
+	for i := 0; i+1 < len(ids); i++ {
+		b.Connect(ids[i], ids[i+1])
+	}
+	return b
+}
+
+// Build validates and returns the composed graph. The first accumulated
+// construction error, if any, is returned instead.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestMultiSourceDAG: the model supports several sources feeding a shared
+// stage (e.g. two cameras into one recognizer).
+func TestMultiSourceDAG(t *testing.T) {
+	g := New("twocams")
+	for _, u := range []Unit{
+		{ID: "cam1", Role: RoleSource},
+		{ID: "cam2", Role: RoleSource},
+		{ID: "recognize", Role: RoleOperator, Work: 1},
+		{ID: "display", Role: RoleSink},
+	} {
+		if err := g.AddUnit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{"cam1", "recognize"}, {"cam2", "recognize"}, {"recognize", "display"},
+	} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := g.Upstream("recognize"); len(got) != 2 {
+		t.Fatalf("recognize upstreams = %v", got)
+	}
+	if got := g.Sources(); len(got) != 2 {
+		t.Fatalf("sources = %v", got)
+	}
+}
+
+// TestTopoOrderDeterministic: repeated calls give identical orders.
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := New("diamond")
+	for _, u := range []Unit{
+		{ID: "s", Role: RoleSource},
+		{ID: "left", Role: RoleOperator},
+		{ID: "right", Role: RoleOperator},
+		{ID: "k", Role: RoleSink},
+	} {
+		if err := g.AddUnit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{
+		{"s", "left"}, {"s", "right"}, {"left", "k"}, {"right", "k"},
+	} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("order varies: %v vs %v", got, first)
+			}
+		}
+	}
+}
+
+// TestDiamondHasNoPath: diamonds validate but are not linear.
+func TestDiamondHasNoPath(t *testing.T) {
+	g := New("diamond")
+	for _, u := range []Unit{
+		{ID: "s", Role: RoleSource},
+		{ID: "a", Role: RoleOperator},
+		{ID: "b", Role: RoleOperator},
+		{ID: "k", Role: RoleSink},
+	} {
+		if err := g.AddUnit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"s", "a"}, {"s", "b"}, {"a", "k"}, {"b", "k"}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Path(); err == nil {
+		t.Fatal("diamond reported a linear path")
+	}
+}

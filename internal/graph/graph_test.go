@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+func linearGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder("facerec").
+		Source("source").
+		Operator("detect", WithWork(0.4)).
+		Operator("recognize", WithWork(0.6), WithOutputScale(0.01)).
+		Sink("display").
+		Chain("source", "detect", "recognize", "display").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderLinear(t *testing.T) {
+	g := linearGraph(t)
+	if g.Name() != "facerec" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	if got := g.Units(); len(got) != 4 {
+		t.Fatalf("Units = %v", got)
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != "source" {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != "display" {
+		t.Fatalf("Sinks = %v", got)
+	}
+	if got := g.Operators(); len(got) != 2 {
+		t.Fatalf("Operators = %v", got)
+	}
+	if got := g.Downstream("detect"); len(got) != 1 || got[0] != "recognize" {
+		t.Fatalf("Downstream(detect) = %v", got)
+	}
+	if got := g.Upstream("detect"); len(got) != 1 || got[0] != "source" {
+		t.Fatalf("Upstream(detect) = %v", got)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := linearGraph(t)
+	path, err := g.Path()
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	want := []string{"source", "detect", "recognize", "display"}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathNonLinear(t *testing.T) {
+	g := New("fanout")
+	for _, u := range []Unit{
+		{ID: "s", Role: RoleSource},
+		{ID: "a", Role: RoleOperator},
+		{ID: "b", Role: RoleOperator},
+		{ID: "k", Role: RoleSink},
+	} {
+		if err := g.AddUnit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"s", "a"}, {"s", "b"}, {"a", "k"}, {"b", "k"}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, err := g.Path(); err == nil {
+		t.Fatal("Path succeeded on a fan-out graph")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := linearGraph(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range [][2]string{{"source", "detect"}, {"detect", "recognize"}, {"recognize", "display"}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("topo order %v violates edge %v", order, e)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New("cyclic")
+	for _, id := range []string{"a", "b", "c"} {
+		if err := g.AddUnit(Unit{ID: id, Role: RoleOperator}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddUnit(Unit{ID: "s", Role: RoleSource}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnit(Unit{ID: "k", Role: RoleSink}); err != nil {
+		t.Fatal(err)
+	}
+	edges := [][2]string{{"s", "a"}, {"a", "b"}, {"b", "c"}, {"c", "a"}, {"c", "k"}}
+	for _, e := range edges {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("TopoOrder err = %v, want ErrCycle", err)
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate err = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("no source", func(t *testing.T) {
+		g := New("x")
+		if err := g.AddUnit(Unit{ID: "k", Role: RoleSink}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); !errors.Is(err, ErrNoSource) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("no sink", func(t *testing.T) {
+		g := New("x")
+		if err := g.AddUnit(Unit{ID: "s", Role: RoleSource}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); !errors.Is(err, ErrNoSink) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("dead end operator", func(t *testing.T) {
+		g := New("x")
+		for _, u := range []Unit{{ID: "s", Role: RoleSource}, {ID: "o", Role: RoleOperator}, {ID: "k", Role: RoleSink}} {
+			if err := g.AddUnit(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Connect("s", "o"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect("s", "k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); !errors.Is(err, ErrDeadEnd) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("orphaned sink", func(t *testing.T) {
+		g := New("x")
+		for _, u := range []Unit{{ID: "s", Role: RoleSource}, {ID: "k", Role: RoleSink}, {ID: "k2", Role: RoleSink}} {
+			if err := g.AddUnit(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Connect("s", "k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); !errors.Is(err, ErrOrphanedUnit) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestConnectErrors(t *testing.T) {
+	g := New("x")
+	for _, u := range []Unit{{ID: "s", Role: RoleSource}, {ID: "o", Role: RoleOperator}, {ID: "k", Role: RoleSink}} {
+		if err := g.AddUnit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect("s", "o"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		from, to string
+		want     error
+	}{
+		{"s", "o", ErrDupEdge},
+		{"o", "o", ErrSelfLoop},
+		{"k", "o", ErrSinkOutput},
+		{"o", "s", ErrSourceInput},
+		{"nope", "o", ErrUnknownUnit},
+		{"o", "nope", ErrUnknownUnit},
+	}
+	for _, c := range cases {
+		if err := g.Connect(c.from, c.to); !errors.Is(err, c.want) {
+			t.Errorf("Connect(%s,%s) = %v, want %v", c.from, c.to, err, c.want)
+		}
+	}
+}
+
+func TestAddUnitErrors(t *testing.T) {
+	g := New("x")
+	if err := g.AddUnit(Unit{ID: "", Role: RoleSource}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := g.AddUnit(Unit{ID: "a", Role: 0}); err == nil {
+		t.Fatal("zero role accepted")
+	}
+	if err := g.AddUnit(Unit{ID: "a", Role: RoleOperator, Work: -1}); err == nil {
+		t.Fatal("negative work accepted")
+	}
+	if err := g.AddUnit(Unit{ID: "a", Role: RoleOperator, OutputScale: -0.5}); err == nil {
+		t.Fatal("negative output scale accepted")
+	}
+	if err := g.AddUnit(Unit{ID: "a", Role: RoleOperator}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnit(Unit{ID: "a", Role: RoleSink}); !errors.Is(err, ErrDupUnit) {
+		t.Fatalf("err = %v, want ErrDupUnit", err)
+	}
+}
+
+func TestUnitLookup(t *testing.T) {
+	g := linearGraph(t)
+	u, err := g.Unit("recognize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Work != 0.6 || u.OutputScale != 0.01 {
+		t.Fatalf("unit fields = %+v", u)
+	}
+	if _, err := g.Unit("missing"); !errors.Is(err, ErrUnknownUnit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderAccumulatesErrors(t *testing.T) {
+	_, err := NewBuilder("bad").
+		Source("s").
+		Source("s"). // duplicate
+		Sink("k").
+		Chain("s", "k").
+		Build()
+	if !errors.Is(err, ErrDupUnit) {
+		t.Fatalf("err = %v, want ErrDupUnit", err)
+	}
+}
+
+func TestBuilderWithProcessor(t *testing.T) {
+	called := false
+	g, err := NewBuilder("app").
+		Source("s").
+		Operator("o", WithProcessor(func() Processor {
+			return ProcessorFunc(func(em Emitter, tp *tuple.Tuple) error {
+				called = true
+				return nil
+			})
+		})).
+		Sink("k").
+		Chain("s", "o", "k").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := g.Unit("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.NewProcessor()
+	if err := p.ProcessData(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("processor body not invoked")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for _, r := range []Role{RoleSource, RoleOperator, RoleSink} {
+		if r.String() == "" || r.String()[0] == 'r' && r.String() != "role(0)" && false {
+			t.Errorf("Role %d has empty name", r)
+		}
+	}
+	if Role(99).String() != "role(99)" {
+		t.Errorf("unknown role = %q", Role(99).String())
+	}
+}
+
+func TestAccessorsCopy(t *testing.T) {
+	g := linearGraph(t)
+	ds := g.Downstream("source")
+	ds[0] = "tampered"
+	if got := g.Downstream("source"); got[0] != "detect" {
+		t.Fatal("Downstream exposes internal slice")
+	}
+	us := g.Units()
+	us[0] = "tampered"
+	if got := g.Units(); got[0] != "source" {
+		t.Fatal("Units exposes internal slice")
+	}
+}
+
+// TestRandomChainsValidateProperty builds random-length linear pipelines
+// and checks Validate and Path agree on them.
+func TestRandomChainsValidateProperty(t *testing.T) {
+	f := func(nOps uint8) bool {
+		n := int(nOps%8) + 1
+		b := NewBuilder("chain").Source("s")
+		ids := []string{"s"}
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			b.Operator(id)
+			ids = append(ids, id)
+		}
+		b.Sink("k")
+		ids = append(ids, "k")
+		g, err := b.Chain(ids...).Build()
+		if err != nil {
+			return false
+		}
+		path, err := g.Path()
+		if err != nil {
+			return false
+		}
+		return len(path) == n+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

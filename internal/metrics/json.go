@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// summaryJSON is the stable wire form of a Summary.
+type summaryJSON struct {
+	N      int64   `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Stddev float64 `json:"stddev"`
+}
+
+// MarshalJSON implements json.Marshaler so experiment results export
+// cleanly for external plotting.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		Stddev: s.Stddev(),
+	})
+}
+
+// UnmarshalJSON restores the summary statistics. Individual samples are
+// not retained, so a round-tripped Summary reports the same aggregates
+// but cannot absorb further Observe calls coherently; it is intended for
+// result files, not for resuming measurement.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var j summaryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	s.n = j.N
+	s.mean = j.Mean
+	s.min = j.Min
+	s.max = j.Max
+	// Reconstruct m2 from the stddev (unbiased variance).
+	if j.N > 1 {
+		s.m2 = j.Stddev * j.Stddev * float64(j.N-1)
+	} else {
+		s.m2 = 0
+	}
+	return nil
+}
+
+// pointJSON is the wire form of a Series point.
+type pointJSON struct {
+	AtSeconds float64 `json:"atSeconds"`
+	Value     float64 `json:"value"`
+}
+
+type seriesJSON struct {
+	Name   string      `json:"name"`
+	Points []pointJSON `json:"points"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	j := seriesJSON{Name: s.Name, Points: make([]pointJSON, len(s.points))}
+	for i, p := range s.points {
+		j.Points[i] = pointJSON{AtSeconds: p.At.Seconds(), Value: p.Value}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var j seriesJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	s.Name = j.Name
+	s.points = make([]Point, len(j.Points))
+	for i, p := range j.Points {
+		s.points[i] = Point{At: time.Duration(p.AtSeconds * float64(time.Second)), Value: p.Value}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		s.Observe(v)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"n":5`, `"mean":22`, `"min":1`, `"max":100`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("json missing %s: %s", key, data)
+		}
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.Mean() != s.Mean() || got.Min() != s.Min() || got.Max() != s.Max() {
+		t.Fatalf("round trip: %+v vs %+v", got, s)
+	}
+	if math.Abs(got.Stddev()-s.Stddev()) > 1e-9 {
+		t.Fatalf("stddev %v vs %v", got.Stddev(), s.Stddev())
+	}
+}
+
+func TestSummaryJSONSingleSample(t *testing.T) {
+	var s Summary
+	s.Observe(7)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Variance() != 0 || got.Mean() != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := NewSeries("throughput")
+	s.Add(time.Second, 10)
+	s.Add(2*time.Second, 20)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"throughput"`) {
+		t.Fatalf("json: %s", data)
+	}
+	var got Series
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "throughput" || got.Len() != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	pts := got.Points()
+	if pts[1].At != 2*time.Second || pts[1].Value != 20 {
+		t.Fatalf("points %v", pts)
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	var s Summary
+	if err := json.Unmarshal([]byte(`{"n": "x"}`), &s); err == nil {
+		t.Fatal("bad summary accepted")
+	}
+	var se Series
+	if err := json.Unmarshal([]byte(`[1,2]`), &se); err == nil {
+		t.Fatal("bad series accepted")
+	}
+}

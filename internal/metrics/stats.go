@@ -1,0 +1,247 @@
+// Package metrics provides the measurement primitives Swing experiments
+// report: streaming summary statistics (min/max/mean/variance — the
+// quantities in Figure 4), windowed throughput meters, time series
+// recorders for the timeline figures, and plain-text table rendering for
+// experiment reports.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates streaming summary statistics using Welford's
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe adds one sample.
+func (s *Summary) Observe(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// ObserveDuration adds one sample expressed as a duration in milliseconds.
+func (s *Summary) ObserveDuration(d time.Duration) {
+	s.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds another summary into this one.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Quantiler retains all samples to answer arbitrary quantile queries.
+// Experiments are bounded (minutes of simulated time), so exact retention
+// is affordable and avoids sketch error.
+type Quantiler struct {
+	vals   []float64
+	sorted bool
+}
+
+// Observe adds one sample.
+func (q *Quantiler) Observe(v float64) {
+	q.vals = append(q.vals, v)
+	q.sorted = false
+}
+
+// N returns the number of samples.
+func (q *Quantiler) N() int { return len(q.vals) }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank, or 0 with
+// no samples.
+func (q *Quantiler) Quantile(p float64) float64 {
+	if len(q.vals) == 0 {
+		return 0
+	}
+	if !q.sorted {
+		sort.Float64s(q.vals)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.vals[0]
+	}
+	if p >= 1 {
+		return q.vals[len(q.vals)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(q.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return q.vals[idx]
+}
+
+// RateMeter counts events and reports rates over the full run and over a
+// sliding window, used for throughput timelines (Figures 9, 10).
+type RateMeter struct {
+	window time.Duration
+	stamps []time.Duration
+	total  int64
+	start  time.Duration
+}
+
+// NewRateMeter returns a meter with the given sliding-window length.
+func NewRateMeter(window time.Duration) *RateMeter {
+	return &RateMeter{window: window}
+}
+
+// Start marks the beginning of the measured run.
+func (m *RateMeter) Start(at time.Duration) { m.start = at }
+
+// Tick records one event at the given time.
+func (m *RateMeter) Tick(at time.Duration) {
+	m.total++
+	m.stamps = append(m.stamps, at)
+	m.gc(at)
+}
+
+func (m *RateMeter) gc(now time.Duration) {
+	cut := now - m.window
+	i := 0
+	for i < len(m.stamps) && m.stamps[i] <= cut {
+		i++
+	}
+	if i > 0 {
+		m.stamps = append(m.stamps[:0], m.stamps[i:]...)
+	}
+}
+
+// Total returns the number of events since Start.
+func (m *RateMeter) Total() int64 { return m.total }
+
+// WindowRate returns the event rate per second over the sliding window
+// ending at now.
+func (m *RateMeter) WindowRate(now time.Duration) float64 {
+	m.gc(now)
+	if m.window <= 0 {
+		return 0
+	}
+	return float64(len(m.stamps)) / m.window.Seconds()
+}
+
+// MeanRate returns the average event rate per second since Start.
+func (m *RateMeter) MeanRate(now time.Duration) float64 {
+	el := now - m.start
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.total) / el.Seconds()
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series records a named time series for timeline figures.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one point. Points should be appended in time order.
+func (s *Series) Add(at time.Duration, v float64) {
+	s.points = append(s.points, Point{At: at, Value: v})
+}
+
+// Points returns a copy of the recorded points.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// MeanBetween averages point values with from ≤ At < to; 0 if none.
+func (s *Series) MeanBetween(from, to time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.points {
+		if p.At >= from && p.At < to {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,284 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value summary not all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("Stddev = %v", s.Stddev())
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Observe(3)
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-sample stats wrong")
+	}
+	if s.Variance() != 0 {
+		t.Fatalf("Variance = %v, want 0", s.Variance())
+	}
+}
+
+func TestSummaryObserveDuration(t *testing.T) {
+	var s Summary
+	s.ObserveDuration(1500 * time.Millisecond)
+	if s.Mean() != 1500 {
+		t.Fatalf("Mean = %v ms, want 1500", s.Mean())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	vals := []float64{1, 2, 3, 10, 20, 30, -5}
+	for i, v := range vals {
+		all.Observe(v)
+		if i < 3 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Fatalf("merged Mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Fatalf("merged Variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged min/max wrong")
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Observe(5)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge with empty changed stats")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+// TestSummaryMatchesNaiveProperty cross-checks Welford against the naive
+// two-pass computation on random inputs.
+func TestSummaryMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, r := range raw {
+			s.Observe(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			m2 += d * d
+		}
+		wantVar := 0.0
+		if len(raw) > 1 {
+			wantVar = m2 / float64(len(raw)-1)
+		}
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.Variance()-wantVar) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantiler(t *testing.T) {
+	var q Quantiler
+	if q.Quantile(0.5) != 0 {
+		t.Fatal("empty quantiler nonzero")
+	}
+	for i := 1; i <= 100; i++ {
+		q.Observe(float64(i))
+	}
+	if q.N() != 100 {
+		t.Fatalf("N = %d", q.N())
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.95, 95}, {1, 100}, {2, 100}, {-1, 1},
+	}
+	for _, c := range cases {
+		if got := q.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Observing after querying re-sorts correctly.
+	q.Observe(-5)
+	if got := q.Quantile(0); got != -5 {
+		t.Errorf("Quantile(0) after new sample = %v, want -5", got)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(time.Second)
+	m.Start(0)
+	for i := 0; i < 10; i++ {
+		m.Tick(time.Duration(i) * 100 * time.Millisecond) // 10 events in [0, 900ms]
+	}
+	if m.Total() != 10 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	if got := m.WindowRate(time.Second); got != 9 { // events in (0s, 1s]: 100..900ms
+		t.Fatalf("WindowRate = %v, want 9", got)
+	}
+	if got := m.MeanRate(time.Second); got != 10 {
+		t.Fatalf("MeanRate = %v, want 10", got)
+	}
+	// Long after the burst the window empties.
+	if got := m.WindowRate(time.Minute); got != 0 {
+		t.Fatalf("stale WindowRate = %v, want 0", got)
+	}
+	// Mean rate decays with elapsed time.
+	if got := m.MeanRate(10 * time.Second); got != 1 {
+		t.Fatalf("MeanRate(10s) = %v, want 1", got)
+	}
+}
+
+func TestRateMeterEdge(t *testing.T) {
+	m := NewRateMeter(time.Second)
+	m.Start(5 * time.Second)
+	if m.MeanRate(5*time.Second) != 0 {
+		t.Fatal("zero-elapsed mean rate nonzero")
+	}
+	if m.MeanRate(4*time.Second) != 0 {
+		t.Fatal("negative-elapsed mean rate nonzero")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("throughput")
+	if s.Len() != 0 {
+		t.Fatal("new series nonempty")
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	pts := s.Points()
+	pts[0].Value = 999
+	if s.Points()[0].Value != 0 {
+		t.Fatal("Points exposes internal slice")
+	}
+	// Mean of values at t=2,3,4 (from 2s inclusive to 5s exclusive).
+	if got := s.MeanBetween(2*time.Second, 5*time.Second); got != 3 {
+		t.Fatalf("MeanBetween = %v, want 3", got)
+	}
+	if got := s.MeanBetween(time.Hour, 2*time.Hour); got != 0 {
+		t.Fatalf("empty MeanBetween = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table I: Performance Heterogeneity", "Phone", "Delay (ms)", "FPS")
+	tb.AddRow("B", 92.9, 10)
+	tb.AddRow("E", 463.4, 2)
+	out := tb.String()
+	if !strings.Contains(out, "Table I") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "92.9") || !strings.Contains(out, "463.4") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("trailing whitespace in %q", l)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.001234)
+	tb.AddRow(3.14159)
+	tb.AddRow(42.75)
+	tb.AddRow(12345.6)
+	out := tb.String()
+	for _, want := range []string{"0.0012", "3.14", "42.8", "12346"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", `has "quotes", and comma`)
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, `"has ""quotes"", and comma"`) {
+		t.Fatalf("csv escaping: %q", csv)
+	}
+}
+
+// TestQuantilerOrderedProperty: quantiles are monotone in p.
+func TestQuantilerOrderedProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		var q Quantiler
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				q.Observe(v)
+			}
+		}
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return q.Quantile(pa) <= q.Quantile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

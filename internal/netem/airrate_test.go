@@ -1,0 +1,62 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAirRateMonotonic(t *testing.T) {
+	prev := AirRate(-20)
+	for r := RSSI(-21); r >= -100; r-- {
+		cur := AirRate(r)
+		if cur > prev {
+			t.Fatalf("air rate increased at %v dBm", r)
+		}
+		prev = cur
+	}
+}
+
+// TestAirRateDegradesGentlyVsGoodput: the defining property of the
+// two-curve model — at weak signal the goodput collapses by orders of
+// magnitude while the MAC airtime rate degrades only by a small factor, so
+// a slow TCP flow does not monopolize the sender's radio.
+func TestAirRateDegradesGentlyVsGoodput(t *testing.T) {
+	goodAir, badAir := AirRate(RSSIGood), AirRate(RSSIBad)
+	goodTCP, badTCP := EffectiveRate(RSSIGood), EffectiveRate(RSSIBad)
+	airDrop := goodAir / badAir
+	tcpDrop := goodTCP / badTCP
+	if airDrop > 20 {
+		t.Fatalf("air rate dropped %vx; MAC rates bottom out around MCS0", airDrop)
+	}
+	if tcpDrop < 50 {
+		t.Fatalf("goodput dropped only %vx; weak-link TCP must collapse", tcpDrop)
+	}
+	if tcpDrop < 3*airDrop {
+		t.Fatalf("goodput collapse (%vx) not much steeper than airtime (%vx)", tcpDrop, airDrop)
+	}
+}
+
+func TestAirRateFloor(t *testing.T) {
+	if AirRate(-120) < 1e6 {
+		t.Fatal("air rate below MCS0-with-retransmissions floor")
+	}
+}
+
+func TestAirTime(t *testing.T) {
+	if AirTime(0, RSSIGood) != 0 || AirTime(-1, RSSIGood) != 0 {
+		t.Fatal("non-positive size has airtime")
+	}
+	// A 6 kB frame at a good signal occupies the air for ~1.6 ms.
+	d := AirTime(6000, RSSIGood)
+	if d < 500*time.Microsecond || d > 5*time.Millisecond {
+		t.Fatalf("6kB airtime = %v", d)
+	}
+	// Even at a bad signal, airtime stays in the tens of milliseconds —
+	// it is the flow delay (TxTime) that explodes.
+	if bad := AirTime(6000, RSSIBad); bad > 50*time.Millisecond {
+		t.Fatalf("6kB airtime at bad signal = %v", bad)
+	}
+	if flow := TxTime(6000, RSSIBad); flow < 500*time.Millisecond {
+		t.Fatalf("6kB flow time at bad signal = %v, want ~1s", flow)
+	}
+}

@@ -1,0 +1,206 @@
+// Package netem models the 802.11n wireless testbed of the paper: received
+// signal strength (RSSI) per device location, rate adaptation from RSSI to
+// effective link throughput, per-frame transmission delay, and user
+// mobility as an RSSI-over-time trace (paper §III Figure 2, §VI-C
+// Figure 10).
+//
+// The model captures the three effects the paper measures:
+//
+//   - Weak signal → the Wi-Fi rate-adaptation and TCP congestion control
+//     collapse effective goodput, inflating transmission delay (Figure 2
+//     left).
+//   - All transmissions from one device share its single radio, so airtime
+//     spent on slow links stalls traffic to fast links (the straggler
+//     effect that penalises round-robin, §VI-B).
+//   - A sender whose per-link queue backs up must slow down (TCP
+//     backpressure), which reduces end-to-end throughput (§VI-B1).
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// RSSI is a received signal strength in dBm (negative; closer to zero is
+// stronger).
+type RSSI float64
+
+// Signal-region constants matching the paper's experiment placements.
+const (
+	// RSSIGood is a strong signal (paper: > -30 dBm in Figure 10).
+	RSSIGood RSSI = -28
+	// RSSIFair is a moderate signal (paper: -70 to -60 dBm).
+	RSSIFair RSSI = -65
+	// RSSIBad is a weak signal (paper: -80 to -70 dBm).
+	RSSIBad RSSI = -80
+)
+
+// ratePoint is one breakpoint of the RSSI → effective goodput curve.
+type ratePoint struct {
+	rssi RSSI
+	bps  float64
+}
+
+// rateCurve maps RSSI to effective application-level goodput in bits/s.
+// The curve folds together 802.11n MCS selection, MAC efficiency, frame
+// loss/retransmission and TCP dynamics (congestion-window collapse under
+// loss); it is calibrated so that the paper's "good/fair/bad" placements
+// reproduce Figure 2's transmission delays and the weak-spot throughput
+// collapse of Figure 4.
+var rateCurve = []ratePoint{
+	{-50, 22e6},
+	{-55, 16e6},
+	{-60, 8e6},
+	{-65, 3.5e6},
+	{-70, 1.0e6},
+	{-74, 0.30e6},
+	{-78, 0.08e6},
+	{-82, 0.03e6},
+	{-88, 0.01e6},
+}
+
+// airCurve maps RSSI to the MAC-level airtime rate: how fast bits actually
+// occupy the shared radio once transmitted, including retransmission
+// overhead. It degrades far more gently than goodput — a lossy TCP flow is
+// slow because its congestion window collapses, not because each of its
+// (few) packets monopolizes the air. The distinction matters for the
+// straggler effect: a weak-signal downstream stalls its own flow long
+// before it stalls the sender's radio.
+var airCurve = []ratePoint{
+	{-50, 30e6},
+	{-60, 20e6},
+	{-65, 13e6},
+	{-70, 8e6},
+	{-75, 5e6},
+	{-80, 3e6},
+	{-88, 1.5e6},
+}
+
+// AirRate returns the MAC-level airtime rate in bits per second at RSSI r.
+func AirRate(r RSSI) float64 { return lookupCurve(airCurve, r, 1e6) }
+
+// AirTime returns the radio occupancy for sizeBytes at RSSI r.
+func AirTime(sizeBytes int, r RSSI) time.Duration {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	sec := float64(sizeBytes*8) / AirRate(r)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// lookupCurve log-interpolates a rate curve at r with the given floor.
+func lookupCurve(curve []ratePoint, r RSSI, floor float64) float64 {
+	if r >= curve[0].rssi {
+		return curve[0].bps
+	}
+	last := curve[len(curve)-1]
+	if r <= last.rssi {
+		drop := float64(last.rssi - r)
+		v := last.bps * math.Pow(2, -drop/3)
+		if v < floor {
+			return floor
+		}
+		return v
+	}
+	i := sort.Search(len(curve), func(i int) bool { return curve[i].rssi <= r })
+	hi, lo := curve[i-1], curve[i]
+	frac := float64(hi.rssi-r) / float64(hi.rssi-lo.rssi)
+	return math.Exp(math.Log(hi.bps) + frac*(math.Log(lo.bps)-math.Log(hi.bps)))
+}
+
+// EffectiveRate returns the effective goodput in bits per second for a
+// link at the given RSSI. Above the first breakpoint the curve is flat;
+// below the last it decays toward a floor.
+func EffectiveRate(r RSSI) float64 { return lookupCurve(rateCurve, r, 5e3) }
+
+// TxTime returns the airtime needed to push sizeBytes over a link at RSSI
+// r, excluding propagation and queuing.
+func TxTime(sizeBytes int, r RSSI) time.Duration {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	rate := EffectiveRate(r)
+	sec := float64(sizeBytes*8) / rate
+	return time.Duration(sec * float64(time.Second))
+}
+
+// PropagationDelay is the fixed one-way MAC+stack latency applied to every
+// transmission on top of airtime.
+const PropagationDelay = 2 * time.Millisecond
+
+// Mobility yields a device's RSSI as a function of experiment time. It
+// abstracts a user walking between locations of different signal strength.
+type Mobility interface {
+	RSSIAt(at time.Duration) RSSI
+}
+
+// Static is a Mobility that never moves.
+type Static RSSI
+
+// RSSIAt implements Mobility.
+func (s Static) RSSIAt(time.Duration) RSSI { return RSSI(s) }
+
+var _ Mobility = Static(0)
+
+// Epoch is one leg of a piecewise-constant mobility trace.
+type Epoch struct {
+	// Until is the end of this epoch, measured from experiment start.
+	Until time.Duration
+	RSSI  RSSI
+}
+
+// Walk is a piecewise-constant mobility trace: the device holds each
+// epoch's RSSI until the epoch ends; after the last epoch the final RSSI
+// holds forever. This matches the paper's Figure 10 scenario where a user
+// stays one minute per location.
+type Walk struct {
+	epochs []Epoch
+}
+
+// ErrBadTrace reports an invalid mobility trace.
+var ErrBadTrace = errors.New("netem: invalid mobility trace")
+
+// NewWalk validates and returns a Walk. Epochs must be in strictly
+// increasing order of Until and non-empty.
+func NewWalk(epochs []Epoch) (*Walk, error) {
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("%w: no epochs", ErrBadTrace)
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i].Until <= epochs[i-1].Until {
+			return nil, fmt.Errorf("%w: epoch %d ends at %v, not after %v",
+				ErrBadTrace, i, epochs[i].Until, epochs[i-1].Until)
+		}
+	}
+	cp := make([]Epoch, len(epochs))
+	copy(cp, epochs)
+	return &Walk{epochs: cp}, nil
+}
+
+// RSSIAt implements Mobility.
+func (w *Walk) RSSIAt(at time.Duration) RSSI {
+	for _, e := range w.epochs {
+		if at < e.Until {
+			return e.RSSI
+		}
+	}
+	return w.epochs[len(w.epochs)-1].RSSI
+}
+
+var _ Mobility = (*Walk)(nil)
+
+// Jitter parameters for per-frame transmission randomness: each frame's
+// airtime is multiplied by a draw from a log-normal distribution with unit
+// median and the given sigma, modeling contention and retransmission
+// variance. The draw function is supplied by the caller (the simulator's
+// seeded RNG).
+const TxJitterSigma = 0.25
+
+// JitterMultiplier converts a standard-normal draw z into the airtime
+// multiplier exp(sigma·z).
+func JitterMultiplier(z float64) float64 {
+	return math.Exp(TxJitterSigma * z)
+}

@@ -1,0 +1,234 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEffectiveRateMonotonic(t *testing.T) {
+	prev := math.Inf(1)
+	for r := RSSI(-20); r >= -100; r -= 0.5 {
+		got := EffectiveRate(r)
+		if got > prev {
+			t.Fatalf("rate increased as signal weakened: %v dBm -> %v bps (prev %v)", r, got, prev)
+		}
+		if got <= 0 {
+			t.Fatalf("non-positive rate at %v dBm", r)
+		}
+		prev = got
+	}
+}
+
+func TestEffectiveRateRegions(t *testing.T) {
+	good := EffectiveRate(RSSIGood)
+	fair := EffectiveRate(RSSIFair)
+	bad := EffectiveRate(RSSIBad)
+	if good < 20e6 {
+		t.Fatalf("good rate = %v, want >= 20 Mbps", good)
+	}
+	if fair > good/4 || fair < 1e6 {
+		t.Fatalf("fair rate = %v, want a few Mbps", fair)
+	}
+	if bad > 1e6 || bad < 5e3 {
+		t.Fatalf("bad rate = %v, want well under 1 Mbps", bad)
+	}
+	// The bad region must be slow enough that a 6 kB frame takes >100 ms:
+	// that is what collapses RR/P* policies in Figure 4.
+	if d := TxTime(6000, RSSIBad); d < 100*time.Millisecond {
+		t.Fatalf("6kB at bad signal = %v, want >= 100ms", d)
+	}
+}
+
+func TestEffectiveRateExtremes(t *testing.T) {
+	if EffectiveRate(-10) != EffectiveRate(-50) {
+		t.Fatal("curve not flat above first breakpoint")
+	}
+	deepFade := EffectiveRate(-120)
+	if deepFade < 5e3 || deepFade > 1e5 {
+		t.Fatalf("deep fade rate = %v, want near floor", deepFade)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	if TxTime(0, RSSIGood) != 0 {
+		t.Fatal("zero bytes has nonzero airtime")
+	}
+	if TxTime(-5, RSSIGood) != 0 {
+		t.Fatal("negative bytes has nonzero airtime")
+	}
+	// 6 kB at 22 Mbps ≈ 2.2 ms.
+	d := TxTime(6000, RSSIGood)
+	if d < time.Millisecond || d > 4*time.Millisecond {
+		t.Fatalf("6kB at good signal = %v, want ~2ms", d)
+	}
+	// Voice frames are 72 kB (paper §VI-A): 12x the bytes, 12x the time.
+	ratio := float64(TxTime(72000, RSSIFair)) / float64(TxTime(6000, RSSIFair))
+	if math.Abs(ratio-12) > 0.01 {
+		t.Fatalf("airtime not linear in size: ratio = %v", ratio)
+	}
+}
+
+func TestStaticMobility(t *testing.T) {
+	m := Static(-42)
+	if m.RSSIAt(0) != -42 || m.RSSIAt(time.Hour) != -42 {
+		t.Fatal("Static mobility moved")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	w, err := NewWalk([]Epoch{
+		{Until: time.Minute, RSSI: RSSIGood},
+		{Until: 2 * time.Minute, RSSI: RSSIFair},
+		{Until: 3 * time.Minute, RSSI: RSSIBad},
+	})
+	if err != nil {
+		t.Fatalf("NewWalk: %v", err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want RSSI
+	}{
+		{0, RSSIGood},
+		{59 * time.Second, RSSIGood},
+		{time.Minute, RSSIFair},
+		{90 * time.Second, RSSIFair},
+		{2*time.Minute + time.Second, RSSIBad},
+		{time.Hour, RSSIBad}, // holds last epoch forever
+	}
+	for _, c := range cases {
+		if got := w.RSSIAt(c.at); got != c.want {
+			t.Errorf("RSSIAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestWalkValidation(t *testing.T) {
+	if _, err := NewWalk(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	_, err := NewWalk([]Epoch{
+		{Until: 2 * time.Minute, RSSI: RSSIGood},
+		{Until: time.Minute, RSSI: RSSIBad},
+	})
+	if err == nil {
+		t.Fatal("out-of-order epochs accepted")
+	}
+	_, err = NewWalk([]Epoch{
+		{Until: time.Minute, RSSI: RSSIGood},
+		{Until: time.Minute, RSSI: RSSIBad},
+	})
+	if err == nil {
+		t.Fatal("equal epoch ends accepted")
+	}
+}
+
+func TestWalkCopiesInput(t *testing.T) {
+	epochs := []Epoch{{Until: time.Minute, RSSI: RSSIGood}}
+	w, err := NewWalk(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs[0].RSSI = RSSIBad
+	if w.RSSIAt(0) != RSSIGood {
+		t.Fatal("Walk aliases caller slice")
+	}
+}
+
+func TestRadioSerializesTransmissions(t *testing.T) {
+	var r Radio
+	s1, e1 := r.Reserve(0, 10*time.Millisecond, 6000)
+	if s1 != 0 || e1 != 10*time.Millisecond {
+		t.Fatalf("first reservation [%v, %v]", s1, e1)
+	}
+	// Second transmission requested at t=2ms must wait for the first.
+	s2, e2 := r.Reserve(2*time.Millisecond, 5*time.Millisecond, 6000)
+	if s2 != 10*time.Millisecond || e2 != 15*time.Millisecond {
+		t.Fatalf("second reservation [%v, %v], want [10ms, 15ms]", s2, e2)
+	}
+	// After the radio idles, a reservation starts immediately.
+	s3, _ := r.Reserve(time.Second, time.Millisecond, 100)
+	if s3 != time.Second {
+		t.Fatalf("idle radio start = %v, want 1s", s3)
+	}
+}
+
+func TestRadioBacklog(t *testing.T) {
+	var r Radio
+	r.Reserve(0, 30*time.Millisecond, 100)
+	if got := r.Backlog(10 * time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("Backlog = %v, want 20ms", got)
+	}
+	if got := r.Backlog(time.Minute); got != 0 {
+		t.Fatalf("Backlog after idle = %v, want 0", got)
+	}
+}
+
+func TestRadioAccounting(t *testing.T) {
+	var r Radio
+	r.Reserve(0, 10*time.Millisecond, 6000)
+	r.Reserve(0, 10*time.Millisecond, 4000)
+	if r.TxBytes() != 10000 {
+		t.Fatalf("TxBytes = %d", r.TxBytes())
+	}
+	if r.TxTime() != 20*time.Millisecond {
+		t.Fatalf("TxTime = %v", r.TxTime())
+	}
+	// 10000 bytes over 1 s = 80 kbps.
+	if got := r.MeanRateBps(time.Second); math.Abs(got-80000) > 1e-6 {
+		t.Fatalf("MeanRateBps = %v", got)
+	}
+	if r.MeanRateBps(0) != 0 {
+		t.Fatal("zero-elapsed rate not 0")
+	}
+}
+
+func TestJitterMultiplier(t *testing.T) {
+	if JitterMultiplier(0) != 1 {
+		t.Fatalf("median jitter = %v, want 1", JitterMultiplier(0))
+	}
+	if JitterMultiplier(1) <= 1 || JitterMultiplier(-1) >= 1 {
+		t.Fatal("jitter not monotone in z")
+	}
+	if math.Abs(JitterMultiplier(1)*JitterMultiplier(-1)-1) > 1e-12 {
+		t.Fatal("jitter not symmetric in log space")
+	}
+}
+
+// TestRadioNoOverlapProperty: arbitrary interleavings of reservations
+// never overlap on the air.
+func TestRadioNoOverlapProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		var r Radio
+		var lastEnd time.Duration
+		now := time.Duration(0)
+		for _, q := range reqs {
+			airtime := time.Duration(q%1000+1) * time.Microsecond
+			now += time.Duration(q%97) * time.Microsecond
+			start, end := r.Reserve(now, airtime, int(q))
+			if start < lastEnd || start < now || end != start+airtime {
+				return false
+			}
+			lastEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRateCurveContinuity: the interpolated curve has no discontinuities
+// bigger than the breakpoint steps themselves.
+func TestRateCurveContinuity(t *testing.T) {
+	for r := RSSI(-20); r > -100; r -= 0.1 {
+		a, b := EffectiveRate(r), EffectiveRate(r-0.1)
+		if b > a {
+			t.Fatalf("non-monotone at %v", r)
+		}
+		if a/b > 1.6 {
+			t.Fatalf("discontinuity at %v dBm: %v -> %v", r, a, b)
+		}
+	}
+}

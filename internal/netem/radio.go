@@ -1,0 +1,67 @@
+package netem
+
+import (
+	"time"
+)
+
+// Radio models a device's single wireless interface. All outgoing
+// transmissions serialize through it: while a frame is on the air toward a
+// slow link, frames queued for fast links must wait. This shared-airtime
+// contention is the physical mechanism behind the paper's straggler effect
+// — one weak-signal downstream can stall an upstream's entire output.
+//
+// Radio tracks only the time until which the air interface is busy; the
+// enclosing simulator owns per-destination queues and scheduling.
+type Radio struct {
+	busyUntil time.Duration
+
+	// txBytes and txTime account cumulative transmitted volume and
+	// airtime for utilisation/power reporting.
+	txBytes int64
+	txTime  time.Duration
+}
+
+// NextStart returns the earliest instant a new transmission may begin at
+// or after now.
+func (r *Radio) NextStart(now time.Duration) time.Duration {
+	if r.busyUntil > now {
+		return r.busyUntil
+	}
+	return now
+}
+
+// Reserve books the radio for a transmission of the given airtime starting
+// no earlier than now, returning the transmission's start and end times.
+func (r *Radio) Reserve(now time.Duration, airtime time.Duration, sizeBytes int) (start, end time.Duration) {
+	start = r.NextStart(now)
+	end = start + airtime
+	r.busyUntil = end
+	r.txBytes += int64(sizeBytes)
+	r.txTime += airtime
+	return start, end
+}
+
+// Backlog reports how far into the future the radio is already booked.
+func (r *Radio) Backlog(now time.Duration) time.Duration {
+	if r.busyUntil <= now {
+		return 0
+	}
+	return r.busyUntil - now
+}
+
+// TxBytes returns cumulative bytes transmitted.
+func (r *Radio) TxBytes() int64 { return r.txBytes }
+
+// TxTime returns cumulative airtime used.
+func (r *Radio) TxTime() time.Duration { return r.txTime }
+
+// MeanRateBps returns the average transmit rate over a window of the given
+// length ending now, based on cumulative counters sampled by the caller.
+// Callers typically difference TxBytes between samples; this helper is for
+// whole-run averages.
+func (r *Radio) MeanRateBps(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.txBytes*8) / elapsed.Seconds()
+}

@@ -1,0 +1,55 @@
+package routing
+
+import (
+	"time"
+)
+
+// Estimate holds the per-downstream delay estimates an upstream maintains
+// (paper §V-B). Latency is the full round measured via ACK timestamps:
+// network transmission + downstream queuing + processing (the ACK return
+// itself is negligible). Processing is the downstream-reported pure
+// processing delay, which the P* policies use.
+type Estimate struct {
+	// Latency is the EWMA of end-to-end tuple latency.
+	Latency time.Duration
+	// Processing is the EWMA of downstream processing delay.
+	Processing time.Duration
+	// Samples counts ACKs folded into the estimate.
+	Samples int64
+	// LastUpdate is the (virtual or wall) time of the latest ACK.
+	LastUpdate time.Duration
+}
+
+// HasSample reports whether at least one ACK has been observed.
+func (e Estimate) HasSample() bool { return e.Samples > 0 }
+
+// ServiceRate converts a latency-class delay into tuples/second (μ = 1/L).
+func rateOf(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(d)
+}
+
+// LatencyRate returns μ_i computed from end-to-end latency.
+func (e Estimate) LatencyRate() float64 { return rateOf(e.Latency) }
+
+// ProcessingRate returns μ_i computed from processing delay only.
+func (e Estimate) ProcessingRate() float64 { return rateOf(e.Processing) }
+
+// ewma folds a new sample into an exponential moving average.
+func ewma(prev, sample time.Duration, alpha float64, first bool) time.Duration {
+	if first {
+		return sample
+	}
+	return time.Duration(alpha*float64(sample) + (1-alpha)*float64(prev))
+}
+
+// Observe folds an ACK's measurements into the estimate.
+func (e *Estimate) Observe(latency, processing time.Duration, alpha float64, now time.Duration) {
+	first := e.Samples == 0
+	e.Latency = ewma(e.Latency, latency, alpha, first)
+	e.Processing = ewma(e.Processing, processing, alpha, first)
+	e.Samples++
+	e.LastUpdate = now
+}

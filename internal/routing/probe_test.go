@@ -1,0 +1,140 @@
+package routing
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeSkipsCongestedTargets: probe-mode routing honors the
+// congestion hint so probes never block on saturated links (the behaviour
+// the voice-translation workload depends on).
+func TestProbeSkipsCongestedTargets(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 1
+	cfg.ProbeTuples = 4
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"good1", "good2", "jammed"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+		feed(t, r, id, 100*time.Millisecond, 100*time.Millisecond)
+	}
+	r.Reconfigure(10) // enters probe mode (ProbeEvery=1)
+	if !r.Probing() {
+		t.Fatal("not probing")
+	}
+	avoid := func(id string) bool { return id == "jammed" }
+	for i := 0; i < 4; i++ {
+		id, err := r.RouteAvoiding(avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "jammed" {
+			t.Fatal("probe routed to a congested target")
+		}
+	}
+}
+
+// TestProbeGivesUpWhenAllCongested: when every downstream reports
+// congestion, the probe window is abandoned and normal routing resumes
+// (which may then block — correct TCP semantics for policy traffic).
+func TestProbeGivesUpWhenAllCongested(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 1
+	cfg.ProbeTuples = 4
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+		feed(t, r, id, 100*time.Millisecond, 100*time.Millisecond)
+	}
+	r.Reconfigure(10)
+	if !r.Probing() {
+		t.Fatal("not probing")
+	}
+	id, err := r.RouteAvoiding(func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "a" && id != "b" {
+		t.Fatalf("routed to %q", id)
+	}
+	if r.Probing() {
+		t.Fatal("probe window not abandoned")
+	}
+}
+
+// TestRouteNilAvoidEqualsRoute: Route is RouteAvoiding(nil).
+func TestRouteNilAvoidEqualsRoute(t *testing.T) {
+	a, err := NewRouter(DefaultConfig(LR), testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRouter(DefaultConfig(LR), testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Router{a, b} {
+		for _, id := range []string{"x", "y", "z"} {
+			if err := r.AddDownstream(id); err != nil {
+				t.Fatal(err)
+			}
+			feed(t, r, id, 100*time.Millisecond, 100*time.Millisecond)
+		}
+		r.Reconfigure(10)
+	}
+	for i := 0; i < 200; i++ {
+		ida, err := a.Route()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idb, err := b.RouteAvoiding(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ida != idb {
+			t.Fatalf("diverged at %d: %s vs %s", i, ida, idb)
+		}
+	}
+}
+
+// TestProbeCountsAcrossWindows: probe tuples decrement only when actually
+// routed, and fresh reconfigurations top the window back up.
+func TestProbeCountsAcrossWindows(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 1
+	cfg.ProbeTuples = 3
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+		feed(t, r, id, 100*time.Millisecond, 100*time.Millisecond)
+	}
+	r.Reconfigure(10)
+	for i := 0; i < 3; i++ {
+		if !r.Probing() {
+			t.Fatalf("probe ended after %d tuples, want 3", i)
+		}
+		if _, err := r.Route(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Probing() {
+		t.Fatal("probe window did not close")
+	}
+	r.Reconfigure(10)
+	if !r.Probing() {
+		t.Fatal("next reconfigure did not reopen the probe window")
+	}
+}

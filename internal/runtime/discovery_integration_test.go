@@ -1,0 +1,88 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/discovery"
+	"github.com/swingframework/swing/internal/transport"
+)
+
+// TestDiscoveryToJoin exercises the paper's full join workflow over real
+// sockets: the master announces itself over UDP, a worker discovers the
+// address, dials it over TCP, and processes frames.
+func TestDiscoveryToJoin(t *testing.T) {
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		ListenAddr: "127.0.0.1:0",
+		Transport:  transport.TCP{},
+		OnResult:   col.add,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	// Pick a free UDP port for the discovery channel.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := pc.LocalAddr().(*net.UDPAddr).Port
+	_ = pc.Close()
+	udpAddr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	// The worker listens first, then the master starts announcing.
+	found := make(chan discovery.Announcement, 1)
+	go func() {
+		ann, err := discovery.Listen(udpAddr, app.Name(), 10*time.Second)
+		if err == nil {
+			found <- ann
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ann, err := discovery.NewAnnouncer(udpAddr,
+		discovery.Announcement{App: app.Name(), Addr: m.Addr()}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ann.Close() }()
+
+	var masterAddr string
+	select {
+	case got := <-found:
+		masterAddr = got.Addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("discovery timed out")
+	}
+
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "discovered",
+		MasterAddr: masterAddr,
+		App:        app,
+		Transport:  transport.TCP{},
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("StartWorker: %v", err)
+	}
+	defer func() { _ = w.Close() }()
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "discovered worker join")
+
+	src := apps.NewFrameSource(6000, 3)
+	for i := 0; i < 5; i++ {
+		if err := m.Submit(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(col.snapshot()) == 5 }, "results via discovered worker")
+}

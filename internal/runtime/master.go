@@ -1,0 +1,528 @@
+// Package runtime implements Swing's live execution mode: a master thread
+// that hosts the application's source and sink, and worker threads on
+// other devices that each run a vertical slice of the operator pipeline
+// (paper §IV-B,C). The same routing logic evaluated in simulation
+// (internal/routing) decides, per tuple, which worker receives it; TCP
+// flow control supplies the backpressure the algorithm reacts to.
+//
+// Topology: one duplex connection per worker carries deployment control,
+// the downstream tuple stream and the upstream result/ACK stream. Workers
+// may join at any time (the master keeps accepting) and leave abruptly
+// (a broken connection removes them from the routing table and traffic
+// re-routes), matching §IV-C "Handling Joining and Leaving".
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/transport"
+	"github.com/swingframework/swing/internal/tuple"
+	"github.com/swingframework/swing/internal/wire"
+	"math/rand/v2"
+)
+
+// Result is one in-order playback delivery from the master's sink.
+type Result struct {
+	// Tuple is the final result tuple.
+	Tuple *tuple.Tuple
+	// Latency is end-to-end: submit to sink arrival.
+	Latency time.Duration
+	// Worker is the device that processed the frame.
+	Worker string
+}
+
+// MasterConfig configures StartMaster.
+type MasterConfig struct {
+	// App is the application to coordinate.
+	App *apps.App
+	// Policy selects the resource-management algorithm (default LRS).
+	Policy routing.PolicyKind
+	// Routing optionally overrides routing parameters.
+	Routing *routing.Config
+	// ListenAddr is the control/data listen address (default ":0").
+	ListenAddr string
+	// Transport defaults to TCP.
+	Transport transport.Transport
+	// OutboxCap bounds the per-worker send queue in tuples (default 16).
+	OutboxCap int
+	// ReorderBuffer is the sink reorder timespan (default 1 s).
+	ReorderBuffer time.Duration
+	// OnResult, if set, receives in-order playback deliveries.
+	OnResult func(Result)
+	// Seed drives the router's weighted-random draws (default 1).
+	Seed int64
+	// Logger defaults to slog.Default.
+	Logger *slog.Logger
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.Policy == 0 {
+		c.Policy = routing.LRS
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = ":0"
+	}
+	if c.Transport == nil {
+		c.Transport = transport.TCP{}
+	}
+	if c.OutboxCap == 0 {
+		c.OutboxCap = 16
+	}
+	if c.ReorderBuffer == 0 {
+		c.ReorderBuffer = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// workerConn is the master's handle on one connected worker.
+type workerConn struct {
+	id   string
+	conn net.Conn
+	out  chan []byte // serialized FrameTuple payloads
+	gone chan struct{}
+
+	mu        sync.Mutex
+	writeMu   sync.Mutex
+	processed int64
+}
+
+// Master coordinates a swarm run: accepts workers, routes submitted
+// tuples, maintains latency estimates from results, and reorders results
+// for playback.
+type Master struct {
+	cfg MasterConfig
+	ln  net.Listener
+
+	routerMu sync.Mutex
+	router   *routing.Router
+
+	workersMu sync.Mutex
+	workers   map[string]*workerConn
+
+	sinkMu   sync.Mutex
+	reorder  map[uint64]*pendingResult
+	nextPlay uint64
+	rcap     int
+	skipped  int64
+	played   int64
+	arrived  int64
+
+	submitted int64
+	subMu     sync.Mutex
+
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+type pendingResult struct {
+	res Result
+}
+
+// Errors.
+var (
+	ErrStopped   = errors.New("runtime: master stopped")
+	ErrNoWorkers = errors.New("runtime: no workers connected")
+)
+
+// StartMaster launches the master: it listens for workers and is
+// immediately ready for Submit (which fails until a worker joins).
+func StartMaster(cfg MasterConfig) (*Master, error) {
+	cfg = cfg.withDefaults()
+	if cfg.App == nil {
+		return nil, errors.New("runtime: nil app")
+	}
+	rc := routing.DefaultConfig(cfg.Policy)
+	if cfg.Routing != nil {
+		rc = *cfg.Routing
+		rc.Policy = cfg.Policy
+	}
+	router, err := routing.NewRouter(rc, rand.New(rand.NewPCG(uint64(cfg.Seed), 99)))
+	if err != nil {
+		return nil, err
+	}
+	ln, err := cfg.Transport.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		cfg:     cfg,
+		ln:      ln,
+		router:  router,
+		workers: make(map[string]*workerConn),
+		reorder: make(map[uint64]*pendingResult),
+		rcap:    int(cfg.ReorderBuffer.Seconds()*cfg.App.TargetFPS) + 1,
+		start:   time.Now(),
+		stop:    make(chan struct{}),
+	}
+	m.wg.Add(2)
+	go m.acceptLoop()
+	go m.reconfigureLoop(rc.ReconfigurePeriod)
+	return m, nil
+}
+
+// Addr returns the master's listen address for workers to dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Workers returns the connected worker IDs.
+func (m *Master) Workers() []string {
+	m.workersMu.Lock()
+	defer m.workersMu.Unlock()
+	out := make([]string, 0, len(m.workers))
+	for id := range m.workers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Snapshot returns the router's current per-worker view.
+func (m *Master) Snapshot() []routing.Info {
+	m.routerMu.Lock()
+	defer m.routerMu.Unlock()
+	return m.router.Snapshot()
+}
+
+// Stats summarizes the sink side.
+type MasterStats struct {
+	Submitted int64
+	Arrived   int64
+	Played    int64
+	Skipped   int64
+}
+
+// Stats returns sink counters.
+func (m *Master) Stats() MasterStats {
+	m.sinkMu.Lock()
+	defer m.sinkMu.Unlock()
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	return MasterStats{
+		Submitted: m.submitted,
+		Arrived:   m.arrived,
+		Played:    m.played,
+		Skipped:   m.skipped,
+	}
+}
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			m.cfg.Logger.Warn("swing master: accept", "err", err)
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handleWorker(conn)
+		}()
+	}
+}
+
+// handleWorker performs the join workflow (paper §IV-B steps 2-3):
+// receive Hello, deploy the operator units, start, then serve the
+// connection until it breaks.
+func (m *Master) handleWorker(conn net.Conn) {
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.FrameHello {
+		_ = conn.Close()
+		return
+	}
+	var hello wire.Hello
+	if err := wire.DecodeJSON(payload, &hello); err != nil || hello.DeviceID == "" {
+		_ = conn.Close()
+		return
+	}
+	if hello.App != m.cfg.App.Name() {
+		m.cfg.Logger.Warn("swing master: app mismatch", "worker", hello.DeviceID, "app", hello.App)
+		_ = conn.Close()
+		return
+	}
+	wc := &workerConn{
+		id:   hello.DeviceID,
+		conn: conn,
+		out:  make(chan []byte, m.cfg.OutboxCap),
+		gone: make(chan struct{}),
+	}
+
+	// Deploy: every worker activates the full operator pipeline (the
+	// vertical-slice deployment of Figure 3).
+	deploy := wire.Deploy{Units: m.cfg.App.Graph.Operators(), ReportEveryMillis: 1000}
+	db, err := wire.EncodeJSON(deploy)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if err := wire.WriteFrame(conn, wire.FrameDeploy, db); err != nil {
+		_ = conn.Close()
+		return
+	}
+	if err := wire.WriteFrame(conn, wire.FrameStart, nil); err != nil {
+		_ = conn.Close()
+		return
+	}
+
+	m.workersMu.Lock()
+	if _, dup := m.workers[wc.id]; dup {
+		m.workersMu.Unlock()
+		m.cfg.Logger.Warn("swing master: duplicate worker id", "worker", wc.id)
+		_ = conn.Close()
+		return
+	}
+	m.workers[wc.id] = wc
+	m.workersMu.Unlock()
+
+	m.routerMu.Lock()
+	err = m.router.AddDownstream(wc.id)
+	m.routerMu.Unlock()
+	if err != nil {
+		m.cfg.Logger.Warn("swing master: register worker", "worker", wc.id, "err", err)
+	}
+	m.cfg.Logger.Info("swing master: worker joined", "worker", wc.id)
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.writeLoop(wc)
+	}()
+	m.readLoop(wc) // returns when the connection breaks
+	m.dropWorker(wc)
+}
+
+func (m *Master) writeLoop(wc *workerConn) {
+	for {
+		select {
+		case frame := <-wc.out:
+			wc.writeMu.Lock()
+			err := wire.WriteFrame(wc.conn, wire.FrameTuple, frame)
+			wc.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		case <-wc.gone:
+			return
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+func (m *Master) readLoop(wc *workerConn) {
+	for {
+		typ, payload, err := wire.ReadFrame(wc.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.FrameResult:
+			m.handleResult(wc, payload)
+		case wire.FrameStats:
+			var st wire.Stats
+			if err := wire.DecodeJSON(payload, &st); err == nil {
+				wc.mu.Lock()
+				wc.processed = st.Processed
+				wc.mu.Unlock()
+			}
+		default:
+			// Ignore unexpected frames from workers.
+		}
+	}
+}
+
+// dropWorker handles an abrupt leave: remove from the routing table so
+// traffic re-routes immediately (§IV-C).
+func (m *Master) dropWorker(wc *workerConn) {
+	m.workersMu.Lock()
+	if m.workers[wc.id] != wc {
+		m.workersMu.Unlock()
+		return
+	}
+	delete(m.workers, wc.id)
+	m.workersMu.Unlock()
+
+	close(wc.gone)
+	_ = wc.conn.Close()
+
+	m.routerMu.Lock()
+	if m.router.Has(wc.id) {
+		_ = m.router.RemoveDownstream(wc.id)
+	}
+	m.routerMu.Unlock()
+	m.cfg.Logger.Info("swing master: worker left", "worker", wc.id)
+}
+
+func (m *Master) reconfigureLoop(period time.Duration) {
+	defer m.wg.Done()
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	var lastSubmitted int64
+	for {
+		select {
+		case <-ticker.C:
+			m.subMu.Lock()
+			cur := m.submitted
+			m.subMu.Unlock()
+			lambda := float64(cur-lastSubmitted) / period.Seconds()
+			lastSubmitted = cur
+			m.routerMu.Lock()
+			m.router.Reconfigure(lambda)
+			m.routerMu.Unlock()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Submit routes one tuple into the swarm. It blocks when the chosen
+// worker's send queue is full (TCP backpressure) and returns ErrNoWorkers
+// when the swarm is empty.
+func (m *Master) Submit(t *tuple.Tuple) error {
+	for attempts := 0; ; attempts++ {
+		select {
+		case <-m.stop:
+			return ErrStopped
+		default:
+		}
+		m.routerMu.Lock()
+		id, err := m.router.RouteAvoiding(func(id string) bool {
+			m.workersMu.Lock()
+			wc, ok := m.workers[id]
+			m.workersMu.Unlock()
+			return !ok || len(wc.out) == cap(wc.out)
+		})
+		m.routerMu.Unlock()
+		if err != nil {
+			return ErrNoWorkers
+		}
+		m.workersMu.Lock()
+		wc, ok := m.workers[id]
+		m.workersMu.Unlock()
+		if !ok {
+			if attempts > 8 {
+				return ErrNoWorkers
+			}
+			continue // routed to a worker that just left; re-route
+		}
+		t.EmitNanos = time.Now().UnixNano()
+		frame, err := tuple.Marshal(t)
+		if err != nil {
+			return fmt.Errorf("runtime: submit: %w", err)
+		}
+		m.subMu.Lock()
+		m.submitted++
+		m.subMu.Unlock()
+		select {
+		case wc.out <- frame:
+			return nil
+		case <-wc.gone:
+			// Worker died while we were blocked; try another.
+			continue
+		case <-m.stop:
+			return ErrStopped
+		}
+	}
+}
+
+// handleResult is the sink path: latency feedback plus the reorder buffer
+// (§IV-C "Reordering Service").
+func (m *Master) handleResult(wc *workerConn, payload []byte) {
+	meta, tb, err := wire.DecodeResult(payload)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	latency := now.Sub(time.Unix(0, meta.EmitNanos))
+	if latency < 0 {
+		latency = 0
+	}
+	m.routerMu.Lock()
+	_ = m.router.ObserveAck(wc.id, latency, time.Duration(meta.ProcNanos), now.Sub(m.start))
+	m.routerMu.Unlock()
+
+	res, err := tuple.Unmarshal(tb)
+	if err != nil {
+		return
+	}
+	m.deliver(Result{Tuple: res, Latency: latency, Worker: wc.id})
+}
+
+// deliver plays results in sequence order, skipping when the reorder
+// buffer overflows.
+func (m *Master) deliver(r Result) {
+	var plays []Result
+	m.sinkMu.Lock()
+	m.arrived++
+	if r.Tuple.SeqNo >= m.nextPlay {
+		m.reorder[r.Tuple.SeqNo] = &pendingResult{res: r}
+	}
+	for {
+		if pr, ok := m.reorder[m.nextPlay]; ok {
+			delete(m.reorder, m.nextPlay)
+			plays = append(plays, pr.res)
+			m.played++
+			m.nextPlay++
+			continue
+		}
+		if len(m.reorder) >= m.rcap {
+			min := ^uint64(0)
+			for seq := range m.reorder {
+				if seq < min {
+					min = seq
+				}
+			}
+			m.skipped += int64(min - m.nextPlay)
+			m.nextPlay = min
+			continue
+		}
+		break
+	}
+	m.sinkMu.Unlock()
+	if m.cfg.OnResult != nil {
+		for _, p := range plays {
+			m.cfg.OnResult(p)
+		}
+	}
+}
+
+// Close stops the master: workers receive Stop, connections close, and
+// all goroutines drain.
+func (m *Master) Close() error {
+	m.once.Do(func() {
+		close(m.stop)
+		_ = m.ln.Close()
+		m.workersMu.Lock()
+		conns := make([]*workerConn, 0, len(m.workers))
+		for _, wc := range m.workers {
+			conns = append(conns, wc)
+		}
+		m.workersMu.Unlock()
+		for _, wc := range conns {
+			wc.writeMu.Lock()
+			_ = wire.WriteFrame(wc.conn, wire.FrameStop, nil)
+			wc.writeMu.Unlock()
+			_ = wc.conn.Close()
+		}
+		m.wg.Wait()
+	})
+	return nil
+}

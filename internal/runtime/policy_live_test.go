@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/transport"
+)
+
+// runLiveSession drives a fixed frame budget through a master with one
+// fast and one very slow worker and reports how many frames completed
+// within the deadline.
+func runLiveSession(t *testing.T, policy routing.PolicyKind) (completed int64, fast, slow int64) {
+	t.Helper()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := transport.NewMem()
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     policy,
+		ListenAddr: "master",
+		Transport:  mem,
+		OnResult:   col.add,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	wFast := startTestWorker(t, mem, m, "fast", 1)
+	wSlow := startTestWorker(t, mem, m, "slow", 80) // ~ the straggler E
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 2 }, "join")
+
+	// Stream under a fixed wall-clock budget; under RR the straggler's
+	// full queue blocks Submit (TCP backpressure), so fewer frames even
+	// enter the swarm — the same mechanism the simulator models.
+	src := apps.NewFrameSource(600, 5)
+	deadline := time.After(2 * time.Second)
+	ticker := time.NewTicker(3 * time.Millisecond)
+	defer ticker.Stop()
+stream:
+	for {
+		select {
+		case <-ticker.C:
+			done := make(chan error, 1)
+			go func() { done <- m.Submit(src.Next()) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+			case <-deadline:
+				break stream
+			}
+		case <-deadline:
+			break stream
+		}
+	}
+	// Short fixed drain window.
+	time.Sleep(500 * time.Millisecond)
+	st := m.Stats()
+	return st.Arrived, wFast.Processed(), wSlow.Processed()
+}
+
+// TestLiveLRSBeatsRR: with a 25x-slower straggler in the swarm, the live
+// LRS session completes more frames in the same wall-clock budget than RR,
+// which keeps handing the straggler an equal share.
+func TestLiveLRSBeatsRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live session in -short mode")
+	}
+	lrsDone, lrsFast, lrsSlow := runLiveSession(t, routing.LRS)
+	rrDone, rrFast, rrSlow := runLiveSession(t, routing.RR)
+
+	t.Logf("LRS: %d done (fast=%d slow=%d); RR: %d done (fast=%d slow=%d)",
+		lrsDone, lrsFast, lrsSlow, rrDone, rrFast, rrSlow)
+	if lrsDone <= rrDone {
+		t.Fatalf("live LRS completed %d <= RR %d", lrsDone, rrDone)
+	}
+	// LRS shifts share decisively toward the fast worker; RR cannot.
+	if lrsFast < 3*lrsSlow {
+		t.Fatalf("LRS split fast=%d slow=%d, want heavy skew", lrsFast, lrsSlow)
+	}
+}

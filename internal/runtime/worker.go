@@ -1,0 +1,320 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/transport"
+	"github.com/swingframework/swing/internal/tuple"
+	"github.com/swingframework/swing/internal/wire"
+)
+
+// WorkerConfig configures StartWorker.
+type WorkerConfig struct {
+	// DeviceID uniquely names this worker in the swarm.
+	DeviceID string
+	// MasterAddr is the master's control address (from discovery or
+	// out-of-band).
+	MasterAddr string
+	// App must be the same application the master coordinates (the
+	// paper's workflow installs the app on every device).
+	App *apps.App
+	// Transport defaults to TCP.
+	Transport transport.Transport
+	// QueueCap bounds the input queue in tuples (default 48); a full
+	// queue stalls the connection read, which is the TCP backpressure
+	// the master's routing observes.
+	QueueCap int
+	// SpeedFactor artificially slows processing by the given factor
+	// (>1), emulating a weaker device on homogeneous test hosts.
+	SpeedFactor float64
+	// Logger defaults to slog.Default.
+	Logger *slog.Logger
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Transport == nil {
+		c.Transport = transport.TCP{}
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 48
+	}
+	if c.SpeedFactor < 1 {
+		c.SpeedFactor = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Worker executes the operator pipeline assigned by the master on locally
+// received tuples and returns results.
+type Worker struct {
+	cfg   WorkerConfig
+	conn  net.Conn
+	chain []graph.Processor
+
+	queue chan *tuple.Tuple
+
+	writeMu sync.Mutex
+
+	processed int64
+	statsMu   sync.Mutex
+
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+	done  chan struct{}
+}
+
+// StartWorker joins the swarm: it dials the master, completes the
+// hello/deploy/start handshake and begins processing.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.App == nil {
+		return nil, errors.New("runtime: nil app")
+	}
+	if cfg.DeviceID == "" {
+		return nil, errors.New("runtime: empty device id")
+	}
+	conn, err := cfg.Transport.Dial(cfg.MasterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: join master: %w", err)
+	}
+	hello, err := wire.EncodeJSON(wire.Hello{
+		DeviceID:    cfg.DeviceID,
+		App:         cfg.App.Name(),
+		SpeedFactor: cfg.SpeedFactor,
+	})
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, wire.FrameHello, hello); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: hello: %w", err)
+	}
+
+	// Deploy: activate the assigned function units.
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.FrameDeploy {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: expected deploy, got %v: %v", typ, err)
+	}
+	var deploy wire.Deploy
+	if err := wire.DecodeJSON(payload, &deploy); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	chain, err := buildChain(cfg.App, deploy.Units)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	typ, _, err = wire.ReadFrame(conn)
+	if err != nil || typ != wire.FrameStart {
+		_ = conn.Close()
+		return nil, fmt.Errorf("runtime: expected start, got %v: %v", typ, err)
+	}
+
+	w := &Worker{
+		cfg:   cfg,
+		conn:  conn,
+		chain: chain,
+		queue: make(chan *tuple.Tuple, cfg.QueueCap),
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	w.wg.Add(3)
+	go w.readLoop()
+	go w.processLoop()
+	go w.statsLoop(time.Duration(deploy.ReportEveryMillis) * time.Millisecond)
+	go func() {
+		w.wg.Wait()
+		close(w.done)
+	}()
+	cfg.Logger.Info("swing worker: joined", "device", cfg.DeviceID, "master", cfg.MasterAddr)
+	return w, nil
+}
+
+// buildChain instantiates the worker's processors in pipeline order.
+func buildChain(app *apps.App, units []string) ([]graph.Processor, error) {
+	if len(units) == 0 {
+		return nil, errors.New("runtime: empty deployment")
+	}
+	chain := make([]graph.Processor, 0, len(units))
+	for _, id := range units {
+		u, err := app.Graph.Unit(id)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: deploy: %w", err)
+		}
+		if u.NewProcessor == nil {
+			return nil, fmt.Errorf("runtime: unit %q has no processor factory", id)
+		}
+		chain = append(chain, u.NewProcessor())
+	}
+	return chain, nil
+}
+
+func (w *Worker) readLoop() {
+	defer w.wg.Done()
+	defer close(w.queue)
+	for {
+		typ, payload, err := wire.ReadFrame(w.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.FrameTuple:
+			t, err := tuple.Unmarshal(payload)
+			if err != nil {
+				w.cfg.Logger.Warn("swing worker: bad tuple", "err", err)
+				continue
+			}
+			select {
+			case w.queue <- t:
+			case <-w.stop:
+				return
+			}
+		case wire.FrameStop:
+			return
+		default:
+			// Control frames after start are ignored.
+		}
+	}
+}
+
+// collectEmitter gathers a processor's outputs.
+type collectEmitter struct {
+	out []*tuple.Tuple
+}
+
+var _ graph.Emitter = (*collectEmitter)(nil)
+
+// Emit implements graph.Emitter.
+func (c *collectEmitter) Emit(t *tuple.Tuple) error {
+	c.out = append(c.out, t)
+	return nil
+}
+
+func (w *Worker) processLoop() {
+	defer w.wg.Done()
+	for t := range w.queue {
+		w.processOne(t)
+	}
+}
+
+// processOne runs the tuple through the local operator chain (the
+// vertical pipeline slice) and returns the result with ACK metadata.
+func (w *Worker) processOne(t *tuple.Tuple) {
+	begin := time.Now()
+	cur := []*tuple.Tuple{t}
+	for _, p := range w.chain {
+		var em collectEmitter
+		for _, in := range cur {
+			if err := p.ProcessData(&em, in); err != nil {
+				w.cfg.Logger.Warn("swing worker: process", "err", err)
+				return
+			}
+		}
+		cur = em.out
+		if len(cur) == 0 {
+			return // stage filtered the tuple out
+		}
+	}
+	proc := time.Since(begin)
+	if w.cfg.SpeedFactor > 1 {
+		// Emulate a slower device: stretch processing time.
+		time.Sleep(time.Duration(float64(proc) * (w.cfg.SpeedFactor - 1)))
+		proc = time.Duration(float64(proc) * w.cfg.SpeedFactor)
+	}
+	w.statsMu.Lock()
+	w.processed++
+	w.statsMu.Unlock()
+
+	for _, out := range cur {
+		tb, err := tuple.Marshal(out)
+		if err != nil {
+			w.cfg.Logger.Warn("swing worker: marshal result", "err", err)
+			continue
+		}
+		payload, err := wire.EncodeResult(wire.ResultMeta{
+			EmitNanos: t.EmitNanos,
+			ProcNanos: int64(proc),
+		}, tb)
+		if err != nil {
+			continue
+		}
+		w.writeMu.Lock()
+		err = wire.WriteFrame(w.conn, wire.FrameResult, payload)
+		w.writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (w *Worker) statsLoop(period time.Duration) {
+	defer w.wg.Done()
+	if period <= 0 {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.statsMu.Lock()
+			st := wire.Stats{
+				DeviceID:  w.cfg.DeviceID,
+				Processed: w.processed,
+				QueueLen:  len(w.queue),
+				UptimeMS:  time.Since(w.start).Milliseconds(),
+			}
+			w.statsMu.Unlock()
+			b, err := wire.EncodeJSON(st)
+			if err != nil {
+				continue
+			}
+			w.writeMu.Lock()
+			err = wire.WriteFrame(w.conn, wire.FrameStats, b)
+			w.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Processed reports how many tuples this worker has completed.
+func (w *Worker) Processed() int64 {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.processed
+}
+
+// Close leaves the swarm: the connection closes (the master observes an
+// abrupt leave) and all goroutines drain.
+func (w *Worker) Close() error {
+	w.once.Do(func() {
+		close(w.stop)
+		_ = w.conn.Close()
+		<-w.done
+	})
+	return nil
+}
+
+// Wait blocks until the worker has fully shut down (connection closed by
+// either side).
+func (w *Worker) Wait() { <-w.done }

@@ -1,0 +1,230 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in scheduling order,
+// which — together with a seeded random source — makes every simulation run
+// fully reproducible.
+//
+// All Swing experiments (see internal/experiments) run on top of this
+// engine so that the paper's figures regenerate deterministically.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the engine was stopped
+// explicitly via Stop before the run condition was reached.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a handle to a scheduled callback. It can be used to cancel the
+// callback before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once removed
+	canceled bool
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() time.Duration { return e.at }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all callbacks run on the goroutine that calls Run.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// processed counts events executed so far, useful as a runaway guard
+	// and for diagnostics.
+	processed uint64
+}
+
+// New returns an Engine whose random source is seeded with seed. Two
+// engines created with the same seed and fed the same schedule produce
+// identical runs.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewPCG(uint64(seed), 0x51deadbeef)),
+	}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's seeded random source. Model code must draw all
+// randomness from this source to preserve determinism.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay of virtual time. A negative
+// delay is treated as zero. The returned Event may be canceled.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at virtual time at. Times in the past
+// are clamped to the current instant.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// actually removed.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when no events remain or the engine was
+// stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.queue).(*Event)
+	if !ok {
+		return false
+	}
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped in the latter case.
+func (e *Engine) Run() error {
+	for e.Step() {
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps up to and including horizon,
+// then advances the clock to horizon. Events scheduled beyond the horizon
+// stay queued.
+func (e *Engine) RunUntil(horizon time.Duration) error {
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunFor is shorthand for RunUntil(Now()+d).
+func (e *Engine) RunFor(d time.Duration) error {
+	return e.RunUntil(e.now + d)
+}
+
+// Stop halts the current Run/RunUntil after the in-flight event completes.
+// The engine can not be restarted afterwards.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Every schedules fn to run every period of virtual time, starting after
+// the first period elapses. It returns a cancel function that stops future
+// firings. Period must be positive.
+func (e *Engine) Every(period time.Duration, fn func()) (cancel func(), err error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v", period)
+	}
+	stopped := false
+	var schedule func()
+	var pending *Event
+	schedule = func() {
+		pending = e.Schedule(period, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}, nil
+}

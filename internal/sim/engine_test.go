@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New(1)
+	if got := e.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := New(1)
+	var fired time.Duration
+	e.Schedule(5*time.Millisecond, func() { fired = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 5*time.Millisecond {
+		t.Fatalf("event fired at %v, want 5ms", fired)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", e.Now())
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleAtPastClamps(t *testing.T) {
+	e := New(1)
+	e.Schedule(10*time.Millisecond, func() {
+		e.ScheduleAt(time.Millisecond, func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("past event fired at %v, want clamp to 10ms", e.Now())
+			}
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	e := New(1)
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	e := New(1)
+	ev := e.Schedule(time.Millisecond, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Cancel(ev) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(5 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want horizon 5ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d total, want 3", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New(1)
+	if err := e.RunUntil(time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New(1)
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New(1)
+	var ticks []time.Duration
+	cancel, err := e.Every(100*time.Millisecond, func() {
+		ticks = append(ticks, e.Now())
+	})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if err := e.RunUntil(350 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (at 100,200,300ms): %v", len(ticks), ticks)
+	}
+	cancel()
+	if err := e.RunUntil(time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks after cancel: got %d, want 3", len(ticks))
+	}
+}
+
+func TestEveryInvalidPeriod(t *testing.T) {
+	e := New(1)
+	if _, err := e.Every(0, func() {}); err == nil {
+		t.Fatal("Every(0) did not error")
+	}
+	if _, err := e.Every(-time.Second, func() {}); err == nil {
+		t.Fatal("Every(-1s) did not error")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, recurse)
+		}
+	}
+	e.Schedule(time.Millisecond, recurse)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 100*time.Millisecond {
+		t.Fatalf("Now() = %v, want 100ms", e.Now())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same-seed engines diverge")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).Rand().Float64() == c.Rand().Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+// TestClockMonotonicProperty checks via quick that, for any schedule of
+// delays, event execution times observed by callbacks never decrease.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(delays []int16) bool {
+		e := New(7)
+		var times []time.Duration
+		for _, d := range delays {
+			delay := time.Duration(d) * time.Microsecond
+			e.Schedule(delay, func() { times = append(times, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapStressProperty schedules and cancels a pseudo-random mixture of
+// events and checks bookkeeping invariants.
+func TestHeapStressProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		e := New(seed)
+		var handles []*Event
+		fired := 0
+		for i := 0; i < 200; i++ {
+			d := time.Duration(e.Rand().IntN(1000)) * time.Microsecond
+			handles = append(handles, e.Schedule(d, func() { fired++ }))
+		}
+		canceled := 0
+		for i, h := range handles {
+			if i%3 == 0 && e.Cancel(h) {
+				canceled++
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return fired+canceled == 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 10000 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package transport abstracts the byte transport under Swing's live
+// runtime so the same master/worker code runs over real TCP sockets on a
+// LAN and over in-memory pipes in unit tests.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport provides listeners and dialers for a network.
+type Transport interface {
+	// Listen opens a listener. For TCP, addr is "host:port" (":0" picks
+	// a free port); for the in-memory transport it is any unique name.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the production transport over net.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return l, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Mem is an in-process transport: listeners register under string
+// addresses and dialing creates a net.Pipe pair. Safe for concurrent use.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem returns an empty in-memory network.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Errors returned by the in-memory transport.
+var (
+	ErrAddrInUse  = errors.New("transport: address in use")
+	ErrNoListener = errors.New("transport: no listener at address")
+	ErrClosed     = errors.New("transport: listener closed")
+)
+
+// Listen implements Transport.
+func (m *Mem) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		return nil, errors.New("transport: empty address")
+	}
+	if _, exists := m.listeners[addr]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &memListener{
+		net:    m,
+		addr:   memAddr(addr),
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (m *Mem) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoListener, addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", ErrClosed, addr)
+	}
+}
+
+func (m *Mem) drop(addr string) {
+	m.mu.Lock()
+	delete(m.listeners, addr)
+	m.mu.Unlock()
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+type memListener struct {
+	net    *Mem
+	addr   memAddr
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", ErrClosed, l.addr)
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.drop(string(l.addr))
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func exchange(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := conn.Write([]byte("pong!")); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+
+	conn, err := tr.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write([]byte("ping!")); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if string(buf) != "pong!" {
+		t.Fatalf("got %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestTCPExchange(t *testing.T) {
+	exchange(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestMemExchange(t *testing.T) {
+	exchange(t, NewMem(), "nodeA")
+}
+
+func TestMemDialUnknown(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("ghost"); !errors.Is(err, ErrNoListener) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("x"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = ln.Close()
+	// After close the address is free again.
+	ln2, err := m.Listen("x")
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	_ = ln2.Close()
+}
+
+func TestMemEmptyAddr(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Listen(""); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+func TestMemCloseUnblocksAccept(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = ln.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Accept err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept not unblocked by Close")
+	}
+	// Dialing a closed listener fails.
+	if _, err := m.Dial("srv"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+}
+
+func TestMemDoubleCloseSafe(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAddr(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("myaddr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	if ln.Addr().String() != "myaddr" || ln.Addr().Network() != "mem" {
+		t.Fatalf("addr = %v/%v", ln.Addr().Network(), ln.Addr().String())
+	}
+}
+
+func TestMemConcurrentDials(t *testing.T) {
+	m := NewMem()
+	ln, err := m.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	const n = 20
+	var wg sync.WaitGroup
+	accepted := make(chan net.Conn, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	var dialWg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		dialWg.Add(1)
+		go func() {
+			defer dialWg.Done()
+			c, err := m.Dial("hub")
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			_ = c.Close()
+		}()
+	}
+	dialWg.Wait()
+	wg.Wait()
+	if len(accepted) != n {
+		t.Fatalf("accepted %d, want %d", len(accepted), n)
+	}
+	for len(accepted) > 0 {
+		c := <-accepted
+		_ = c.Close()
+	}
+}

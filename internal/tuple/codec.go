@@ -1,0 +1,279 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format (all integers little-endian):
+//
+//	header:  id u64 | seq u64 | emitNanos i64 | nfields u16
+//	field:   nameLen u8 | name | kind u8 | payload
+//	payload: bytes/string: len u32 | data
+//	         int64/float64: 8 bytes
+//	         bool: 1 byte
+//	         matrix: rows u32 | cols u32 | rows*cols float64
+//
+// The format is versionless by design: both ends of a Swing deployment run
+// the same app binary (the paper's workflow installs the same app on every
+// device), so there is no cross-version framing to negotiate.
+
+const headerSize = 8 + 8 + 8 + 2
+
+const (
+	maxFieldName = 255
+	maxFields    = 1 << 16
+
+	// maxPayload bounds a single field payload (64 MiB); it protects
+	// receivers against corrupt or hostile length prefixes.
+	maxPayload = 64 << 20
+)
+
+func fieldFraming(f Field) int {
+	n := 1 + len(f.Name) + 1 // nameLen, name, kind
+	switch f.Value.kind {
+	case KindBytes:
+		n += 4 + len(f.Value.b)
+	case KindString:
+		n += 4 + len(f.Value.s)
+	case KindInt64, KindFloat64:
+		n += 8
+	case KindBool:
+		n++
+	case KindFloatMatrix:
+		n += 8
+		if f.Value.m != nil {
+			n += 8 * len(f.Value.m.Data)
+		}
+	}
+	return n
+}
+
+// Marshal serializes the tuple into a fresh byte slice.
+func Marshal(t *Tuple) ([]byte, error) {
+	if t == nil {
+		return nil, ErrNilTuple
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.fields) >= maxFields {
+		return nil, fmt.Errorf("tuple: %d fields exceeds limit", len(t.fields))
+	}
+	buf := make([]byte, 0, t.WireSize())
+	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+	buf = binary.LittleEndian.AppendUint64(buf, t.SeqNo)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.EmitNanos))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.fields)))
+	for _, f := range t.fields {
+		if len(f.Name) > maxFieldName {
+			return nil, fmt.Errorf("tuple: field name %q too long", f.Name)
+		}
+		buf = append(buf, byte(len(f.Name)))
+		buf = append(buf, f.Name...)
+		buf = append(buf, byte(f.Value.kind))
+		switch f.Value.kind {
+		case KindBytes:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Value.b)))
+			buf = append(buf, f.Value.b...)
+		case KindString:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Value.s)))
+			buf = append(buf, f.Value.s...)
+		case KindInt64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Value.i))
+		case KindFloat64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.Value.f))
+		case KindBool:
+			if f.Value.yes {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case KindFloatMatrix:
+			m := f.Value.m
+			if m == nil {
+				m = &Matrix{}
+			}
+			if m.Rows < 0 || m.Cols < 0 || m.Rows*m.Cols != len(m.Data) {
+				return nil, fmt.Errorf("tuple: field %q matrix shape %dx%d does not match %d elements",
+					f.Name, m.Rows, m.Cols, len(m.Data))
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+			for _, v := range m.Data {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		default:
+			return nil, fmt.Errorf("tuple: field %q has unsupported kind %v", f.Name, f.Value.kind)
+		}
+	}
+	return buf, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) ([]byte, error) {
+	if r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.buf))
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Unmarshal parses a tuple from data. The returned tuple owns copies of all
+// payloads; data may be reused afterwards.
+func Unmarshal(data []byte) (*Tuple, error) {
+	r := &reader{buf: data}
+	id, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	emit, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	nf, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tuple{ID: id, SeqNo: seq, EmitNanos: int64(emit)}
+	t.fields = make([]Field, 0, nf)
+	for i := 0; i < int(nf); i++ {
+		nameLen, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		nameBytes, err := r.need(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameBytes)
+		kindByte, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		kind := Kind(kindByte)
+		var v Value
+		switch kind {
+		case KindBytes:
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if n > maxPayload {
+				return nil, fmt.Errorf("tuple: field %q payload %d exceeds limit", name, n)
+			}
+			raw, err := r.need(int(n))
+			if err != nil {
+				return nil, err
+			}
+			b := make([]byte, n)
+			copy(b, raw)
+			v = Bytes(b)
+		case KindString:
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if n > maxPayload {
+				return nil, fmt.Errorf("tuple: field %q payload %d exceeds limit", name, n)
+			}
+			raw, err := r.need(int(n))
+			if err != nil {
+				return nil, err
+			}
+			v = String(string(raw))
+		case KindInt64:
+			u, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			v = Int64(int64(u))
+		case KindFloat64:
+			u, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			v = Float64(math.Float64frombits(u))
+		case KindBool:
+			b, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			v = Bool(b != 0)
+		case KindFloatMatrix:
+			rows, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			cols, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			total := uint64(rows) * uint64(cols)
+			if total*8 > maxPayload {
+				return nil, fmt.Errorf("tuple: field %q matrix %dx%d exceeds limit", name, rows, cols)
+			}
+			m := &Matrix{Rows: int(rows), Cols: int(cols), Data: make([]float64, total)}
+			for j := range m.Data {
+				u, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				m.Data[j] = math.Float64frombits(u)
+			}
+			v = FloatMatrix(m)
+		default:
+			return nil, fmt.Errorf("tuple: field %q has unknown kind byte %d", name, kindByte)
+		}
+		t.fields = append(t.fields, Field{Name: name, Value: v})
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("tuple: %d trailing bytes after decode", len(data)-r.off)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

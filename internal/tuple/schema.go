@@ -1,0 +1,122 @@
+package tuple
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Schema declares the structure of tuples flowing along a graph edge, the
+// way the paper's API defines the tuple layout up front ("first part: a
+// byte array, second part: a string"). A schema is an ordered list of
+// (name, kind) pairs; Check verifies a tuple conforms.
+type Schema struct {
+	fields []schemaField
+}
+
+type schemaField struct {
+	name     string
+	kind     Kind
+	optional bool
+}
+
+// Schema errors.
+var (
+	ErrSchemaViolation = errors.New("tuple: schema violation")
+	ErrSchemaDup       = errors.New("tuple: duplicate schema field")
+)
+
+// SchemaBuilder composes a Schema.
+type SchemaBuilder struct {
+	s    Schema
+	errs []error
+}
+
+// NewSchema starts composing a schema.
+func NewSchema() *SchemaBuilder { return &SchemaBuilder{} }
+
+// Field adds a required field of the given kind.
+func (b *SchemaBuilder) Field(name string, kind Kind) *SchemaBuilder {
+	return b.add(name, kind, false)
+}
+
+// Optional adds a field that tuples may omit.
+func (b *SchemaBuilder) Optional(name string, kind Kind) *SchemaBuilder {
+	return b.add(name, kind, true)
+}
+
+func (b *SchemaBuilder) add(name string, kind Kind, optional bool) *SchemaBuilder {
+	if name == "" {
+		b.errs = append(b.errs, errors.New("tuple: empty schema field name"))
+		return b
+	}
+	if kind < KindBytes || kind > KindFloatMatrix {
+		b.errs = append(b.errs, fmt.Errorf("tuple: schema field %q has invalid kind %d", name, kind))
+		return b
+	}
+	for _, f := range b.s.fields {
+		if f.name == name {
+			b.errs = append(b.errs, fmt.Errorf("%w: %q", ErrSchemaDup, name))
+			return b
+		}
+	}
+	b.s.fields = append(b.s.fields, schemaField{name: name, kind: kind, optional: optional})
+	return b
+}
+
+// Build returns the composed schema or the first accumulated error.
+func (b *SchemaBuilder) Build() (*Schema, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	s := b.s // copy
+	return &s, nil
+}
+
+// Fields returns the schema's field names in declaration order.
+func (s *Schema) Fields() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.name
+	}
+	return out
+}
+
+// Check verifies the tuple conforms: every required field is present with
+// the declared kind, optional fields (when present) have the declared
+// kind, and the tuple carries no undeclared fields.
+func (s *Schema) Check(t *Tuple) error {
+	if t == nil {
+		return ErrNilTuple
+	}
+	declared := make(map[string]schemaField, len(s.fields))
+	for _, f := range s.fields {
+		declared[f.name] = f
+	}
+	seen := make(map[string]struct{}, t.Len())
+	for _, f := range t.Fields() {
+		seen[f.Name] = struct{}{}
+		d, ok := declared[f.Name]
+		if !ok {
+			return fmt.Errorf("%w: undeclared field %q", ErrSchemaViolation, f.Name)
+		}
+		if f.Value.Kind() != d.kind {
+			return fmt.Errorf("%w: field %q is %v, want %v",
+				ErrSchemaViolation, f.Name, f.Value.Kind(), d.kind)
+		}
+	}
+	var missing []string
+	for _, f := range s.fields {
+		if f.optional {
+			continue
+		}
+		if _, ok := seen[f.name]; !ok {
+			missing = append(missing, f.name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%w: missing required field(s) %s",
+			ErrSchemaViolation, strings.Join(missing, ", "))
+	}
+	return nil
+}

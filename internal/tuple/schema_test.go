@@ -1,0 +1,113 @@
+package tuple
+
+import (
+	"errors"
+	"testing"
+)
+
+func videoSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema().
+		Field("frame", KindBytes).
+		Field("camera", KindString).
+		Optional("gps", KindFloatMatrix).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func TestSchemaCheckOK(t *testing.T) {
+	s := videoSchema(t)
+	tp := New(1, 1)
+	tp.Set("frame", Bytes([]byte{1}))
+	tp.Set("camera", String("A"))
+	if err := s.Check(tp); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// With the optional field present too.
+	tp.Set("gps", FloatMatrix(NewMatrix(1, 2)))
+	if err := s.Check(tp); err != nil {
+		t.Fatalf("Check with optional: %v", err)
+	}
+}
+
+func TestSchemaMissingRequired(t *testing.T) {
+	s := videoSchema(t)
+	tp := New(1, 1)
+	tp.Set("frame", Bytes([]byte{1}))
+	if err := s.Check(tp); !errors.Is(err, ErrSchemaViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchemaWrongKind(t *testing.T) {
+	s := videoSchema(t)
+	tp := New(1, 1)
+	tp.Set("frame", String("not bytes"))
+	tp.Set("camera", String("A"))
+	if err := s.Check(tp); !errors.Is(err, ErrSchemaViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchemaUndeclaredField(t *testing.T) {
+	s := videoSchema(t)
+	tp := New(1, 1)
+	tp.Set("frame", Bytes(nil))
+	tp.Set("camera", String("A"))
+	tp.Set("rogue", Int64(1))
+	if err := s.Check(tp); !errors.Is(err, ErrSchemaViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchemaNilTuple(t *testing.T) {
+	s := videoSchema(t)
+	if err := s.Check(nil); !errors.Is(err, ErrNilTuple) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchemaBuilderErrors(t *testing.T) {
+	if _, err := NewSchema().Field("", KindBytes).Build(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewSchema().Field("x", Kind(0)).Build(); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	_, err := NewSchema().Field("x", KindBytes).Field("x", KindString).Build()
+	if !errors.Is(err, ErrSchemaDup) {
+		t.Fatalf("dup err = %v", err)
+	}
+}
+
+func TestSchemaFieldsOrder(t *testing.T) {
+	s := videoSchema(t)
+	fields := s.Fields()
+	want := []string{"frame", "camera", "gps"}
+	if len(fields) != len(want) {
+		t.Fatalf("fields = %v", fields)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Fatalf("fields = %v, want %v", fields, want)
+		}
+	}
+}
+
+func TestSchemaEmptyAcceptsEmptyTuple(t *testing.T) {
+	s, err := NewSchema().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(New(1, 1)); err != nil {
+		t.Fatalf("empty schema vs empty tuple: %v", err)
+	}
+	tp := New(1, 1)
+	tp.Set("x", Int64(1))
+	if err := s.Check(tp); err == nil {
+		t.Fatal("empty schema accepted a field")
+	}
+}

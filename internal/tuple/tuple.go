@@ -1,0 +1,353 @@
+// Package tuple implements Swing's data tuples: the unit of data that flows
+// along edges of an application dataflow graph, together with the binary
+// serialization service the paper describes (§IV-C, "Serialization
+// Service").
+//
+// A tuple is an ordered list of named, typed fields. Mobile sensing apps
+// transmit customized payloads — an image container, a multi-dimensional
+// sensor vector, a segment of an audio stream — so the codec supports raw
+// byte arrays, strings, scalars and float matrices.
+package tuple
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind identifies the dynamic type of a tuple field value.
+type Kind uint8
+
+// Field value kinds. They start at 1 so the zero Kind is invalid, which
+// catches uninitialized fields during validation.
+const (
+	KindBytes Kind = iota + 1
+	KindString
+	KindInt64
+	KindFloat64
+	KindBool
+	KindFloatMatrix
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindBool:
+		return "bool"
+	case KindFloatMatrix:
+		return "floatmatrix"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Matrix is a dense row-major matrix of float64 values, e.g. image feature
+// vectors or audio spectra.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a Rows x Cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Value is a single typed tuple field value.
+type Value struct {
+	kind Kind
+
+	b   []byte
+	s   string
+	i   int64
+	f   float64
+	yes bool
+	m   *Matrix
+}
+
+// Bytes wraps a byte slice as a Value. The slice is not copied; callers
+// that retain the input must not mutate it afterwards.
+func Bytes(b []byte) Value { return Value{kind: KindBytes, b: b} }
+
+// String wraps a string as a Value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int64 wraps an int64 as a Value.
+func Int64(i int64) Value { return Value{kind: KindInt64, i: i} }
+
+// Float64 wraps a float64 as a Value.
+func Float64(f float64) Value { return Value{kind: KindFloat64, f: f} }
+
+// Bool wraps a bool as a Value.
+func Bool(b bool) Value { return Value{kind: KindBool, yes: b} }
+
+// FloatMatrix wraps a Matrix as a Value. The matrix is not copied.
+func FloatMatrix(m *Matrix) Value { return Value{kind: KindFloatMatrix, m: m} }
+
+// Kind reports the value's dynamic kind; zero for an unset Value.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsBytes returns the byte payload and whether the value holds one.
+func (v Value) AsBytes() ([]byte, bool) { return v.b, v.kind == KindBytes }
+
+// AsString returns the string payload and whether the value holds one.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsInt64 returns the int64 payload and whether the value holds one.
+func (v Value) AsInt64() (int64, bool) { return v.i, v.kind == KindInt64 }
+
+// AsFloat64 returns the float64 payload and whether the value holds one.
+func (v Value) AsFloat64() (float64, bool) { return v.f, v.kind == KindFloat64 }
+
+// AsBool returns the bool payload and whether the value holds one.
+func (v Value) AsBool() (bool, bool) { return v.yes, v.kind == KindBool }
+
+// AsFloatMatrix returns the matrix payload and whether the value holds one.
+func (v Value) AsFloatMatrix() (*Matrix, bool) { return v.m, v.kind == KindFloatMatrix }
+
+// WireSize returns the number of payload bytes this value contributes when
+// serialized, excluding per-field framing. It is the quantity the network
+// model charges for transmission.
+func (v Value) WireSize() int {
+	switch v.kind {
+	case KindBytes:
+		return len(v.b)
+	case KindString:
+		return len(v.s)
+	case KindInt64, KindFloat64:
+		return 8
+	case KindBool:
+		return 1
+	case KindFloatMatrix:
+		if v.m == nil {
+			return 8
+		}
+		return 8 + 8*len(v.m.Data)
+	default:
+		return 0
+	}
+}
+
+// Equal reports deep value equality. NaN float payloads compare equal to
+// themselves so round-trip tests can use it.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindBytes:
+		if len(v.b) != len(o.b) {
+			return false
+		}
+		for i := range v.b {
+			if v.b[i] != o.b[i] {
+				return false
+			}
+		}
+		return true
+	case KindString:
+		return v.s == o.s
+	case KindInt64:
+		return v.i == o.i
+	case KindFloat64:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindBool:
+		return v.yes == o.yes
+	case KindFloatMatrix:
+		if (v.m == nil) != (o.m == nil) {
+			return false
+		}
+		if v.m == nil {
+			return true
+		}
+		if v.m.Rows != o.m.Rows || v.m.Cols != o.m.Cols || len(v.m.Data) != len(o.m.Data) {
+			return false
+		}
+		for i := range v.m.Data {
+			a, b := v.m.Data[i], o.m.Data[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Field is a named tuple value.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Tuple is the unit of data flowing along dataflow-graph edges.
+//
+// ID is assigned by the source and is globally unique within a run; it
+// drives ACK matching at upstreams and reordering at the sink. SeqNo is the
+// source emission sequence (playback order). EmitNanos carries the
+// timestamp the current upstream attached when it dispatched the tuple,
+// which the downstream echoes in its ACK for latency estimation (§V-B).
+type Tuple struct {
+	ID        uint64
+	SeqNo     uint64
+	EmitNanos int64
+
+	fields []Field
+}
+
+// Errors returned by tuple operations.
+var (
+	ErrNoField   = errors.New("tuple: no such field")
+	ErrDupField  = errors.New("tuple: duplicate field name")
+	ErrNilTuple  = errors.New("tuple: nil tuple")
+	ErrBadKind   = errors.New("tuple: wrong field kind")
+	ErrTruncated = errors.New("tuple: truncated encoding")
+)
+
+// New returns an empty tuple with the given identity.
+func New(id, seq uint64) *Tuple {
+	return &Tuple{ID: id, SeqNo: seq}
+}
+
+// Set adds or replaces the named field.
+func (t *Tuple) Set(name string, v Value) *Tuple {
+	for i := range t.fields {
+		if t.fields[i].Name == name {
+			t.fields[i].Value = v
+			return t
+		}
+	}
+	t.fields = append(t.fields, Field{Name: name, Value: v})
+	return t
+}
+
+// Get returns the named field's value.
+func (t *Tuple) Get(name string) (Value, error) {
+	for i := range t.fields {
+		if t.fields[i].Name == name {
+			return t.fields[i].Value, nil
+		}
+	}
+	return Value{}, fmt.Errorf("%w: %q", ErrNoField, name)
+}
+
+// MustBytes returns the named bytes field or an error if absent/mistyped.
+func (t *Tuple) MustBytes(name string) ([]byte, error) {
+	v, err := t.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.AsBytes()
+	if !ok {
+		return nil, fmt.Errorf("%w: field %q is %v, want bytes", ErrBadKind, name, v.Kind())
+	}
+	return b, nil
+}
+
+// MustString returns the named string field or an error if absent/mistyped.
+func (t *Tuple) MustString(name string) (string, error) {
+	v, err := t.Get(name)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.AsString()
+	if !ok {
+		return "", fmt.Errorf("%w: field %q is %v, want string", ErrBadKind, name, v.Kind())
+	}
+	return s, nil
+}
+
+// Fields returns a copy of the field list in insertion order.
+func (t *Tuple) Fields() []Field {
+	out := make([]Field, len(t.fields))
+	copy(out, t.fields)
+	return out
+}
+
+// Len reports the number of fields.
+func (t *Tuple) Len() int { return len(t.fields) }
+
+// WireSize is the total payload size in bytes: field payloads plus framing
+// (headers, names and length prefixes), matching the encoded length of
+// Marshal's output.
+func (t *Tuple) WireSize() int {
+	n := headerSize
+	for i := range t.fields {
+		n += fieldFraming(t.fields[i])
+	}
+	return n
+}
+
+// Clone returns a deep copy of the tuple; byte and matrix payloads are
+// copied so the clone can be mutated independently.
+func (t *Tuple) Clone() *Tuple {
+	c := &Tuple{ID: t.ID, SeqNo: t.SeqNo, EmitNanos: t.EmitNanos}
+	c.fields = make([]Field, len(t.fields))
+	for i, f := range t.fields {
+		cv := f.Value
+		switch cv.kind {
+		case KindBytes:
+			b := make([]byte, len(cv.b))
+			copy(b, cv.b)
+			cv.b = b
+		case KindFloatMatrix:
+			if cv.m != nil {
+				m := &Matrix{Rows: cv.m.Rows, Cols: cv.m.Cols, Data: make([]float64, len(cv.m.Data))}
+				copy(m.Data, cv.m.Data)
+				cv.m = m
+			}
+		}
+		c.fields[i] = Field{Name: f.Name, Value: cv}
+	}
+	return c
+}
+
+// Equal reports deep equality of identity and fields.
+func (t *Tuple) Equal(o *Tuple) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.ID != o.ID || t.SeqNo != o.SeqNo || t.EmitNanos != o.EmitNanos || len(t.fields) != len(o.fields) {
+		return false
+	}
+	for i := range t.fields {
+		if t.fields[i].Name != o.fields[i].Name || !t.fields[i].Value.Equal(o.fields[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: no duplicate field names and no
+// zero-kind values.
+func (t *Tuple) Validate() error {
+	if t == nil {
+		return ErrNilTuple
+	}
+	seen := make(map[string]struct{}, len(t.fields))
+	for _, f := range t.fields {
+		if _, dup := seen[f.Name]; dup {
+			return fmt.Errorf("%w: %q", ErrDupField, f.Name)
+		}
+		seen[f.Name] = struct{}{}
+		if f.Value.kind == 0 || f.Value.kind > KindFloatMatrix {
+			return fmt.Errorf("tuple: field %q has invalid kind %d", f.Name, f.Value.kind)
+		}
+	}
+	return nil
+}

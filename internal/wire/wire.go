@@ -1,0 +1,199 @@
+// Package wire defines the framing protocol Swing's live runtime speaks
+// between the master and worker devices: length-prefixed frames with a
+// type byte, carrying either JSON control messages (hello, deploy,
+// start/stop) or binary data tuples and acknowledgments.
+//
+// The protocol is deliberately small: one duplex TCP connection per worker
+// carries deployment control, the downstream tuple stream, and the
+// upstream result/ACK stream. TCP's own flow control provides the
+// backpressure that the paper's resource management reacts to.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FrameType distinguishes frame payloads.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello is the worker's first message: identity + capabilities.
+	FrameHello FrameType = iota + 1
+	// FrameDeploy tells the worker which function units to activate.
+	FrameDeploy
+	// FrameStart begins stream processing.
+	FrameStart
+	// FrameStop ends processing; the connection closes afterwards.
+	FrameStop
+	// FrameTuple carries one serialized data tuple downstream.
+	FrameTuple
+	// FrameResult carries a final result tuple upstream; it doubles as
+	// the ACK of §V-B, echoing the emit timestamp and reporting the
+	// worker's processing delay.
+	FrameResult
+	// FrameStats carries periodic worker-side statistics.
+	FrameStats
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameDeploy:
+		return "deploy"
+	case FrameStart:
+		return "start"
+	case FrameStop:
+		return "stop"
+	case FrameTuple:
+		return "tuple"
+	case FrameResult:
+		return "result"
+	case FrameStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// MaxFrameSize bounds a frame payload (16 MiB), protecting against
+// corrupt length prefixes.
+const MaxFrameSize = 16 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// WriteFrame writes one frame: u32 little-endian payload length, type
+// byte, payload. Callers serialize concurrent writers externally.
+func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(typ)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	typ := FrameType(hdr[4])
+	if typ < FrameHello || typ > FrameStats {
+		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[4])
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("read frame payload: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// Hello is the worker's registration message.
+type Hello struct {
+	// DeviceID names the worker device (unique in the swarm).
+	DeviceID string `json:"deviceId"`
+	// App is the application name the worker installed; it must match
+	// the master's (the paper's workflow installs the same app
+	// everywhere).
+	App string `json:"app"`
+	// SpeedFactor optionally declares an artificial slowdown for
+	// heterogeneity experiments on homogeneous hosts (1 = native).
+	SpeedFactor float64 `json:"speedFactor,omitempty"`
+}
+
+// Deploy assigns function units to the worker.
+type Deploy struct {
+	// Units lists unit IDs to activate, in pipeline order.
+	Units []string `json:"units"`
+	// ReportEveryMillis sets the stats reporting period.
+	ReportEveryMillis int64 `json:"reportEveryMillis,omitempty"`
+}
+
+// ResultMeta prefixes a FrameResult payload (before the tuple bytes).
+type ResultMeta struct {
+	// EmitNanos echoes the timestamp the master attached when it
+	// dispatched the tuple (for latency estimation, §V-B).
+	EmitNanos int64 `json:"emitNanos"`
+	// ProcNanos is the worker's measured pure processing time.
+	ProcNanos int64 `json:"procNanos"`
+}
+
+// Stats is the worker's periodic report.
+type Stats struct {
+	DeviceID  string `json:"deviceId"`
+	Processed int64  `json:"processed"`
+	QueueLen  int    `json:"queueLen"`
+	UptimeMS  int64  `json:"uptimeMillis"`
+}
+
+// EncodeJSON marshals a control message for a frame payload.
+func EncodeJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeJSON unmarshals a control payload.
+func DecodeJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// EncodeResult builds a FrameResult payload: u32 meta length, JSON meta,
+// tuple bytes.
+func EncodeResult(meta ResultMeta, tupleBytes []byte) ([]byte, error) {
+	mb, err := EncodeJSON(meta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 4+len(mb)+len(tupleBytes))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(mb)))
+	out = append(out, mb...)
+	out = append(out, tupleBytes...)
+	return out, nil
+}
+
+// DecodeResult splits a FrameResult payload.
+func DecodeResult(payload []byte) (ResultMeta, []byte, error) {
+	if len(payload) < 4 {
+		return ResultMeta{}, nil, fmt.Errorf("%w: short result", ErrBadFrame)
+	}
+	n := binary.LittleEndian.Uint32(payload[:4])
+	if int(n) > len(payload)-4 {
+		return ResultMeta{}, nil, fmt.Errorf("%w: result meta length %d", ErrBadFrame, n)
+	}
+	var meta ResultMeta
+	if err := DecodeJSON(payload[4:4+n], &meta); err != nil {
+		return ResultMeta{}, nil, err
+	}
+	return meta, payload[4+n:], nil
+}

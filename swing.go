@@ -1,0 +1,291 @@
+// Package swing is the public API of the Swing framework — a reproduction
+// of "Swing: Swarm Computing for Mobile Sensing" (ICDCS 2018). Swing
+// aggregates a swarm of heterogeneous devices to collaboratively execute
+// compute-intensive sensing applications expressed as dataflow graphs,
+// managed by the paper's LRS algorithm (Latency-based Routing with worker
+// Selection).
+//
+// The package exposes three layers:
+//
+//   - Application composition: build dataflow graphs with NewApp (or use
+//     the paper's two evaluation apps, FaceRecognition and
+//     VoiceTranslation).
+//   - Simulated swarms: RunSim executes a deterministic discrete-event
+//     model of the paper's nine-device wireless testbed; every figure and
+//     table of the paper regenerates through RunExperiment.
+//   - Live swarms: StartMaster / StartWorker run the same routing logic
+//     over real TCP connections between processes or machines, with UDP
+//     discovery via Announce / Discover.
+//
+// Quickstart (simulated):
+//
+//	app, _ := swing.FaceRecognition()
+//	res, _ := swing.RunSim(swing.TestbedConfig(app, swing.LRS, 42, time.Minute))
+//	fmt.Printf("throughput: %.1f FPS\n", res.ThroughputFPS)
+package swing
+
+import (
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/core"
+	"github.com/swingframework/swing/internal/device"
+	"github.com/swingframework/swing/internal/discovery"
+	"github.com/swingframework/swing/internal/experiments"
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/netem"
+	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/runtime"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// ---- Dataflow programming model (paper §IV-A) ----
+
+// Tuple is the unit of data flowing along dataflow edges.
+type Tuple = tuple.Tuple
+
+// Value is a typed tuple field.
+type Value = tuple.Value
+
+// Tuple field constructors.
+var (
+	Bytes       = tuple.Bytes
+	String      = tuple.String
+	Int64       = tuple.Int64
+	Float64     = tuple.Float64
+	Bool        = tuple.Bool
+	FloatMatrix = tuple.FloatMatrix
+)
+
+// NewTuple returns an empty tuple with the given identity.
+func NewTuple(id, seq uint64) *Tuple { return tuple.New(id, seq) }
+
+// Schema declares the tuple structure flowing along a graph edge.
+type Schema = tuple.Schema
+
+// SchemaBuilder composes a Schema.
+type SchemaBuilder = tuple.SchemaBuilder
+
+// NewSchema starts composing a tuple schema:
+//
+//	s, _ := swing.NewSchema().
+//		Field("frame", swing.KindBytes).
+//		Field("camera", swing.KindString).
+//		Build()
+func NewSchema() *SchemaBuilder { return tuple.NewSchema() }
+
+// Field kinds for schemas and values.
+const (
+	KindBytes       = tuple.KindBytes
+	KindString      = tuple.KindString
+	KindInt64       = tuple.KindInt64
+	KindFloat64     = tuple.KindFloat64
+	KindBool        = tuple.KindBool
+	KindFloatMatrix = tuple.KindFloatMatrix
+)
+
+// Emitter lets a function unit send result tuples downstream.
+type Emitter = graph.Emitter
+
+// Processor is the user-implemented body of a function unit.
+type Processor = graph.Processor
+
+// ProcessorFunc adapts a function to Processor.
+type ProcessorFunc = graph.ProcessorFunc
+
+// AppBuilder composes an application dataflow graph fluently.
+type AppBuilder = graph.Builder
+
+// UnitOption configures a unit added through an AppBuilder.
+type UnitOption = graph.UnitOption
+
+// Unit options.
+var (
+	WithWork        = graph.WithWork
+	WithOutputScale = graph.WithOutputScale
+	WithProcessor   = graph.WithProcessor
+)
+
+// NewApp starts composing an application graph, e.g.:
+//
+//	g, err := swing.NewApp("myapp").
+//		Source("camera").
+//		Operator("analyze", swing.WithWork(1.0)).
+//		Sink("display").
+//		Chain("camera", "analyze", "display").
+//		Build()
+func NewApp(name string) *AppBuilder { return graph.NewBuilder(name) }
+
+// App bundles a dataflow graph with its workload parameters.
+type App = apps.App
+
+// FrameSource generates synthetic sensor frames.
+type FrameSource = apps.FrameSource
+
+// NewFrameSource returns a deterministic generator of frames of the given
+// size.
+func NewFrameSource(frameBytes int, seed uint64) *FrameSource {
+	return apps.NewFrameSource(frameBytes, seed)
+}
+
+// FaceRecognition composes the paper's face recognition app: a 24 FPS
+// video stream of 6 kB frames through detect and recognize stages.
+func FaceRecognition() (*App, error) { return apps.FaceRecognition() }
+
+// VoiceTranslation composes the paper's voice translation app: 72 kB
+// audio frames through speech recognition and translation stages.
+func VoiceTranslation() (*App, error) { return apps.VoiceTranslation() }
+
+// ---- Resource management (paper §V) ----
+
+// Policy selects a resource-management algorithm.
+type Policy = routing.PolicyKind
+
+// The five policies the paper compares (§VI-B).
+const (
+	// RR is round-robin over all downstreams — the data-center default.
+	RR = routing.RR
+	// PR routes probabilistically by processing delay, no selection.
+	PR = routing.PR
+	// LR routes probabilistically by end-to-end latency, no selection.
+	LR = routing.LR
+	// PRS is PR plus Worker Selection.
+	PRS = routing.PRS
+	// LRS is Swing's algorithm: Latency-based Routing with worker
+	// Selection.
+	LRS = routing.LRS
+)
+
+// ParsePolicy resolves a policy name ("RR", "PR", "LR", "PRS", "LRS").
+func ParsePolicy(s string) (Policy, error) { return routing.ParsePolicy(s) }
+
+// Policies lists all policies in the paper's order.
+func Policies() []Policy { return routing.Policies() }
+
+// RoutingConfig tunes the routing algorithm (EWMA factor, reconfigure
+// period, probe cadence, selection headroom).
+type RoutingConfig = routing.Config
+
+// DefaultRoutingConfig returns the paper's operating parameters.
+func DefaultRoutingConfig(p Policy) RoutingConfig { return routing.DefaultConfig(p) }
+
+// ---- Devices and network (paper §III) ----
+
+// DeviceProfile describes one device's compute capability and power model.
+type DeviceProfile = device.Profile
+
+// TestbedProfiles returns the paper's nine devices (A..I, Table I).
+func TestbedProfiles() map[string]DeviceProfile { return device.TestbedProfiles() }
+
+// WorkerIDs returns the worker device IDs B..I.
+func WorkerIDs() []string { return device.WorkerIDs() }
+
+// RSSI is a received signal strength in dBm.
+type RSSI = netem.RSSI
+
+// Signal regions used in the paper's experiments.
+const (
+	RSSIGood = netem.RSSIGood
+	RSSIFair = netem.RSSIFair
+	RSSIBad  = netem.RSSIBad
+)
+
+// Mobility yields a device's RSSI over time.
+type Mobility = netem.Mobility
+
+// StaticSignal is a Mobility that never moves.
+type StaticSignal = netem.Static
+
+// MobilityEpoch is one leg of a walk between signal regions.
+type MobilityEpoch = netem.Epoch
+
+// NewWalk builds a piecewise mobility trace (Figure 10's scenario).
+func NewWalk(epochs []MobilityEpoch) (Mobility, error) { return netem.NewWalk(epochs) }
+
+// ---- Simulated swarms ----
+
+// SimConfig parameterizes a simulated swarm run.
+type SimConfig = core.Config
+
+// SimResult aggregates a simulated run's measurements.
+type SimResult = core.Result
+
+// SimScriptEvent schedules a membership change during a simulated run.
+type SimScriptEvent = core.ScriptEvent
+
+// Script actions.
+const (
+	ActionJoin  = core.ActionJoin
+	ActionLeave = core.ActionLeave
+)
+
+// TestbedConfig returns the paper's §VI-B setup: the app on nine devices
+// with A as source/master and B, C, D at weak-signal locations.
+func TestbedConfig(app *App, p Policy, seed int64, duration time.Duration) SimConfig {
+	return core.TestbedConfig(app, p, seed, duration)
+}
+
+// RunSim executes one deterministic simulated swarm run.
+func RunSim(cfg SimConfig) (*SimResult, error) { return core.Run(cfg) }
+
+// ---- Experiments (paper §III, §VI) ----
+
+// ExperimentOptions configures a paper experiment.
+type ExperimentOptions = experiments.Options
+
+// ExperimentReport is a rendered experiment.
+type ExperimentReport = experiments.Report
+
+// Experiments lists the reproducible tables and figures.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one paper table or figure by name ("table1",
+// "fig1", "fig2", "fig4" ... "fig10").
+func RunExperiment(name string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(name, opt)
+}
+
+// ---- Live swarms (paper §IV-B,C) ----
+
+// Master coordinates a live swarm run.
+type Master = runtime.Master
+
+// MasterConfig configures StartMaster.
+type MasterConfig = runtime.MasterConfig
+
+// Worker executes the operator pipeline on a device.
+type Worker = runtime.Worker
+
+// WorkerConfig configures StartWorker.
+type WorkerConfig = runtime.WorkerConfig
+
+// LiveResult is one in-order playback delivery at the master's sink.
+type LiveResult = runtime.Result
+
+// StartMaster launches a live master that accepts workers and routes
+// submitted tuples.
+func StartMaster(cfg MasterConfig) (*Master, error) { return runtime.StartMaster(cfg) }
+
+// StartWorker joins a live swarm as a worker device.
+func StartWorker(cfg WorkerConfig) (*Worker, error) { return runtime.StartWorker(cfg) }
+
+// Announcement is a master discovery beacon.
+type Announcement = discovery.Announcement
+
+// Announcer periodically broadcasts a master's presence over UDP.
+type Announcer = discovery.Announcer
+
+// DiscoveryPort is the default UDP discovery port.
+const DiscoveryPort = discovery.DefaultPort
+
+// Announce starts broadcasting a master's address toward target (e.g.
+// "255.255.255.255:17716") every period.
+func Announce(target string, ann Announcement, period time.Duration) (*Announcer, error) {
+	return discovery.NewAnnouncer(target, ann, period)
+}
+
+// Discover blocks until a master announcement for app arrives on the UDP
+// listen address, or the timeout expires.
+func Discover(listenAddr, app string, timeout time.Duration) (Announcement, error) {
+	return discovery.Listen(listenAddr, app, timeout)
+}

@@ -1,0 +1,102 @@
+package swing_test
+
+import (
+	"testing"
+	"time"
+
+	swing "github.com/swingframework/swing"
+)
+
+func TestFacadeComposeApp(t *testing.T) {
+	g, err := swing.NewApp("custom").
+		Source("sensor").
+		Operator("analyze", swing.WithWork(0.5), swing.WithOutputScale(0.1)).
+		Sink("out").
+		Chain("sensor", "analyze", "out").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Name() != "custom" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestFacadeTuples(t *testing.T) {
+	tp := swing.NewTuple(1, 2)
+	tp.Set("payload", swing.Bytes([]byte{1, 2, 3}))
+	tp.Set("label", swing.String("x"))
+	b, err := tp.MustBytes("payload")
+	if err != nil || len(b) != 3 {
+		t.Fatalf("payload: %v %v", b, err)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	if len(swing.Policies()) != 5 {
+		t.Fatalf("%d policies", len(swing.Policies()))
+	}
+	p, err := swing.ParsePolicy("lrs")
+	if err != nil || p != swing.LRS {
+		t.Fatalf("ParsePolicy: %v %v", p, err)
+	}
+	rc := swing.DefaultRoutingConfig(swing.LRS)
+	if err := rc.Validate(); err != nil {
+		t.Fatalf("default routing config: %v", err)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	app, err := swing.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := swing.RunSim(swing.TestbedConfig(app, swing.LRS, 42, 30*time.Second))
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if !res.MeetsTarget(24, 0.1) {
+		t.Fatalf("LRS throughput %v", res.ThroughputFPS)
+	}
+}
+
+func TestFacadeTestbedProfiles(t *testing.T) {
+	profiles := swing.TestbedProfiles()
+	if len(profiles) != 9 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	if len(swing.WorkerIDs()) != 8 {
+		t.Fatal("worker ids")
+	}
+}
+
+func TestFacadeExperimentDispatch(t *testing.T) {
+	names := swing.Experiments()
+	if len(names) < 10 {
+		t.Fatalf("%d experiments, want at least the paper's 10", len(names))
+	}
+	rep, err := swing.RunExperiment("table1", swing.ExperimentOptions{Seed: 1, Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if rep.ID != "Table I" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+}
+
+func TestFacadeMobility(t *testing.T) {
+	walk, err := swing.NewWalk([]swing.MobilityEpoch{
+		{Until: time.Minute, RSSI: swing.RSSIGood},
+		{Until: 2 * time.Minute, RSSI: swing.RSSIBad},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walk.RSSIAt(90*time.Second) != swing.RSSIBad {
+		t.Fatal("walk wrong")
+	}
+	var s swing.Mobility = swing.StaticSignal(swing.RSSIFair)
+	if s.RSSIAt(0) != swing.RSSIFair {
+		t.Fatal("static wrong")
+	}
+}
