@@ -1,10 +1,13 @@
 // Command swing-bench regenerates every table and figure of the paper's
 // evaluation in one pass and writes a combined report (and optionally
-// per-experiment CSV files).
+// per-experiment CSV files). Independent simulation runs fan out across a
+// worker pool; -parallel 1 restores the serial path, which produces a
+// byte-identical report.
 //
 // Usage:
 //
 //	swing-bench [-seed 42] [-out report.txt] [-csvdir results/]
+//	            [-parallel 0] [-cpuprofile bench.pprof]
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,46 +29,78 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// benchOpts holds the parsed command line.
+type benchOpts struct {
+	seed       int64
+	out        string
+	csvdir     string
+	parallel   int
+	cpuprofile string
+}
+
+// parseArgs parses the command line into benchOpts.
+func parseArgs(args []string) (benchOpts, error) {
 	fs := flag.NewFlagSet("swing-bench", flag.ContinueOnError)
-	var (
-		seed   = fs.Int64("seed", 42, "simulation seed")
-		out    = fs.String("out", "", "write the combined report to this file (default stdout)")
-		csvdir = fs.String("csvdir", "", "also write each experiment's tables as CSV under this directory")
-	)
+	var o benchOpts
+	fs.Int64Var(&o.seed, "seed", 42, "simulation seed")
+	fs.StringVar(&o.out, "out", "", "write the combined report to this file (default stdout)")
+	fs.StringVar(&o.csvdir, "csvdir", "", "also write each experiment's tables as CSV under this directory")
+	fs.IntVar(&o.parallel, "parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the evaluation to this file")
 	if err := fs.Parse(args); err != nil {
+		return benchOpts{}, err
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseArgs(args)
+	if err != nil {
 		return err
 	}
 
-	var report strings.Builder
-	start := time.Now()
-	fmt.Fprintf(&report, "Swing evaluation report (seed %d, generated in ", *seed)
-
-	var body strings.Builder
-	for _, name := range swing.Experiments() {
-		expStart := time.Now()
-		rep, err := swing.RunExperiment(name, swing.ExperimentOptions{Seed: *seed})
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("cpuprofile: %w", err)
 		}
-		fmt.Fprintf(&body, "%s\n(generated in %s)\n\n", rep.String(), time.Since(expStart).Round(time.Millisecond))
-		if *csvdir != "" {
-			if err := writeCSVs(*csvdir, name, rep); err != nil {
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	names := swing.Experiments()
+	start := time.Now()
+	reports, err := swing.RunExperiments(names, swing.ExperimentOptions{
+		Seed:        o.seed,
+		Parallelism: o.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "Swing evaluation report (seed %d, generated in %s)\n\n", o.seed, elapsed)
+	for i, rep := range reports {
+		fmt.Fprintf(&report, "%s\n\n", rep.String())
+		if o.csvdir != "" {
+			if err := writeCSVs(o.csvdir, names[i], rep); err != nil {
 				return err
 			}
 		}
 	}
-	fmt.Fprintf(&report, "%s)\n\n", time.Since(start).Round(time.Millisecond))
-	report.WriteString(body.String())
 
-	if *out == "" {
+	if o.out == "" {
 		fmt.Print(report.String())
 		return nil
 	}
-	if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+	if err := os.WriteFile(o.out, []byte(report.String()), 0o644); err != nil {
 		return fmt.Errorf("write report: %w", err)
 	}
-	fmt.Println("wrote", *out)
+	fmt.Println("wrote", o.out)
 	return nil
 }
 

@@ -40,12 +40,36 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestParseArgs(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-seed", "7", "-parallel", "3", "-cpuprofile", "p.pprof", "-out", "r.txt",
+	})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	if o.seed != 7 || o.parallel != 3 || o.cpuprofile != "p.pprof" || o.out != "r.txt" {
+		t.Fatalf("parsed opts = %+v", o)
+	}
+	o, err = parseArgs(nil)
+	if err != nil {
+		t.Fatalf("parseArgs(defaults): %v", err)
+	}
+	if o.seed != 42 || o.parallel != 0 || o.cpuprofile != "" {
+		t.Fatalf("default opts = %+v", o)
+	}
+	if _, err := parseArgs([]string{"-parallel", "abc"}); err == nil {
+		t.Fatal("non-integer -parallel accepted")
+	}
+}
+
 func TestRunReportToFile(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full report in -short mode")
 	}
-	out := filepath.Join(t.TempDir(), "report.txt")
-	if err := run([]string{"-out", out}); err != nil {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.txt")
+	profile := filepath.Join(dir, "bench.pprof")
+	if err := run([]string{"-out", out, "-cpuprofile", profile, "-parallel", "2"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -56,5 +80,8 @@ func TestRunReportToFile(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+	if info, err := os.Stat(profile); err != nil || info.Size() == 0 {
+		t.Fatalf("cpu profile not written: info=%v err=%v", info, err)
 	}
 }

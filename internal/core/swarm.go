@@ -65,6 +65,10 @@ type instState struct {
 	queue    []*simTuple
 	reserved int // delivery slots claimed by in-flight transmissions
 
+	// downUnits caches the graph's downstream unit IDs for this unit —
+	// Graph.Downstream returns a fresh copy per call, which the per-tuple
+	// emit path cannot afford.
+	downUnits []string
 	// routers maps each downstream unit ID to this instance's router for
 	// that edge.
 	routers map[string]*routing.Router
@@ -311,14 +315,15 @@ func (s *swarm) chainLocally(from, to *instState) bool {
 // to all alive downstream instances.
 func (s *swarm) newInstance(u *graph.Unit, d *devState) *instState {
 	inst := &instState{
-		id:      instID(u.ID, d.id),
-		unit:    u,
-		dev:     d,
-		alive:   true,
-		routers: make(map[string]*routing.Router),
-		inRate:  metrics.NewRateMeter(time.Second),
+		id:        instID(u.ID, d.id),
+		unit:      u,
+		dev:       d,
+		alive:     true,
+		downUnits: s.cfg.App.Graph.Downstream(u.ID),
+		routers:   make(map[string]*routing.Router),
+		inRate:    metrics.NewRateMeter(time.Second),
 	}
-	for _, down := range s.cfg.App.Graph.Downstream(u.ID) {
+	for _, down := range inst.downUnits {
 		r, err := routing.NewRouter(s.rc, s.eng.Rand())
 		if err != nil {
 			// Config was validated in Run; a failure here is a bug.
@@ -604,7 +609,7 @@ func (s *swarm) finishProcessing(d *devState, inst *instState, t *simTuple, proc
 	if outSize < 16 {
 		outSize = 16 // headers dominate tiny results
 	}
-	for _, down := range s.cfg.App.Graph.Downstream(inst.unit.ID) {
+	for _, down := range inst.downUnits {
 		if inst.routers[down] == nil {
 			continue
 		}

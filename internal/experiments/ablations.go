@@ -39,6 +39,34 @@ func ablationRun(app string, cfg core.Config, label string) (AblationRow, error)
 	}, nil
 }
 
+// sweepPoint is one parameter setting of an ablation sweep.
+type sweepPoint struct {
+	label string
+	cfg   core.Config
+}
+
+// runSweep executes a sweep's parameter points through the executor.
+// Every point is an independent seeded run writing into its own row, so
+// row order — and every value in it — matches the serial path exactly.
+func runSweep(name, app string, points []sweepPoint, opt Options) (*AblationResult, error) {
+	rows := make([]AblationRow, len(points))
+	jobs := make([]Job, len(points))
+	for i, pt := range points {
+		jobs[i] = func() error {
+			row, err := ablationRun(app, pt.cfg, pt.label)
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		}
+	}
+	if err := opt.executor().Run(jobs); err != nil {
+		return nil, err
+	}
+	return &AblationResult{Name: name, Rows: rows}, nil
+}
+
 // RunAblationRouting compares the paper's weighted-random per-tuple
 // routing against deterministic smooth-weighted round-robin (§V-A
 // discusses the probabilistic choice).
@@ -48,7 +76,7 @@ func RunAblationRouting(opt Options) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Name: "routing draw: weighted random vs deterministic SWRR"}
+	var points []sweepPoint
 	for _, det := range []bool{false, true} {
 		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
 		rc := routing.DefaultConfig(routing.LRS)
@@ -58,13 +86,9 @@ func RunAblationRouting(opt Options) (*AblationResult, error) {
 		if det {
 			label = "deterministic-swrr"
 		}
-		row, err := ablationRun(app.Name(), cfg, label)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+		points = append(points, sweepPoint{label: label, cfg: cfg})
 	}
-	return out, nil
+	return runSweep("routing draw: weighted random vs deterministic SWRR", app.Name(), points, opt)
 }
 
 // RunAblationProbe sweeps the probe cadence: how often upstreams switch
@@ -75,7 +99,7 @@ func RunAblationProbe(opt Options) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Name: "probe cadence (reconfigure rounds between probes)"}
+	var points []sweepPoint
 	for _, every := range []int{0, 2, 5, 15} {
 		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
 		rc := routing.DefaultConfig(routing.LRS)
@@ -85,13 +109,9 @@ func RunAblationProbe(opt Options) (*AblationResult, error) {
 		if every == 0 {
 			label = "no probing"
 		}
-		row, err := ablationRun(app.Name(), cfg, label)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+		points = append(points, sweepPoint{label: label, cfg: cfg})
 	}
-	return out, nil
+	return runSweep("probe cadence (reconfigure rounds between probes)", app.Name(), points, opt)
 }
 
 // RunAblationEWMA sweeps the latency-estimate smoothing factor.
@@ -101,19 +121,15 @@ func RunAblationEWMA(opt Options) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Name: "latency EWMA smoothing factor"}
+	var points []sweepPoint
 	for _, alpha := range []float64{0.05, 0.3, 0.7, 1.0} {
 		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
 		rc := routing.DefaultConfig(routing.LRS)
 		rc.Alpha = alpha
 		cfg.Routing = &rc
-		row, err := ablationRun(app.Name(), cfg, fmt.Sprintf("alpha=%.2f", alpha))
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+		points = append(points, sweepPoint{label: fmt.Sprintf("alpha=%.2f", alpha), cfg: cfg})
 	}
-	return out, nil
+	return runSweep("latency EWMA smoothing factor", app.Name(), points, opt)
 }
 
 // RunAblationReorder sweeps the sink reorder-buffer timespan (the paper
@@ -124,19 +140,15 @@ func RunAblationReorder(opt Options) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Name: "sink reorder buffer timespan"}
+	var points []sweepPoint
 	for _, span := range []time.Duration{
 		125 * time.Millisecond, 500 * time.Millisecond, time.Second, 4 * time.Second,
 	} {
 		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
 		cfg.ReorderBuffer = span
-		row, err := ablationRun(app.Name(), cfg, span.String())
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+		points = append(points, sweepPoint{label: span.String(), cfg: cfg})
 	}
-	return out, nil
+	return runSweep("sink reorder buffer timespan", app.Name(), points, opt)
 }
 
 // RunAblationHeadroom sweeps Worker Selection's over-provisioning margin
@@ -147,22 +159,19 @@ func RunAblationHeadroom(opt Options) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Name: "worker-selection headroom (select until sum mu >= (1+h) lambda)"}
+	var points []sweepPoint
 	for _, h := range []float64{0, 0.1, 0.25, 0.5} {
 		cfg := core.TestbedConfig(app, routing.LRS, opt.Seed, opt.Duration)
 		rc := routing.DefaultConfig(routing.LRS)
 		rc.Headroom = h
 		cfg.Routing = &rc
-		row, err := ablationRun(app.Name(), cfg, fmt.Sprintf("h=%.2f", h))
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+		points = append(points, sweepPoint{label: fmt.Sprintf("h=%.2f", h), cfg: cfg})
 	}
-	return out, nil
+	return runSweep("worker-selection headroom (select until sum mu >= (1+h) lambda)", app.Name(), points, opt)
 }
 
-// Ablations runs every design-choice sweep.
+// Ablations runs every design-choice sweep, fanning the sweeps out across
+// the executor (each sweep's points fan out in turn).
 func Ablations(opt Options) ([]*AblationResult, error) {
 	runs := []func(Options) (*AblationResult, error){
 		RunAblationRouting,
@@ -171,13 +180,20 @@ func Ablations(opt Options) ([]*AblationResult, error) {
 		RunAblationReorder,
 		RunAblationHeadroom,
 	}
-	out := make([]*AblationResult, 0, len(runs))
-	for _, f := range runs {
-		r, err := f(opt)
-		if err != nil {
-			return nil, err
+	out := make([]*AblationResult, len(runs))
+	jobs := make([]Job, len(runs))
+	for i, f := range runs {
+		jobs[i] = func() error {
+			r, err := f(opt)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
 		}
-		out = append(out, r)
+	}
+	if err := opt.executor().Run(jobs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

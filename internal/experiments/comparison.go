@@ -20,23 +20,41 @@ type Comparison struct {
 }
 
 // RunComparison executes all ten runs (memoizing nothing: each run takes
-// tens of milliseconds).
+// tens of milliseconds). Runs are independent — each owns a private
+// seeded engine — so they fan out across the executor's worker pool;
+// every run writes into its own pre-assigned slot, keeping the result
+// byte-identical to the serial path.
 func RunComparison(opt Options) (*Comparison, error) {
 	opt = opt.withDefaults(300 * time.Second)
 	all, err := apps.Apps()
 	if err != nil {
 		return nil, err
 	}
+	pols := routing.Policies()
+	slots := make([][]*core.Result, len(all))
+	jobs := make([]Job, 0, len(all)*len(pols))
+	for ai, app := range all {
+		slots[ai] = make([]*core.Result, len(pols))
+		for pi, p := range pols {
+			jobs = append(jobs, func() error {
+				res, err := runTestbed(app, p, opt)
+				if err != nil {
+					return err
+				}
+				slots[ai][pi] = res
+				return nil
+			})
+		}
+	}
+	if err := opt.executor().Run(jobs); err != nil {
+		return nil, err
+	}
 	cmp := &Comparison{Results: make(map[string]map[routing.PolicyKind]*core.Result)}
-	for _, app := range all {
+	for ai, app := range all {
 		cmp.Apps = append(cmp.Apps, app.Name())
-		byPolicy := make(map[routing.PolicyKind]*core.Result, 5)
-		for _, p := range routing.Policies() {
-			res, err := runTestbed(app, p, opt)
-			if err != nil {
-				return nil, err
-			}
-			byPolicy[p] = res
+		byPolicy := make(map[routing.PolicyKind]*core.Result, len(pols))
+		for pi, p := range pols {
+			byPolicy[p] = slots[ai][pi]
 		}
 		cmp.Results[app.Name()] = byPolicy
 	}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of executor work: typically a single seeded simulation
+// run that writes its result into a caller-owned slot.
+type Job func() error
+
+// Executor fans independent experiment runs out across a bounded worker
+// pool. Every run owns a private seeded sim.Engine and writes into its own
+// pre-assigned result slot, so execution order cannot influence results:
+// the parallel output is byte-identical to the serial path, just faster.
+type Executor struct {
+	// Parallelism bounds how many jobs run concurrently. Zero (or
+	// negative) selects GOMAXPROCS; one runs every job serially on the
+	// calling goroutine.
+	Parallelism int
+}
+
+// Run executes all jobs and blocks until they finish. When several jobs
+// fail it returns the error of the earliest job in submission order, so
+// the reported failure is deterministic regardless of scheduling.
+func (x Executor) Run(jobs []Job) error {
+	par := x.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	if par <= 1 {
+		for _, job := range jobs {
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			errs[i] = job()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExecutorRunsAllJobs(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 100} {
+		var ran atomic.Int64
+		jobs := make([]Job, 20)
+		for i := range jobs {
+			jobs[i] = func() error {
+				ran.Add(1)
+				return nil
+			}
+		}
+		if err := (Executor{Parallelism: par}).Run(jobs); err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if got := ran.Load(); got != 20 {
+			t.Fatalf("parallelism %d: ran %d of 20 jobs", par, got)
+		}
+	}
+}
+
+func TestExecutorFirstErrorInOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	jobs := []Job{
+		func() error { return nil },
+		func() error { time.Sleep(20 * time.Millisecond); return errA },
+		func() error { return errB },
+	}
+	if err := (Executor{Parallelism: 3}).Run(jobs); !errors.Is(err, errA) {
+		t.Fatalf("error = %v, want first-in-order %v", err, errA)
+	}
+}
+
+func TestExecutorEmpty(t *testing.T) {
+	if err := (Executor{}).Run(nil); err != nil {
+		t.Fatalf("empty job list: %v", err)
+	}
+}
+
+// TestComparisonParallelDeterminism is the regression gate for the
+// executor: the parallel comparison must be deep-equal to the serial one,
+// because every run owns a private seeded engine and a private result
+// slot. Two seeds guard against a lucky coincidence on one.
+func TestComparisonParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{7, 20260805} {
+		opt := Options{Seed: seed, Duration: 30 * time.Second}
+		opt.Parallelism = 1
+		serial, err := RunComparison(opt)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		opt.Parallelism = 4
+		parallel, err := RunComparison(opt)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("seed %d: parallel comparison diverges from serial", seed)
+		}
+	}
+}
+
+// TestAblationsParallelDeterminism asserts the same property for the
+// sweep harness, which fans out at two levels (sweeps and points).
+func TestAblationsParallelDeterminism(t *testing.T) {
+	opt := Options{Seed: 11, Duration: 20 * time.Second}
+	opt.Parallelism = 1
+	serial, err := RunAblationProbe(opt)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	opt.Parallelism = 4
+	parallel, err := RunAblationProbe(opt)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel ablation diverges from serial:\n%+v\n%+v", serial, parallel)
+	}
+}
+
+func BenchmarkComparisonParallel(b *testing.B) {
+	for _, par := range []int{1, 0} {
+		name := "serial"
+		if par == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := Options{Seed: 42, Duration: 60 * time.Second, Parallelism: par}
+				if _, err := RunComparison(opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

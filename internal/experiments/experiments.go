@@ -35,6 +35,17 @@ type Options struct {
 	Seed int64
 	// Duration overrides the experiment's default measured length.
 	Duration time.Duration
+	// Parallelism bounds how many independent simulation runs execute
+	// concurrently inside multi-run harnesses (the policy comparison and
+	// the ablation sweeps). Zero selects GOMAXPROCS; one forces the
+	// serial path. Results are identical either way: each run owns a
+	// private seeded engine.
+	Parallelism int
+}
+
+// executor returns the worker pool configured by these options.
+func (o Options) executor() Executor {
+	return Executor{Parallelism: o.Parallelism}
 }
 
 func (o Options) withDefaults(defaultDur time.Duration) Options {
@@ -133,4 +144,26 @@ func Run(name string, opt Options) (*Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			name, strings.Join(Names(), ", "))
 	}
+}
+
+// RunAll runs the named experiments through the executor and returns their
+// reports in name order. Each experiment is seeded independently, so
+// concurrent execution returns exactly what a serial loop would.
+func RunAll(names []string, opt Options) ([]*Report, error) {
+	reports := make([]*Report, len(names))
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		jobs[i] = func() error {
+			rep, err := Run(name, opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			reports[i] = rep
+			return nil
+		}
+	}
+	if err := opt.executor().Run(jobs); err != nil {
+		return nil, err
+	}
+	return reports, nil
 }

@@ -1,0 +1,21 @@
+package metrics
+
+import "testing"
+
+// BenchmarkQuantile exercises the interleaved observe/query pattern the
+// experiment harnesses use: a large retained population with periodic
+// quantile reads as new samples stream in.
+func BenchmarkQuantile(b *testing.B) {
+	q := &Quantiler{}
+	for i := 0; i < 10000; i++ {
+		q.Observe(float64((i * 7919) % 10000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Observe(float64((i * 104729) % 10000))
+		if v := q.Quantile(0.99); v < 0 {
+			b.Fatal("negative quantile")
+		}
+	}
+}

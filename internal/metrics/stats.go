@@ -106,41 +106,119 @@ func (s *Summary) Merge(o *Summary) {
 // Quantiler retains all samples to answer arbitrary quantile queries.
 // Experiments are bounded (minutes of simulated time), so exact retention
 // is affordable and avoids sketch error.
+//
+// Samples are kept as a large sorted prefix plus a small tail of recent
+// observations (a dirty-region variant of a cached sort). A query sorts
+// only the dirty tail and resolves the requested rank across the two
+// sorted runs by binary selection — no per-query re-sort or merge of the
+// full population. The tail is folded into the prefix only when it grows
+// past a fraction of the total, so the interleaved observe/query pattern
+// costs O(k log k) per query plus an amortized O(1) merge per observe,
+// instead of an O(n) pass over all retained samples on every query.
 type Quantiler struct {
-	vals   []float64
-	sorted bool
+	vals       []float64 // sorted prefix vals[:nSorted], tail after
+	nSorted    int
+	tailSorted bool      // whether the tail is currently sorted
+	scratch    []float64 // merge buffer, reused across compactions
 }
 
 // Observe adds one sample.
 func (q *Quantiler) Observe(v float64) {
 	q.vals = append(q.vals, v)
-	q.sorted = false
+	q.tailSorted = false
 }
 
 // N returns the number of samples.
 func (q *Quantiler) N() int { return len(q.vals) }
 
+// compact merges the sorted tail into the sorted prefix.
+func (q *Quantiler) compact() {
+	prefix, tail := q.vals[:q.nSorted], q.vals[q.nSorted:]
+	if cap(q.scratch) < len(q.vals) {
+		q.scratch = make([]float64, 0, 2*cap(q.vals))
+	}
+	merged := q.scratch[:0]
+	i, j := 0, 0
+	for i < len(prefix) && j < len(tail) {
+		if tail[j] < prefix[i] {
+			merged = append(merged, tail[j])
+			j++
+		} else {
+			merged = append(merged, prefix[i])
+			i++
+		}
+	}
+	merged = append(merged, prefix[i:]...)
+	merged = append(merged, tail[j:]...)
+	q.scratch = q.vals[:0]
+	q.vals = merged
+	q.nSorted = len(q.vals)
+}
+
+// kthOfTwo returns the k-th smallest (0-based) element of the union of
+// two sorted slices, discarding half the remaining rank per iteration.
+func kthOfTwo(a, b []float64, k int) float64 {
+	for {
+		if len(a) == 0 {
+			return b[k]
+		}
+		if len(b) == 0 {
+			return a[k]
+		}
+		if k == 0 {
+			if a[0] < b[0] {
+				return a[0]
+			}
+			return b[0]
+		}
+		step := (k + 1) / 2
+		i, j := step, step
+		if i > len(a) {
+			i = len(a)
+		}
+		if j > len(b) {
+			j = len(b)
+		}
+		if a[i-1] <= b[j-1] {
+			a = a[i:]
+			k -= i
+		} else {
+			b = b[j:]
+			k -= j
+		}
+	}
+}
+
 // Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank, or 0 with
 // no samples.
 func (q *Quantiler) Quantile(p float64) float64 {
-	if len(q.vals) == 0 {
+	n := len(q.vals)
+	if n == 0 {
 		return 0
 	}
-	if !q.sorted {
-		sort.Float64s(q.vals)
-		q.sorted = true
+	if !q.tailSorted {
+		sort.Float64s(q.vals[q.nSorted:])
+		q.tailSorted = true
 	}
-	if p <= 0 {
-		return q.vals[0]
+	// Fold the tail in once it is big enough that sorting it per query
+	// costs more than the amortized merge.
+	if tailLen := n - q.nSorted; tailLen > 64 && tailLen > n/256 {
+		q.compact()
 	}
-	if p >= 1 {
-		return q.vals[len(q.vals)-1]
+	idx := 0
+	switch {
+	case p >= 1:
+		idx = n - 1
+	case p > 0:
+		idx = int(math.Ceil(p*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
 	}
-	idx := int(math.Ceil(p*float64(len(q.vals)))) - 1
-	if idx < 0 {
-		idx = 0
+	if q.nSorted == n {
+		return q.vals[idx]
 	}
-	return q.vals[idx]
+	return kthOfTwo(q.vals[:q.nSorted], q.vals[q.nSorted:], idx)
 }
 
 // RateMeter counts events and reports rates over the full run and over a

@@ -1,0 +1,72 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// benchRouter builds a router with n downstreams that all have live
+// estimates, reconfigured once so the routing table is populated.
+func benchRouter(b *testing.B, n int, det bool) *Router {
+	b.Helper()
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 0 // steady-state routing, no probe windows
+	cfg.Deterministic = det
+	r, err := NewRouter(cfg, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("w%d", i)
+		if err := r.AddDownstream(id); err != nil {
+			b.Fatal(err)
+		}
+		lat := time.Duration(20+7*i) * time.Millisecond
+		if err := r.ObserveAck(id, lat, lat/2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r.Reconfigure(24)
+	return r
+}
+
+func BenchmarkRouterRoute(b *testing.B) {
+	r := benchRouter(b, 8, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouterReconfigure(b *testing.B) {
+	r := benchRouter(b, 8, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reconfigure(24)
+	}
+}
+
+func BenchmarkRouterSnapshot(b *testing.B) {
+	r := benchRouter(b, 8, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}
+
+func BenchmarkRouterSnapshotAppend(b *testing.B) {
+	r := benchRouter(b, 8, false)
+	var buf []Info
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendSnapshot(buf[:0])
+	}
+}

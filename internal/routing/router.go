@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sort"
 	"time"
 )
 
@@ -90,6 +89,16 @@ type Router struct {
 	// Routing table (recomputed on Reconfigure).
 	selected []string
 	weights  []float64 // parallel to selected; sums to 1
+	cum      []float64 // cumulative weights, for binary-search draws
+
+	// selWeight mirrors selected→weight for O(1) Snapshot lookups; it is
+	// rebuilt in recompute so per-tick snapshots allocate nothing.
+	selWeight map[string]float64
+
+	// Scratch buffers reused across recomputes so the per-second
+	// reconfigure path stops allocating in steady state.
+	candScratch []cand
+	rateScratch []float64
 
 	rrIdx      int
 	rounds     int
@@ -115,9 +124,10 @@ func NewRouter(cfg Config, rng *rand.Rand) (*Router, error) {
 		return nil, errors.New("routing: nil rng")
 	}
 	return &Router{
-		cfg:   cfg,
-		rng:   rng,
-		downs: make(map[string]*downState),
+		cfg:       cfg,
+		rng:       rng,
+		downs:     make(map[string]*downState),
+		selWeight: make(map[string]float64),
 	}, nil
 }
 
@@ -224,11 +234,27 @@ func (r *Router) rateFor(d *downState) float64 {
 	return d.est.ProcessingRate()
 }
 
-// recompute rebuilds selection and weights.
+// cand is one downstream candidate during table recomputation.
+type cand struct {
+	id   string
+	rate float64
+}
+
+// recompute rebuilds selection, weights and the cumulative-weight table.
+// It runs every reconfigure period per upstream, so it draws entirely on
+// the router's reusable scratch buffers and allocates nothing in steady
+// state.
 func (r *Router) recompute(lambda float64) {
 	r.lastLambda = lambda
 	r.selected = r.selected[:0]
 	r.weights = r.weights[:0]
+	r.cum = r.cum[:0]
+	clear(r.selWeight)
+	defer func() {
+		for i, id := range r.selected {
+			r.selWeight[id] = r.weights[i]
+		}
+	}()
 	if len(r.order) == 0 {
 		return
 	}
@@ -242,17 +268,24 @@ func (r *Router) recompute(lambda float64) {
 		return
 	}
 
-	type cand struct {
-		id   string
-		rate float64
-	}
-	cands := make([]cand, 0, len(r.order))
+	cands := r.candScratch[:0]
 	for _, id := range r.order {
 		cands = append(cands, cand{id: id, rate: r.rateFor(r.downs[id])})
 	}
-	// Sort by descending service rate; ties break on insertion order,
-	// which sort.SliceStable preserves, keeping runs deterministic.
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].rate > cands[j].rate })
+	r.candScratch = cands
+	// Stable insertion sort by descending service rate; ties keep
+	// insertion order, which keeps runs deterministic. Downstream sets
+	// are small (the paper's testbed has eight workers), so this beats
+	// sort.SliceStable and avoids its closure/interface allocations.
+	for i := 1; i < len(cands); i++ {
+		x := cands[i]
+		j := i - 1
+		for j >= 0 && cands[j].rate < x.rate {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = x
+	}
 
 	chosen := cands
 	if r.cfg.Policy.UsesSelection() && lambda > 0 {
@@ -282,8 +315,8 @@ func (r *Router) recompute(lambda float64) {
 		}
 	}
 	total := 0.0
-	rates := make([]float64, len(chosen))
-	for i, c := range chosen {
+	rates := r.rateScratch[:0]
+	for _, c := range chosen {
 		rate := c.rate
 		if !r.downs[c.id].est.HasSample() {
 			if best > 0 {
@@ -292,22 +325,31 @@ func (r *Router) recompute(lambda float64) {
 				rate = 1
 			}
 		}
-		rates[i] = rate
+		rates = append(rates, rate)
 		total += rate
 	}
+	r.rateScratch = rates
+	acc := 0.0
 	for i, c := range chosen {
+		w := rates[i] / total
+		acc += w
 		r.selected = append(r.selected, c.id)
-		r.weights = append(r.weights, rates[i]/total)
+		r.weights = append(r.weights, w)
+		r.cum = append(r.cum, acc)
 	}
 }
 
 // Selected returns the IDs in the current routing table and their weights.
 func (r *Router) Selected() ([]string, []float64) {
-	ids := make([]string, len(r.selected))
-	copy(ids, r.selected)
-	ws := make([]float64, len(r.weights))
-	copy(ws, r.weights)
+	ids, ws := r.AppendSelected(nil, nil)
 	return ids, ws
+}
+
+// AppendSelected appends the current routing table to the given slices
+// and returns them, letting per-tick callers reuse their buffers instead
+// of allocating fresh copies every sample.
+func (r *Router) AppendSelected(ids []string, ws []float64) ([]string, []float64) {
+	return append(ids, r.selected...), append(ws, r.weights...)
 }
 
 // Probing reports whether the router is currently in probe mode.
@@ -360,17 +402,21 @@ func (r *Router) RouteAvoiding(avoid func(id string) bool) (string, error) {
 }
 
 // routeWeightedRandom draws a downstream with probability equal to its
-// routing weight (the paper's per-tuple weighted random number, §V-A).
+// routing weight (the paper's per-tuple weighted random number, §V-A),
+// resolved against the precomputed cumulative-weight table by binary
+// search: the first bucket whose cumulative weight exceeds the draw.
 func (r *Router) routeWeightedRandom() string {
 	u := r.rng.Float64()
-	acc := 0.0
-	for i, w := range r.weights {
-		acc += w
-		if u < acc {
-			return r.selected[i]
+	lo, hi := 0, len(r.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u < r.cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return r.selected[len(r.selected)-1]
+	return r.selected[lo]
 }
 
 // routeSWRR implements smooth weighted round-robin: each downstream
@@ -402,14 +448,18 @@ type Info struct {
 
 // Snapshot returns per-downstream routing state in insertion order.
 func (r *Router) Snapshot() []Info {
-	sel := make(map[string]float64, len(r.selected))
-	for i, id := range r.selected {
-		sel[id] = r.weights[i]
-	}
-	out := make([]Info, 0, len(r.order))
+	return r.AppendSnapshot(make([]Info, 0, len(r.order)))
+}
+
+// AppendSnapshot appends per-downstream routing state in insertion order
+// to dst and returns it. Callers sampling every tick can reuse one Info
+// slice across snapshots (dst = buf[:0]) so steady-state sampling does
+// not allocate; selection weights resolve through the table maintained
+// by recompute rather than a per-call map.
+func (r *Router) AppendSnapshot(dst []Info) []Info {
 	for _, id := range r.order {
-		w, ok := sel[id]
-		out = append(out, Info{ID: id, Estimate: r.downs[id].est, Selected: ok, Weight: w})
+		w, ok := r.selWeight[id]
+		dst = append(dst, Info{ID: id, Estimate: r.downs[id].est, Selected: ok, Weight: w})
 	}
-	return out
+	return dst
 }

@@ -23,6 +23,12 @@ var ErrStopped = errors.New("sim: engine stopped")
 
 // Event is a handle to a scheduled callback. It can be used to cancel the
 // callback before it fires.
+//
+// Handle lifetime: a handle is valid until its event fires. Fired Event
+// structs are recycled through the engine's freelist so the steady-state
+// schedule→fire cycle does not allocate; a stale handle retained across
+// later Schedule calls may therefore alias a newer event. Canceling a
+// just-fired handle before any further scheduling remains a safe no-op.
 type Event struct {
 	at       time.Duration
 	seq      uint64
@@ -55,7 +61,10 @@ func (h eventHeap) Swap(i, j int) {
 func (h *eventHeap) Push(x any) {
 	ev, ok := x.(*Event)
 	if !ok {
-		return
+		// Silently dropping a foreign value would corrupt the schedule;
+		// this is unreachable through the Engine API, so any occurrence
+		// is a programming error worth crashing on.
+		panic(fmt.Sprintf("sim: eventHeap.Push of %T, want *Event", x))
 	}
 	ev.index = len(*h)
 	*h = append(*h, ev)
@@ -79,6 +88,11 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+
+	// free holds fired Event structs for reuse, so the steady-state
+	// schedule→fire cycle allocates nothing. Its high-water mark equals
+	// the peak number of concurrently pending events.
+	free []*Event
 
 	// processed counts events executed so far, useful as a runaway guard
 	// and for diagnostics.
@@ -124,7 +138,15 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
 		at = e.now
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -148,13 +170,15 @@ func (e *Engine) Step() bool {
 	if e.stopped || len(e.queue) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&e.queue).(*Event)
-	if !ok {
-		return false
-	}
+	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running the callback so an event scheduled from
+	// inside fn reuses this struct — the common steady-state pattern.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 
@@ -213,6 +237,10 @@ func (e *Engine) Every(period time.Duration, fn func()) (cancel func(), err erro
 	var pending *Event
 	schedule = func() {
 		pending = e.Schedule(period, func() {
+			// This event just fired and its struct is back on the
+			// freelist; drop the handle so a cancel from inside fn
+			// cannot alias whatever reuses it.
+			pending = nil
 			if stopped {
 				return
 			}

@@ -343,6 +343,22 @@ func TestHeapStressProperty(t *testing.T) {
 	}
 }
 
+// BenchmarkEngineSchedule measures the steady-state schedule→fire cycle:
+// one event scheduled and executed per iteration, the pattern the swarm
+// hot path (processing, ACK, delivery events) produces.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, fn)
+		if !e.Step() {
+			b.Fatal("no event to step")
+		}
+	}
+}
+
 func BenchmarkSchedule(b *testing.B) {
 	e := New(1)
 	b.ReportAllocs()

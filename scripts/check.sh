@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Repo-wide static checks plus race-checked tests for the packages that run
+# concurrent code (the experiment executor and everything it fans out over).
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/experiments ./internal/sim ./internal/routing

@@ -245,6 +245,14 @@ func RunExperiment(name string, opt ExperimentOptions) (*ExperimentReport, error
 	return experiments.Run(name, opt)
 }
 
+// RunExperiments regenerates the named experiments, fanning independent
+// simulation runs out across opt.Parallelism workers (0 = GOMAXPROCS,
+// 1 = serial). Reports come back in name order and are byte-identical to
+// the serial path: every run owns a private seeded engine.
+func RunExperiments(names []string, opt ExperimentOptions) ([]*ExperimentReport, error) {
+	return experiments.RunAll(names, opt)
+}
+
 // ---- Live swarms (paper §IV-B,C) ----
 
 // Master coordinates a live swarm run.
