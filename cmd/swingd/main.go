@@ -29,6 +29,26 @@ func main() {
 	}
 }
 
+// masterOpts collects the master-role flags.
+type masterOpts struct {
+	listen, policy, announce string
+	fps                      float64
+	duration                 time.Duration
+	retryDeadline            time.Duration
+	maxAttempts              int
+	transport                swing.Transport
+}
+
+// workerOpts collects the worker-role flags.
+type workerOpts struct {
+	id, master, discover string
+	speed                float64
+	reconnect            bool
+	reconnectBackoff     time.Duration
+	reconnectAttempts    int
+	transport            swing.Transport
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("swingd", flag.ContinueOnError)
 	var (
@@ -39,10 +59,23 @@ func run(args []string) error {
 		fps      = fs.Float64("fps", 24, "master: source frame rate")
 		duration = fs.Duration("duration", 30*time.Second, "master: streaming duration (0 = until interrupted)")
 		announce = fs.String("announce", "", "master: UDP discovery target, e.g. 255.255.255.255:17716")
+		retryDL  = fs.Duration("retry-deadline", 3*time.Second, "master: how long a tuple may still be retransmitted after its worker dies")
+		maxTries = fs.Int("max-attempts", 3, "master: total transmission attempts per tuple, first included")
 		id       = fs.String("id", "", "worker: device id")
 		master   = fs.String("master", "", "worker: master address (empty = discover via UDP)")
 		discover = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
 		speed    = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
+		rejoin   = fs.Bool("reconnect", false, "worker: rejoin the master with backoff after a broken link")
+		rejoinBO = fs.Duration("reconnect-backoff", 50*time.Millisecond, "worker: initial reconnect delay (doubles per failure)")
+		rejoinN  = fs.Int("reconnect-attempts", 0, "worker: consecutive failed rejoins before giving up (0 = forever)")
+
+		// Fault injection (for resilience drills; off by default).
+		faultSeed      = fs.Int64("fault-seed", 1, "fault injection: PRNG seed for deterministic replay")
+		faultDropNth   = fs.Int("fault-drop-nth", 0, "fault injection: drop every Nth written frame")
+		faultDelay     = fs.Duration("fault-delay", 0, "fault injection: fixed per-frame write delay")
+		faultJitter    = fs.Duration("fault-jitter", 0, "fault injection: extra uniform random per-frame delay")
+		faultBreak     = fs.Int("fault-break-after", 0, "fault injection: break the link after N written frames")
+		faultDialFails = fs.Int("fault-dial-failures", 0, "fault injection: fail the first N dial attempts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,14 +84,42 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	faults := faultTransport(swing.FaultConfig{
+		Seed:             *faultSeed,
+		DropEveryNth:     *faultDropNth,
+		Delay:            *faultDelay,
+		Jitter:           *faultJitter,
+		BreakAfterFrames: *faultBreak,
+		DialFailures:     *faultDialFails,
+	})
 	switch *role {
 	case "master":
-		return runMaster(app, *listen, *policyN, *fps, *duration, *announce)
+		return runMaster(app, masterOpts{
+			listen: *listen, policy: *policyN, announce: *announce,
+			fps: *fps, duration: *duration,
+			retryDeadline: *retryDL, maxAttempts: *maxTries,
+			transport: faults,
+		})
 	case "worker":
-		return runWorker(app, *id, *master, *discover, *speed)
+		return runWorker(app, workerOpts{
+			id: *id, master: *master, discover: *discover, speed: *speed,
+			reconnect: *rejoin, reconnectBackoff: *rejoinBO, reconnectAttempts: *rejoinN,
+			transport: faults,
+		})
 	default:
 		return fmt.Errorf("missing or invalid -role %q (master or worker)", *role)
 	}
+}
+
+// faultTransport wraps the production TCP transport with fault injection
+// when any fault is configured; with none it returns nil so the runtime
+// keeps its default transport.
+func faultTransport(cfg swing.FaultConfig) swing.Transport {
+	if cfg.DropEveryNth == 0 && cfg.Delay == 0 && cfg.Jitter == 0 &&
+		cfg.BreakAfterFrames == 0 && cfg.DialFailures == 0 {
+		return nil
+	}
+	return swing.WithFaults(swing.TCPTransport{}, cfg)
 }
 
 func loadApp(name string) (*swing.App, error) {
@@ -72,16 +133,19 @@ func loadApp(name string) (*swing.App, error) {
 	}
 }
 
-func runMaster(app *swing.App, listen, policyName string, fps float64, duration time.Duration, announceTarget string) error {
-	policy, err := swing.ParsePolicy(policyName)
+func runMaster(app *swing.App, opt masterOpts) error {
+	policy, err := swing.ParsePolicy(opt.policy)
 	if err != nil {
 		return err
 	}
 	delivered := 0
 	m, err := swing.StartMaster(swing.MasterConfig{
-		App:        app,
-		Policy:     policy,
-		ListenAddr: listen,
+		App:           app,
+		Policy:        policy,
+		ListenAddr:    opt.listen,
+		Transport:     opt.transport,
+		RetryDeadline: opt.retryDeadline,
+		MaxAttempts:   opt.maxAttempts,
 		OnResult: func(r swing.LiveResult) {
 			delivered++
 			if delivered%24 == 0 {
@@ -97,8 +161,8 @@ func runMaster(app *swing.App, listen, policyName string, fps float64, duration 
 	defer func() { _ = m.Close() }()
 	fmt.Println("master listening on", m.Addr())
 
-	if announceTarget != "" {
-		ann, err := swing.Announce(announceTarget,
+	if opt.announce != "" {
+		ann, err := swing.Announce(opt.announce,
 			swing.Announcement{App: app.Name(), Addr: m.Addr()}, time.Second)
 		if err != nil {
 			return err
@@ -110,11 +174,11 @@ func runMaster(app *swing.App, listen, policyName string, fps float64, duration 
 	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
 
 	src := swing.NewFrameSource(app.FrameBytes, 1)
-	ticker := time.NewTicker(time.Duration(float64(time.Second) / fps))
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / opt.fps))
 	defer ticker.Stop()
 	var deadline <-chan time.Time
-	if duration > 0 {
-		deadline = time.After(duration)
+	if opt.duration > 0 {
+		deadline = time.After(opt.duration)
 	}
 	submitted, dropped := 0, 0
 	for {
@@ -129,6 +193,8 @@ func runMaster(app *swing.App, listen, policyName string, fps float64, duration 
 			st := m.Stats()
 			fmt.Printf("done: submitted=%d dropped=%d arrived=%d played=%d skipped=%d\n",
 				submitted, dropped, st.Arrived, st.Played, st.Skipped)
+			fmt.Printf("ledger: acked=%d retransmitted=%d shed=%d workerDropped=%d inFlight=%d\n",
+				st.Acked, st.Retransmitted, st.Shed, st.WorkerDropped, st.InFlight)
 			return nil
 		case <-interrupted:
 			fmt.Println("interrupted")
@@ -137,13 +203,14 @@ func runMaster(app *swing.App, listen, policyName string, fps float64, duration 
 	}
 }
 
-func runWorker(app *swing.App, id, masterAddr, discoverAddr string, speed float64) error {
-	if id == "" {
+func runWorker(app *swing.App, opt workerOpts) error {
+	if opt.id == "" {
 		return fmt.Errorf("worker needs -id")
 	}
+	masterAddr := opt.master
 	if masterAddr == "" {
-		fmt.Println("discovering master on", discoverAddr, "...")
-		ann, err := swing.Discover(discoverAddr, app.Name(), 30*time.Second)
+		fmt.Println("discovering master on", opt.discover, "...")
+		ann, err := swing.Discover(opt.discover, app.Name(), 30*time.Second)
 		if err != nil {
 			return fmt.Errorf("discovery: %w", err)
 		}
@@ -151,15 +218,19 @@ func runWorker(app *swing.App, id, masterAddr, discoverAddr string, speed float6
 		fmt.Println("found master at", masterAddr)
 	}
 	w, err := swing.StartWorker(swing.WorkerConfig{
-		DeviceID:    id,
-		MasterAddr:  masterAddr,
-		App:         app,
-		SpeedFactor: speed,
+		DeviceID:          opt.id,
+		MasterAddr:        masterAddr,
+		App:               app,
+		Transport:         opt.transport,
+		SpeedFactor:       opt.speed,
+		Reconnect:         opt.reconnect,
+		ReconnectBackoff:  opt.reconnectBackoff,
+		ReconnectAttempts: opt.reconnectAttempts,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("worker %s joined %s (speed factor %.1f)\n", id, masterAddr, speed)
+	fmt.Printf("worker %s joined %s (speed factor %.1f)\n", opt.id, masterAddr, opt.speed)
 
 	interrupted := make(chan os.Signal, 1)
 	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"testing"
+
+	swing "github.com/swingframework/swing"
 )
 
 func TestLoadApp(t *testing.T) {
@@ -35,6 +37,28 @@ func TestRunWorkerDialFailure(t *testing.T) {
 	// Port 1 is never listening; the dial must fail fast.
 	if err := run([]string{"-role", "worker", "-id", "w", "-master", "127.0.0.1:1"}); err == nil {
 		t.Fatal("dial to dead master succeeded")
+	}
+}
+
+// TestRunWorkerInjectedDialFailure exercises the fault-injection flags:
+// one injected dial failure without reconnection fails the worker fast,
+// deterministically, before any real network traffic.
+func TestRunWorkerInjectedDialFailure(t *testing.T) {
+	err := run([]string{
+		"-role", "worker", "-id", "w", "-master", "127.0.0.1:1",
+		"-fault-dial-failures", "1",
+	})
+	if err == nil {
+		t.Fatal("injected dial failure did not surface")
+	}
+}
+
+func TestFaultTransportOffByDefault(t *testing.T) {
+	if tr := faultTransport(swing.FaultConfig{Seed: 7}); tr != nil {
+		t.Fatal("fault transport engaged with no faults configured")
+	}
+	if tr := faultTransport(swing.FaultConfig{DropEveryNth: 2}); tr == nil {
+		t.Fatal("fault transport not engaged despite configured drops")
 	}
 }
 

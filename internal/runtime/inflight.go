@@ -1,0 +1,86 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// inflightEntry is one routed-but-unacknowledged tuple: everything the
+// master needs to retransmit it if the worker holding it dies.
+type inflightEntry struct {
+	t        *tuple.Tuple
+	worker   string
+	attempt  uint8
+	deadline time.Time
+}
+
+// inflightTable tracks every tuple between routing and acknowledgment,
+// keyed by tuple ID (unique within a run, per the tuple contract). When a
+// worker connection breaks, takeWorker surrenders its un-acked tuples for
+// retransmission; a result frame acks and releases its entry.
+type inflightTable struct {
+	mu sync.Mutex
+	m  map[uint64]*inflightEntry
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{m: make(map[uint64]*inflightEntry)}
+}
+
+// track records a tuple as in flight toward a worker, replacing any stale
+// entry under the same ID.
+func (t *inflightTable) track(id uint64, e *inflightEntry) {
+	t.mu.Lock()
+	t.m[id] = e
+	t.mu.Unlock()
+}
+
+// ack releases the entry for an acknowledged tuple, reporting whether one
+// was being tracked.
+func (t *inflightTable) ack(id uint64) bool {
+	t.mu.Lock()
+	_, ok := t.m[id]
+	if ok {
+		delete(t.m, id)
+	}
+	t.mu.Unlock()
+	return ok
+}
+
+// takeIf removes and returns the entry only if it is still assigned to the
+// given worker. A false return means another path (typically the dead
+// worker's retransmitter) already owns the tuple.
+func (t *inflightTable) takeIf(id uint64, worker string) (*inflightEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[id]
+	if !ok || e.worker != worker {
+		return nil, false
+	}
+	delete(t.m, id)
+	return e, true
+}
+
+// takeWorker removes and returns every entry assigned to the worker — the
+// un-acked backlog of a broken connection.
+func (t *inflightTable) takeWorker(worker string) []*inflightEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*inflightEntry
+	for id, e := range t.m {
+		if e.worker == worker {
+			out = append(out, e)
+			delete(t.m, id)
+		}
+	}
+	return out
+}
+
+// size reports the number of tracked tuples.
+func (t *inflightTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

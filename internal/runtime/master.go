@@ -56,6 +56,14 @@ type MasterConfig struct {
 	ReorderBuffer time.Duration
 	// OnResult, if set, receives in-order playback deliveries.
 	OnResult func(Result)
+	// RetryDeadline bounds how long after first submission a tuple may
+	// still be retransmitted when its worker dies; older tuples are shed,
+	// mirroring the reorder buffer's skip semantics for stale frames
+	// (default 3 s).
+	RetryDeadline time.Duration
+	// MaxAttempts bounds total transmission attempts per tuple, the first
+	// submission included (default 3).
+	MaxAttempts int
 	// Seed drives the router's weighted-random draws (default 1).
 	Seed int64
 	// Logger defaults to slog.Default.
@@ -78,6 +86,12 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.ReorderBuffer == 0 {
 		c.ReorderBuffer = time.Second
 	}
+	if c.RetryDeadline == 0 {
+		c.RetryDeadline = 3 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -97,6 +111,7 @@ type workerConn struct {
 	mu        sync.Mutex
 	writeMu   sync.Mutex
 	processed int64
+	dropped   int64 // last Stats-reported processor-drop count
 }
 
 // Master coordinates a swarm run: accepts workers, routes submitted
@@ -120,8 +135,14 @@ type Master struct {
 	played   int64
 	arrived  int64
 
-	submitted int64
-	subMu     sync.Mutex
+	inflight *inflightTable
+
+	subMu         sync.Mutex
+	submitted     int64
+	acked         int64
+	retransmitted int64
+	shed          int64
+	workerDropped int64
 
 	start time.Time
 	stop  chan struct{}
@@ -132,6 +153,10 @@ type Master struct {
 type pendingResult struct {
 	res Result
 }
+
+// minReorderCap floors the reorder buffer so degenerate configurations
+// (TargetFPS 0, sub-second buffers) still tolerate mild disorder.
+const minReorderCap = 8
 
 // Errors.
 var (
@@ -159,15 +184,22 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, err
 	}
+	rcap := int(cfg.ReorderBuffer.Seconds()*cfg.App.TargetFPS) + 1
+	if rcap < minReorderCap {
+		// A zero/tiny TargetFPS would collapse the buffer to a single
+		// slot, turning every out-of-order arrival into a skip.
+		rcap = minReorderCap
+	}
 	m := &Master{
-		cfg:     cfg,
-		ln:      ln,
-		router:  router,
-		workers: make(map[string]*workerConn),
-		reorder: make(map[uint64]*pendingResult),
-		rcap:    int(cfg.ReorderBuffer.Seconds()*cfg.App.TargetFPS) + 1,
-		start:   time.Now(),
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		router:   router,
+		workers:  make(map[string]*workerConn),
+		reorder:  make(map[uint64]*pendingResult),
+		rcap:     rcap,
+		inflight: newInflightTable(),
+		start:    time.Now(),
+		stop:     make(chan struct{}),
 	}
 	m.wg.Add(2)
 	go m.acceptLoop()
@@ -196,12 +228,30 @@ func (m *Master) Snapshot() []routing.Info {
 	return m.router.Snapshot()
 }
 
-// Stats summarizes the sink side.
+// MasterStats summarizes the master's side of a run. The fault-tolerance
+// ledger balances exactly: every distinct submitted tuple is eventually
+// Acked (a result or drop notice arrived), Shed (abandoned at its retry
+// deadline or attempt limit), or still InFlight — never silently lost.
 type MasterStats struct {
+	// Submitted counts distinct tuples successfully enqueued toward a
+	// worker (retransmissions of the same tuple are not re-counted).
 	Submitted int64
-	Arrived   int64
-	Played    int64
-	Skipped   int64
+	// Arrived counts result frames carrying a result tuple.
+	Arrived int64
+	Played  int64
+	Skipped int64
+	// Acked counts in-flight entries released by a worker ack (results
+	// and drop notices both ack).
+	Acked int64
+	// Retransmitted counts re-routed transmissions after worker failures.
+	Retransmitted int64
+	// Shed counts tuples abandoned after a worker failure because their
+	// retry deadline or attempt budget was exhausted.
+	Shed int64
+	// WorkerDropped counts tuples workers discarded on processor errors.
+	WorkerDropped int64
+	// InFlight is the current routed-but-unacknowledged tuple count.
+	InFlight int
 }
 
 // Stats returns sink counters.
@@ -211,15 +261,27 @@ func (m *Master) Stats() MasterStats {
 	m.subMu.Lock()
 	defer m.subMu.Unlock()
 	return MasterStats{
-		Submitted: m.submitted,
-		Arrived:   m.arrived,
-		Played:    m.played,
-		Skipped:   m.skipped,
+		Submitted:     m.submitted,
+		Arrived:       m.arrived,
+		Played:        m.played,
+		Skipped:       m.skipped,
+		Acked:         m.acked,
+		Retransmitted: m.retransmitted,
+		Shed:          m.shed,
+		WorkerDropped: m.workerDropped,
+		InFlight:      m.inflight.size(),
 	}
 }
 
+// acceptLoop admits workers for the life of the master. Transient Accept
+// errors (a failed handshake, a momentarily exhausted fd table) are
+// retried with backoff rather than abandoning the listener — exiting here
+// would permanently lock every future worker out of the swarm. Only a
+// closed listener or a stopped master ends the loop.
 func (m *Master) acceptLoop() {
 	defer m.wg.Done()
+	const maxAcceptBackoff = time.Second
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := m.ln.Accept()
 		if err != nil {
@@ -228,9 +290,21 @@ func (m *Master) acceptLoop() {
 				return
 			default:
 			}
-			m.cfg.Logger.Warn("swing master: accept", "err", err)
-			return
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			m.cfg.Logger.Warn("swing master: accept (will retry)", "err", err, "backoff", backoff)
+			select {
+			case <-time.After(backoff):
+			case <-m.stop:
+				return
+			}
+			if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
@@ -341,6 +415,7 @@ func (m *Master) readLoop(wc *workerConn) {
 			if err := wire.DecodeJSON(payload, &st); err == nil {
 				wc.mu.Lock()
 				wc.processed = st.Processed
+				wc.dropped = st.Dropped
 				wc.mu.Unlock()
 			}
 		default:
@@ -350,7 +425,9 @@ func (m *Master) readLoop(wc *workerConn) {
 }
 
 // dropWorker handles an abrupt leave: remove from the routing table so
-// traffic re-routes immediately (§IV-C).
+// traffic re-routes immediately (§IV-C), then recover the worker's
+// un-acked tuples — each is retransmitted to a surviving worker or shed
+// at its deadline, never silently lost.
 func (m *Master) dropWorker(wc *workerConn) {
 	m.workersMu.Lock()
 	if m.workers[wc.id] != wc {
@@ -369,6 +446,43 @@ func (m *Master) dropWorker(wc *workerConn) {
 	}
 	m.routerMu.Unlock()
 	m.cfg.Logger.Info("swing master: worker left", "worker", wc.id)
+
+	if orphans := m.inflight.takeWorker(wc.id); len(orphans) > 0 {
+		// Resubmission can block on surviving workers' backpressure, so
+		// it runs off the connection goroutine.
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.retransmitAll(wc.id, orphans)
+		}()
+	}
+}
+
+// retransmitAll re-routes a dead worker's un-acked tuples. A tuple past
+// its retry deadline or attempt budget — or with no surviving worker to
+// take it — is shed and accounted, the streaming analogue of the reorder
+// buffer skipping a stale frame.
+func (m *Master) retransmitAll(from string, orphans []*inflightEntry) {
+	for _, e := range orphans {
+		var reason string
+		switch {
+		case int(e.attempt)+1 >= m.cfg.MaxAttempts:
+			reason = "attempts exhausted"
+		case time.Now().After(e.deadline):
+			reason = "deadline passed"
+		default:
+			if err := m.submit(e.t, e.attempt+1, e.deadline); err != nil {
+				reason = err.Error()
+			}
+		}
+		if reason != "" {
+			m.subMu.Lock()
+			m.shed++
+			m.subMu.Unlock()
+			m.cfg.Logger.Info("swing master: shed tuple",
+				"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", from, "reason", reason)
+		}
+	}
 }
 
 func (m *Master) reconfigureLoop(period time.Duration) {
@@ -395,9 +509,20 @@ func (m *Master) reconfigureLoop(period time.Duration) {
 
 // Submit routes one tuple into the swarm. It blocks when the chosen
 // worker's send queue is full (TCP backpressure) and returns ErrNoWorkers
-// when the swarm is empty.
+// when the swarm is empty. The tuple is tracked until a worker
+// acknowledges it; if its worker dies first it is retransmitted to a
+// survivor or shed at its retry deadline.
 func (m *Master) Submit(t *tuple.Tuple) error {
-	for attempts := 0; ; attempts++ {
+	return m.submit(t, 0, time.Now().Add(m.cfg.RetryDeadline))
+}
+
+// submit is the routing core behind Submit and retransmission. attempt 0
+// is the first transmission and counts into the submitted total that
+// feeds the Λ estimate; retransmissions (attempt > 0) are tracked
+// separately so retried traffic cannot inflate the input-rate measurement
+// that drives Worker Selection.
+func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error {
+	for tries := 0; ; tries++ {
 		select {
 		case <-m.stop:
 			return ErrStopped
@@ -418,37 +543,71 @@ func (m *Master) Submit(t *tuple.Tuple) error {
 		wc, ok := m.workers[id]
 		m.workersMu.Unlock()
 		if !ok {
-			if attempts > 8 {
+			if tries > 8 {
 				return ErrNoWorkers
 			}
 			continue // routed to a worker that just left; re-route
 		}
 		t.EmitNanos = time.Now().UnixNano()
+		t.Attempt = attempt
 		frame, err := tuple.Marshal(t)
 		if err != nil {
 			return fmt.Errorf("runtime: submit: %w", err)
 		}
-		m.subMu.Lock()
-		m.submitted++
-		m.subMu.Unlock()
+		// Track before enqueueing so the tuple is never in a send queue
+		// without an owner; an ack arriving immediately after the send
+		// always finds the entry.
+		m.inflight.track(t.ID, &inflightEntry{t: t, worker: id, attempt: attempt, deadline: deadline})
 		select {
 		case wc.out <- frame:
+			m.subMu.Lock()
+			if attempt == 0 {
+				m.submitted++
+			} else {
+				m.retransmitted++
+			}
+			m.subMu.Unlock()
 			return nil
 		case <-wc.gone:
-			// Worker died while we were blocked; try another.
+			// Worker died while we were blocked. If the drop path already
+			// claimed the entry its retransmitter owns the tuple now — it
+			// entered the system, so count this attempt; otherwise
+			// reclaim it and re-route ourselves.
+			if _, ours := m.inflight.takeIf(t.ID, id); !ours {
+				m.subMu.Lock()
+				if attempt == 0 {
+					m.submitted++
+				}
+				m.subMu.Unlock()
+				return nil
+			}
 			continue
 		case <-m.stop:
+			m.inflight.takeIf(t.ID, id)
 			return ErrStopped
 		}
 	}
 }
 
-// handleResult is the sink path: latency feedback plus the reorder buffer
-// (§IV-C "Reordering Service").
+// handleResult is the sink path: release the in-flight entry, fold the
+// latency feedback into the router, then reorder for playback (§IV-C
+// "Reordering Service"). Ack-only frames (no tuple bytes) stop here: the
+// worker consumed the tuple without producing a result, and counting the
+// ack keeps the ledger balanced and the latency estimate fresh.
 func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	meta, tb, err := wire.DecodeResult(payload)
 	if err != nil {
 		return
+	}
+	if m.inflight.ack(meta.TupleID) {
+		m.subMu.Lock()
+		m.acked++
+		m.subMu.Unlock()
+	}
+	if meta.Dropped {
+		m.subMu.Lock()
+		m.workerDropped++
+		m.subMu.Unlock()
 	}
 	now := time.Now()
 	latency := now.Sub(time.Unix(0, meta.EmitNanos))
@@ -459,6 +618,9 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	_ = m.router.ObserveAck(wc.id, latency, time.Duration(meta.ProcNanos), now.Sub(m.start))
 	m.routerMu.Unlock()
 
+	if len(tb) == 0 {
+		return // ack-only: dropped or filtered out downstream
+	}
 	res, err := tuple.Unmarshal(tb)
 	if err != nil {
 		return

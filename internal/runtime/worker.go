@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -34,6 +35,23 @@ type WorkerConfig struct {
 	// SpeedFactor artificially slows processing by the given factor
 	// (>1), emulating a weaker device on homogeneous test hosts.
 	SpeedFactor float64
+	// Reconnect makes a broken master link re-run the dial and
+	// hello/deploy/start handshake with exponential backoff and jitter
+	// instead of shutting the worker down — a transient radio dropout
+	// rejoins the swarm (§IV-C) rather than leaving it permanently. A
+	// master-initiated Stop still shuts down cleanly.
+	Reconnect bool
+	// ReconnectBackoff is the initial retry delay (default 50 ms); it
+	// doubles per failed attempt up to ReconnectMaxBackoff (default 5 s).
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
+	// ReconnectAttempts bounds consecutive failed rejoin attempts before
+	// the worker gives up (0 = retry forever). A successful rejoin resets
+	// the count.
+	ReconnectAttempts int
+	// Seed drives the backoff jitter (default 1), keeping reconnection
+	// schedules reproducible in tests.
+	Seed int64
 	// Logger defaults to slog.Default.
 	Logger *slog.Logger
 }
@@ -48,35 +66,58 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.SpeedFactor < 1 {
 		c.SpeedFactor = 1
 	}
+	if c.ReconnectBackoff == 0 {
+		c.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if c.ReconnectMaxBackoff == 0 {
+		c.ReconnectMaxBackoff = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
 	return c
 }
 
-// Worker executes the operator pipeline assigned by the master on locally
-// received tuples and returns results.
-type Worker struct {
-	cfg   WorkerConfig
-	conn  net.Conn
-	chain []graph.Processor
+// workerSession is one joined connection's state: everything that is torn
+// down and rebuilt when the worker reconnects.
+type workerSession struct {
+	conn        net.Conn
+	chain       []graph.Processor
+	reportEvery time.Duration
 
-	queue chan *tuple.Tuple
-
+	queue   chan *tuple.Tuple
+	dead    chan struct{} // closed when the read loop exits
 	writeMu sync.Mutex
+	sawStop bool // FrameStop received: clean shutdown, do not reconnect
+}
 
-	processed int64
-	statsMu   sync.Mutex
+// Worker executes the operator pipeline assigned by the master on locally
+// received tuples and returns results. With Reconnect enabled it survives
+// link breaks by rejoining the master.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu   sync.Mutex
+	conn net.Conn // current session's connection, for Close
+
+	statsMu    sync.Mutex
+	processed  int64
+	dropped    int64
+	reconnects int64
 
 	start time.Time
 	stop  chan struct{}
-	wg    sync.WaitGroup
 	once  sync.Once
 	done  chan struct{}
 }
 
 // StartWorker joins the swarm: it dials the master, completes the
-// hello/deploy/start handshake and begins processing.
+// hello/deploy/start handshake and begins processing. The initial join
+// must succeed (so configuration errors surface immediately); later link
+// breaks follow the Reconnect policy.
 func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	cfg = cfg.withDefaults()
 	if cfg.App == nil {
@@ -85,6 +126,25 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.DeviceID == "" {
 		return nil, errors.New("runtime: empty device id")
 	}
+	s, err := dialSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg:   cfg,
+		conn:  s.conn,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.run(s)
+	cfg.Logger.Info("swing worker: joined", "device", cfg.DeviceID, "master", cfg.MasterAddr)
+	return w, nil
+}
+
+// dialSession performs the join workflow (paper §IV-B steps 2-3): dial,
+// hello, receive the deployment, acknowledge start.
+func dialSession(cfg WorkerConfig) (*workerSession, error) {
 	conn, err := cfg.Transport.Dial(cfg.MasterAddr)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: join master: %w", err)
@@ -124,26 +184,13 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("runtime: expected start, got %v: %v", typ, err)
 	}
-
-	w := &Worker{
-		cfg:   cfg,
-		conn:  conn,
-		chain: chain,
-		queue: make(chan *tuple.Tuple, cfg.QueueCap),
-		start: time.Now(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-	}
-	w.wg.Add(3)
-	go w.readLoop()
-	go w.processLoop()
-	go w.statsLoop(time.Duration(deploy.ReportEveryMillis) * time.Millisecond)
-	go func() {
-		w.wg.Wait()
-		close(w.done)
-	}()
-	cfg.Logger.Info("swing worker: joined", "device", cfg.DeviceID, "master", cfg.MasterAddr)
-	return w, nil
+	return &workerSession{
+		conn:        conn,
+		chain:       chain,
+		reportEvery: time.Duration(deploy.ReportEveryMillis) * time.Millisecond,
+		queue:       make(chan *tuple.Tuple, cfg.QueueCap),
+		dead:        make(chan struct{}),
+	}, nil
 }
 
 // buildChain instantiates the worker's processors in pipeline order.
@@ -165,11 +212,102 @@ func buildChain(app *apps.App, units []string) ([]graph.Processor, error) {
 	return chain, nil
 }
 
-func (w *Worker) readLoop() {
-	defer w.wg.Done()
-	defer close(w.queue)
+// run drives sessions until a clean stop: each session processes until
+// its link breaks, then (with Reconnect on) the worker redials with
+// exponential backoff and jitter and re-runs the handshake.
+func (w *Worker) run(s *workerSession) {
+	defer close(w.done)
+	rng := rand.New(rand.NewPCG(uint64(w.cfg.Seed), 0x3417))
 	for {
-		typ, payload, err := wire.ReadFrame(w.conn)
+		w.runSession(s)
+		if w.stopped() || s.sawStop || !w.cfg.Reconnect {
+			return
+		}
+		next, ok := w.reconnect(rng)
+		if !ok {
+			return
+		}
+		s = next
+	}
+}
+
+// reconnect redials until a session is established, the attempt budget
+// runs out, or the worker is closed. Backoff doubles per failure, capped
+// at ReconnectMaxBackoff, with ±50% seeded jitter to avoid thundering
+// herds when a swarm's workers all lost the same master.
+func (w *Worker) reconnect(rng *rand.Rand) (*workerSession, bool) {
+	backoff := w.cfg.ReconnectBackoff
+	for attempt := 1; ; attempt++ {
+		if w.cfg.ReconnectAttempts > 0 && attempt > w.cfg.ReconnectAttempts {
+			w.cfg.Logger.Warn("swing worker: reconnect attempts exhausted",
+				"device", w.cfg.DeviceID, "attempts", w.cfg.ReconnectAttempts)
+			return nil, false
+		}
+		delay := backoff/2 + time.Duration(rng.Int64N(int64(backoff)))
+		select {
+		case <-time.After(delay):
+		case <-w.stop:
+			return nil, false
+		}
+		s, err := dialSession(w.cfg)
+		if err == nil {
+			w.mu.Lock()
+			w.conn = s.conn
+			w.mu.Unlock()
+			// Close may have raced the new dial; do not leak the session.
+			if w.stopped() {
+				_ = s.conn.Close()
+				return nil, false
+			}
+			w.statsMu.Lock()
+			w.reconnects++
+			w.statsMu.Unlock()
+			w.cfg.Logger.Info("swing worker: rejoined",
+				"device", w.cfg.DeviceID, "master", w.cfg.MasterAddr, "attempt", attempt)
+			return s, true
+		}
+		w.cfg.Logger.Warn("swing worker: reconnect failed",
+			"device", w.cfg.DeviceID, "attempt", attempt, "err", err, "backoff", backoff)
+		if backoff *= 2; backoff > w.cfg.ReconnectMaxBackoff {
+			backoff = w.cfg.ReconnectMaxBackoff
+		}
+	}
+}
+
+func (w *Worker) stopped() bool {
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// runSession serves one connection until it breaks or stops.
+func (w *Worker) runSession(s *workerSession) {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		w.readLoop(s)
+	}()
+	go func() {
+		defer wg.Done()
+		w.processLoop(s)
+	}()
+	go func() {
+		defer wg.Done()
+		w.statsLoop(s)
+	}()
+	wg.Wait()
+	_ = s.conn.Close()
+}
+
+func (w *Worker) readLoop(s *workerSession) {
+	defer close(s.queue)
+	defer close(s.dead)
+	for {
+		typ, payload, err := wire.ReadFrame(s.conn)
 		if err != nil {
 			return
 		}
@@ -181,11 +319,12 @@ func (w *Worker) readLoop() {
 				continue
 			}
 			select {
-			case w.queue <- t:
+			case s.queue <- t:
 			case <-w.stop:
 				return
 			}
 		case wire.FrameStop:
+			s.sawStop = true
 			return
 		default:
 			// Control frames after start are ignored.
@@ -206,29 +345,38 @@ func (c *collectEmitter) Emit(t *tuple.Tuple) error {
 	return nil
 }
 
-func (w *Worker) processLoop() {
-	defer w.wg.Done()
-	for t := range w.queue {
-		w.processOne(t)
+func (w *Worker) processLoop(s *workerSession) {
+	for t := range s.queue {
+		w.processOne(s, t)
 	}
 }
 
 // processOne runs the tuple through the local operator chain (the
 // vertical pipeline slice) and returns the result with ACK metadata.
-func (w *Worker) processOne(t *tuple.Tuple) {
+// Every consumed tuple is answered: a processor error sends a drop
+// notice, a filtered-out tuple sends a plain ack — so the master's
+// in-flight tracker and latency estimate for this worker never go stale
+// on a silent discard.
+func (w *Worker) processOne(s *workerSession, t *tuple.Tuple) {
 	begin := time.Now()
 	cur := []*tuple.Tuple{t}
-	for _, p := range w.chain {
+	for _, p := range s.chain {
 		var em collectEmitter
 		for _, in := range cur {
 			if err := p.ProcessData(&em, in); err != nil {
 				w.cfg.Logger.Warn("swing worker: process", "err", err)
+				w.statsMu.Lock()
+				w.dropped++
+				w.statsMu.Unlock()
+				w.sendAckOnly(s, t, time.Since(begin), true)
 				return
 			}
 		}
 		cur = em.out
 		if len(cur) == 0 {
-			return // stage filtered the tuple out
+			// A stage filtered the tuple out: legitimate, but still ack.
+			w.sendAckOnly(s, t, time.Since(begin), false)
+			return
 		}
 	}
 	proc := time.Since(begin)
@@ -245,26 +393,50 @@ func (w *Worker) processOne(t *tuple.Tuple) {
 		tb, err := tuple.Marshal(out)
 		if err != nil {
 			w.cfg.Logger.Warn("swing worker: marshal result", "err", err)
+			w.statsMu.Lock()
+			w.dropped++
+			w.statsMu.Unlock()
+			w.sendAckOnly(s, t, proc, true)
 			continue
 		}
-		payload, err := wire.EncodeResult(wire.ResultMeta{
-			EmitNanos: t.EmitNanos,
-			ProcNanos: int64(proc),
-		}, tb)
+		payload, err := wire.EncodeResult(w.resultMeta(t, proc), tb)
 		if err != nil {
 			continue
 		}
-		w.writeMu.Lock()
-		err = wire.WriteFrame(w.conn, wire.FrameResult, payload)
-		w.writeMu.Unlock()
-		if err != nil {
+		if w.writeFrame(s, wire.FrameResult, payload) != nil {
 			return
 		}
 	}
 }
 
-func (w *Worker) statsLoop(period time.Duration) {
-	defer w.wg.Done()
+func (w *Worker) resultMeta(t *tuple.Tuple, proc time.Duration) wire.ResultMeta {
+	return wire.ResultMeta{
+		TupleID:   t.ID,
+		Attempt:   t.Attempt,
+		EmitNanos: t.EmitNanos,
+		ProcNanos: int64(proc),
+	}
+}
+
+// sendAckOnly reports a consumed-but-resultless tuple to the master.
+func (w *Worker) sendAckOnly(s *workerSession, t *tuple.Tuple, proc time.Duration, dropped bool) {
+	meta := w.resultMeta(t, proc)
+	meta.Dropped = dropped
+	payload, err := wire.EncodeResult(meta, nil)
+	if err != nil {
+		return
+	}
+	_ = w.writeFrame(s, wire.FrameResult, payload)
+}
+
+func (w *Worker) writeFrame(s *workerSession, typ wire.FrameType, payload []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return wire.WriteFrame(s.conn, typ, payload)
+}
+
+func (w *Worker) statsLoop(s *workerSession) {
+	period := s.reportEvery
 	if period <= 0 {
 		period = time.Second
 	}
@@ -277,7 +449,8 @@ func (w *Worker) statsLoop(period time.Duration) {
 			st := wire.Stats{
 				DeviceID:  w.cfg.DeviceID,
 				Processed: w.processed,
-				QueueLen:  len(w.queue),
+				Dropped:   w.dropped,
+				QueueLen:  len(s.queue),
 				UptimeMS:  time.Since(w.start).Milliseconds(),
 			}
 			w.statsMu.Unlock()
@@ -285,12 +458,11 @@ func (w *Worker) statsLoop(period time.Duration) {
 			if err != nil {
 				continue
 			}
-			w.writeMu.Lock()
-			err = wire.WriteFrame(w.conn, wire.FrameStats, b)
-			w.writeMu.Unlock()
-			if err != nil {
+			if w.writeFrame(s, wire.FrameStats, b) != nil {
 				return
 			}
+		case <-s.dead:
+			return
 		case <-w.stop:
 			return
 		}
@@ -304,17 +476,37 @@ func (w *Worker) Processed() int64 {
 	return w.processed
 }
 
+// Dropped reports how many tuples this worker discarded on processor
+// errors.
+func (w *Worker) Dropped() int64 {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.dropped
+}
+
+// Reconnects reports how many times this worker has rejoined the master
+// after a broken link.
+func (w *Worker) Reconnects() int64 {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.reconnects
+}
+
 // Close leaves the swarm: the connection closes (the master observes an
 // abrupt leave) and all goroutines drain.
 func (w *Worker) Close() error {
 	w.once.Do(func() {
 		close(w.stop)
-		_ = w.conn.Close()
+		w.mu.Lock()
+		conn := w.conn
+		w.mu.Unlock()
+		_ = conn.Close()
 		<-w.done
 	})
 	return nil
 }
 
-// Wait blocks until the worker has fully shut down (connection closed by
-// either side).
+// Wait blocks until the worker has fully shut down: the master stopped
+// it, the link broke with reconnection disabled, or the reconnect budget
+// ran out.
 func (w *Worker) Wait() { <-w.done }

@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes the fault-injection wrapper. All faults are
+// driven by a seeded PRNG, so a given (config, connection-order) pair
+// replays identically — tests assert on exact outcomes.
+//
+// Frame-granular faults (drop, delay, break) interpret the byte stream as
+// the wire framing of package wire — a 4-byte little-endian payload
+// length, a type byte, then the payload — and act on whole frames, so a
+// dropped frame never corrupts the survivors' framing (like a lost
+// datagram, not a torn TCP segment).
+type FaultConfig struct {
+	// Seed drives delay jitter; each connection derives its own stream
+	// from it, in connection order. Zero means 1.
+	Seed int64
+	// DropEveryNth silently discards every Nth frame written through a
+	// wrapped connection (the writer sees success). Zero disables.
+	DropEveryNth int
+	// Delay stalls each frame write by this long before forwarding.
+	Delay time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each frame's delay.
+	Jitter time.Duration
+	// BreakAfterFrames closes the underlying connection after this many
+	// frames have been written through it (handshake frames count), so a
+	// link dies mid-stream at a reproducible point. Zero disables.
+	BreakAfterFrames int
+	// DialFailures makes the first N Dial calls fail, for exercising
+	// reconnect backoff paths. Zero disables.
+	DialFailures int
+}
+
+// Faulty wraps an inner Transport and injects the configured faults into
+// every connection it creates — both dialed connections and connections
+// accepted from its listeners. Wrap only the endpoint under test (e.g. one
+// worker's transport) to confine the faults to that link.
+type Faulty struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu          sync.Mutex
+	conns       int64
+	failedDials int
+}
+
+var _ Transport = (*Faulty)(nil)
+
+// WithFaults wraps a transport with fault injection.
+func WithFaults(inner Transport, cfg FaultConfig) *Faulty {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Faulty{inner: inner, cfg: cfg}
+}
+
+// Listen implements Transport; accepted connections are fault-wrapped.
+func (f *Faulty) Listen(addr string) (net.Listener, error) {
+	ln, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyListener{Listener: ln, f: f}, nil
+}
+
+// Dial implements Transport. The first DialFailures calls fail; later
+// calls connect and return a fault-wrapped connection.
+func (f *Faulty) Dial(addr string) (net.Conn, error) {
+	f.mu.Lock()
+	fail := f.failedDials < f.cfg.DialFailures
+	if fail {
+		f.failedDials++
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("transport: injected dial failure to %s", addr)
+	}
+	c, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(c), nil
+}
+
+// wrap builds the per-connection fault state with its own PRNG stream.
+func (f *Faulty) wrap(c net.Conn) net.Conn {
+	f.mu.Lock()
+	n := f.conns
+	f.conns++
+	f.mu.Unlock()
+	return &faultConn{
+		Conn: c,
+		cfg:  f.cfg,
+		rng:  rand.New(rand.NewPCG(uint64(f.cfg.Seed), uint64(n)+0x5ea1)),
+	}
+}
+
+type faultyListener struct {
+	net.Listener
+	f *Faulty
+}
+
+// Accept implements net.Listener.
+func (l *faultyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.f.wrap(c), nil
+}
+
+// faultConn applies frame-granular write faults over a net.Conn. Reads
+// pass through untouched: faults injected on each endpoint's write side
+// compose to cover both directions of a duplex link.
+type faultConn struct {
+	net.Conn
+	cfg FaultConfig
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	buf    []byte // bytes of the frame currently being assembled
+	frames int
+	broken bool
+}
+
+// frameHeaderSize mirrors package wire's framing: u32 payload length +
+// type byte.
+const frameHeaderSize = 5
+
+// Write implements net.Conn. Bytes are buffered until a whole frame is
+// assembled, then the frame is delayed, dropped or forwarded; after
+// BreakAfterFrames frames the underlying connection is closed, killing
+// the link for both directions.
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return 0, fmt.Errorf("transport: injected break on %v", c.Conn.LocalAddr())
+	}
+	c.buf = append(c.buf, p...)
+	for len(c.buf) >= frameHeaderSize {
+		total := frameHeaderSize + int(binary.LittleEndian.Uint32(c.buf[:4]))
+		if len(c.buf) < total {
+			break
+		}
+		frame := c.buf[:total]
+		c.frames++
+		if d := c.frameDelay(); d > 0 {
+			time.Sleep(d)
+		}
+		drop := c.cfg.DropEveryNth > 0 && c.frames%c.cfg.DropEveryNth == 0
+		if !drop {
+			if _, err := c.Conn.Write(frame); err != nil {
+				return 0, err
+			}
+		}
+		c.buf = c.buf[total:]
+		if c.cfg.BreakAfterFrames > 0 && c.frames >= c.cfg.BreakAfterFrames {
+			c.broken = true
+			c.buf = nil
+			_ = c.Conn.Close()
+			break
+		}
+	}
+	// The caller's bytes are accounted for even when a fault swallowed
+	// them: a fault models loss beyond the writer's visibility.
+	return len(p), nil
+}
+
+func (c *faultConn) frameDelay() time.Duration {
+	d := c.cfg.Delay
+	if c.cfg.Jitter > 0 {
+		d += time.Duration(c.rng.Int64N(int64(c.cfg.Jitter)))
+	}
+	return d
+}

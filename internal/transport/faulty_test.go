@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/wire"
+)
+
+// acceptOne accepts a single connection in the background.
+func acceptOne(t *testing.T, ln net.Listener) <-chan net.Conn {
+	t.Helper()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	return ch
+}
+
+// readFrames reads frames from c until it errors, reporting payloads.
+func readFrames(c net.Conn) <-chan []byte {
+	ch := make(chan []byte, 64)
+	go func() {
+		defer close(ch)
+		for {
+			_, payload, err := wire.ReadFrame(c)
+			if err != nil {
+				return
+			}
+			ch <- payload
+		}
+	}()
+	return ch
+}
+
+func TestFaultyDialFailures(t *testing.T) {
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{DialFailures: 2})
+	ln, err := f.Listen("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Dial("m"); err == nil {
+			t.Fatalf("dial %d should have failed", i)
+		}
+	}
+	accepted := acceptOne(t, ln)
+	c, err := f.Dial("m")
+	if err != nil {
+		t.Fatalf("dial after injected failures: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	select {
+	case <-accepted:
+	case <-time.After(time.Second):
+		t.Fatal("no connection accepted")
+	}
+}
+
+func TestFaultyBreakAfterFrames(t *testing.T) {
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{BreakAfterFrames: 3})
+	ln, err := f.Listen("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := acceptOne(t, ln)
+	c, err := f.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	got := readFrames(server)
+
+	// The first three frames pass, then the connection is dead.
+	for i := 0; i < 3; i++ {
+		if err := wire.WriteFrame(c, wire.FrameTuple, []byte{byte(i)}); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if err := wire.WriteFrame(c, wire.FrameTuple, []byte{9}); err == nil {
+		t.Fatal("write after break succeeded")
+	}
+	var payloads [][]byte
+	for p := range got {
+		payloads = append(payloads, p)
+	}
+	if len(payloads) != 3 {
+		t.Fatalf("peer saw %d frames, want 3", len(payloads))
+	}
+	// The peer's connection is dead too: the break closes the link.
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after break")
+	}
+}
+
+func TestFaultyDropEveryNth(t *testing.T) {
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{DropEveryNth: 3})
+	ln, err := f.Listen("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := acceptOne(t, ln)
+	c, err := f.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	got := readFrames(server)
+
+	const n = 9
+	for i := 0; i < n; i++ {
+		if err := wire.WriteFrame(c, wire.FrameTuple, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Close()
+	var seen []byte
+	for p := range got {
+		seen = append(seen, p[0])
+	}
+	// Frames 3, 6, 9 (1-indexed) are dropped: payloads 2, 5, 8.
+	want := []byte{0, 1, 3, 4, 6, 7}
+	if len(seen) != len(want) {
+		t.Fatalf("peer saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("peer saw %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestFaultyDelay(t *testing.T) {
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{Delay: 30 * time.Millisecond, Jitter: 10 * time.Millisecond, Seed: 7})
+	ln, err := f.Listen("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := acceptOne(t, ln)
+	c, err := f.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	server := <-accepted
+	got := readFrames(server)
+
+	begin := time.Now()
+	if err := wire.WriteFrame(c, wire.FrameTuple, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("frame never arrived")
+	}
+	if elapsed := time.Since(begin); elapsed < 30*time.Millisecond {
+		t.Fatalf("frame arrived after %v, want >= 30ms of injected delay", elapsed)
+	}
+}
+
+// TestFaultyAcceptedConnsWrapped verifies faults also apply to the
+// listener side of a wrapped transport.
+func TestFaultyAcceptedConnsWrapped(t *testing.T) {
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{BreakAfterFrames: 1})
+	ln, err := f.Listen("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := acceptOne(t, ln)
+	// Dial through the raw inner transport: only the accepted side is
+	// fault-wrapped.
+	c, err := mem.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	server := <-accepted
+	got := readFrames(c)
+	if err := wire.WriteFrame(server, wire.FrameStats, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("frame never arrived")
+	}
+	if err := wire.WriteFrame(server, wire.FrameStats, []byte("s")); err == nil {
+		t.Fatal("second frame should hit the injected break")
+	}
+}
+
+// TestFaultyFrameReassembly checks that header and payload written in
+// separate calls (as wire.WriteFrame does) still count as one frame.
+func TestFaultyFrameReassembly(t *testing.T) {
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{BreakAfterFrames: 2})
+	ln, err := f.Listen("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := acceptOne(t, ln)
+	c, err := f.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	got := readFrames(server)
+
+	// Two frames, each delivered byte-by-byte: the fault wrapper must
+	// reassemble before counting, breaking only after the second frame.
+	frame := []byte{3, 0, 0, 0, byte(wire.FrameTuple), 'a', 'b', 'c'}
+	for k := 0; k < 2; k++ {
+		for _, b := range frame {
+			if _, err := c.Write([]byte{b}); err != nil {
+				t.Fatalf("frame %d: %v", k, err)
+			}
+		}
+	}
+	var n int
+	for range got {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("peer saw %d frames, want 2", n)
+	}
+	if _, err := c.Write(frame); err == nil {
+		t.Fatal("write after break succeeded")
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // Wire format (all integers little-endian):
 //
-//	header:  id u64 | seq u64 | emitNanos i64 | nfields u16
+//	header:  id u64 | seq u64 | emitNanos i64 | attempt u8 | nfields u16
 //	field:   nameLen u8 | name | kind u8 | payload
 //	payload: bytes/string: len u32 | data
 //	         int64/float64: 8 bytes
@@ -19,7 +19,7 @@ import (
 // the same app binary (the paper's workflow installs the same app on every
 // device), so there is no cross-version framing to negotiate.
 
-const headerSize = 8 + 8 + 8 + 2
+const headerSize = 8 + 8 + 8 + 1 + 2
 
 const (
 	maxFieldName = 255
@@ -65,6 +65,7 @@ func Marshal(t *Tuple) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
 	buf = binary.LittleEndian.AppendUint64(buf, t.SeqNo)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.EmitNanos))
+	buf = append(buf, t.Attempt)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.fields)))
 	for _, f := range t.fields {
 		if len(f.Name) > maxFieldName {
@@ -173,11 +174,15 @@ func Unmarshal(data []byte) (*Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	attempt, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
 	nf, err := r.u16()
 	if err != nil {
 		return nil, err
 	}
-	t := &Tuple{ID: id, SeqNo: seq, EmitNanos: int64(emit)}
+	t := &Tuple{ID: id, SeqNo: seq, EmitNanos: int64(emit), Attempt: attempt}
 	t.fields = make([]Field, 0, nf)
 	for i := 0; i < int(nf); i++ {
 		nameLen, err := r.u8()

@@ -202,10 +202,14 @@ type Field struct {
 // source emission sequence (playback order). EmitNanos carries the
 // timestamp the current upstream attached when it dispatched the tuple,
 // which the downstream echoes in its ACK for latency estimation (§V-B).
+// Attempt counts transmission attempts: 0 on first dispatch, incremented
+// each time the runtime retransmits the tuple after a worker failure, so
+// downstreams can tell a retransmission from fresh traffic.
 type Tuple struct {
 	ID        uint64
 	SeqNo     uint64
 	EmitNanos int64
+	Attempt   uint8
 
 	fields []Field
 }
@@ -296,7 +300,7 @@ func (t *Tuple) WireSize() int {
 // Clone returns a deep copy of the tuple; byte and matrix payloads are
 // copied so the clone can be mutated independently.
 func (t *Tuple) Clone() *Tuple {
-	c := &Tuple{ID: t.ID, SeqNo: t.SeqNo, EmitNanos: t.EmitNanos}
+	c := &Tuple{ID: t.ID, SeqNo: t.SeqNo, EmitNanos: t.EmitNanos, Attempt: t.Attempt}
 	c.fields = make([]Field, len(t.fields))
 	for i, f := range t.fields {
 		cv := f.Value
@@ -322,7 +326,8 @@ func (t *Tuple) Equal(o *Tuple) bool {
 	if t == nil || o == nil {
 		return t == o
 	}
-	if t.ID != o.ID || t.SeqNo != o.SeqNo || t.EmitNanos != o.EmitNanos || len(t.fields) != len(o.fields) {
+	if t.ID != o.ID || t.SeqNo != o.SeqNo || t.EmitNanos != o.EmitNanos ||
+		t.Attempt != o.Attempt || len(t.fields) != len(o.fields) {
 		return false
 	}
 	for i := range t.fields {

@@ -190,6 +190,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 	}
 	tp := New(42, 7)
 	tp.EmitNanos = -5
+	tp.Attempt = 2
 	tp.Set("frame", Bytes([]byte{0, 255, 127}))
 	tp.Set("label", String("héllo wörld"))
 	tp.Set("count", Int64(math.MinInt64))

@@ -135,20 +135,37 @@ type Deploy struct {
 }
 
 // ResultMeta prefixes a FrameResult payload (before the tuple bytes).
+//
+// A FrameResult with no tuple bytes after the meta is an ack-only frame:
+// the worker consumed the input tuple (a stage filtered it out, or a
+// processor failed and Dropped is set) and produced no result. Ack-only
+// frames keep the master's in-flight tracker and latency estimates fresh
+// even when the pipeline emits nothing.
 type ResultMeta struct {
+	// TupleID echoes the input tuple's ID so the master can release the
+	// matching in-flight (un-acked) entry.
+	TupleID uint64 `json:"tupleId"`
+	// Attempt echoes the input tuple's transmission attempt counter.
+	Attempt uint8 `json:"attempt,omitempty"`
 	// EmitNanos echoes the timestamp the master attached when it
 	// dispatched the tuple (for latency estimation, §V-B).
 	EmitNanos int64 `json:"emitNanos"`
 	// ProcNanos is the worker's measured pure processing time.
 	ProcNanos int64 `json:"procNanos"`
+	// Dropped marks an ack-only frame caused by a processor error; the
+	// master counts these so silently-failing workers stay visible.
+	Dropped bool `json:"dropped,omitempty"`
 }
 
 // Stats is the worker's periodic report.
 type Stats struct {
 	DeviceID  string `json:"deviceId"`
 	Processed int64  `json:"processed"`
-	QueueLen  int    `json:"queueLen"`
-	UptimeMS  int64  `json:"uptimeMillis"`
+	// Dropped counts tuples discarded by processor errors on this worker
+	// (cumulative over the worker's lifetime, across reconnects).
+	Dropped  int64 `json:"dropped,omitempty"`
+	QueueLen int   `json:"queueLen"`
+	UptimeMS int64 `json:"uptimeMillis"`
 }
 
 // EncodeJSON marshals a control message for a frame payload.

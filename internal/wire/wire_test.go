@@ -121,7 +121,7 @@ func TestControlJSON(t *testing.T) {
 }
 
 func TestResultEncoding(t *testing.T) {
-	meta := ResultMeta{EmitNanos: 123456789, ProcNanos: 42}
+	meta := ResultMeta{TupleID: 77, Attempt: 2, EmitNanos: 123456789, ProcNanos: 42}
 	tupleBytes := []byte{1, 2, 3, 4}
 	payload, err := EncodeResult(meta, tupleBytes)
 	if err != nil {
@@ -136,6 +136,41 @@ func TestResultEncoding(t *testing.T) {
 	}
 	if string(gotTuple) != string(tupleBytes) {
 		t.Fatalf("tuple bytes %v", gotTuple)
+	}
+}
+
+// TestResultAckOnly covers the empty-tuple form: a drop notice keeps its
+// meta (including the Dropped flag) and carries zero tuple bytes.
+func TestResultAckOnly(t *testing.T) {
+	meta := ResultMeta{TupleID: 9, Attempt: 1, EmitNanos: 5, ProcNanos: 3, Dropped: true}
+	payload, err := EncodeResult(meta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotTuple, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta %+v", gotMeta)
+	}
+	if len(gotTuple) != 0 {
+		t.Fatalf("ack-only frame carried %d tuple bytes", len(gotTuple))
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	st := Stats{DeviceID: "B", Processed: 10, Dropped: 2, QueueLen: 1, UptimeMS: 99}
+	b, err := EncodeJSON(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := DecodeJSON(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatalf("got %+v", got)
 	}
 }
 

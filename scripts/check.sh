@@ -6,3 +6,6 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./internal/experiments ./internal/sim ./internal/routing
+# The live runtime's fault-tolerance paths (retransmit, reconnect, fault
+# injection) are timing-sensitive; run them twice under the race detector.
+go test -race -count=2 ./internal/runtime/... ./internal/transport/...

@@ -36,6 +36,7 @@ import (
 	"github.com/swingframework/swing/internal/netem"
 	"github.com/swingframework/swing/internal/routing"
 	"github.com/swingframework/swing/internal/runtime"
+	"github.com/swingframework/swing/internal/transport"
 	"github.com/swingframework/swing/internal/tuple"
 )
 
@@ -270,12 +271,44 @@ type WorkerConfig = runtime.WorkerConfig
 // LiveResult is one in-order playback delivery at the master's sink.
 type LiveResult = runtime.Result
 
+// MasterStats summarizes the master's side of a live run, including the
+// fault-tolerance ledger (every submitted tuple ends acked or shed, never
+// silently lost).
+type MasterStats = runtime.MasterStats
+
 // StartMaster launches a live master that accepts workers and routes
 // submitted tuples.
 func StartMaster(cfg MasterConfig) (*Master, error) { return runtime.StartMaster(cfg) }
 
 // StartWorker joins a live swarm as a worker device.
 func StartWorker(cfg WorkerConfig) (*Worker, error) { return runtime.StartWorker(cfg) }
+
+// Transport abstracts the byte transport under the live runtime (default
+// TCP); swap it for an in-memory network in tests or wrap it with fault
+// injection.
+type Transport = transport.Transport
+
+// TCPTransport is the production transport over real sockets.
+type TCPTransport = transport.TCP
+
+// MemTransport is an in-process transport for tests and single-process
+// demos.
+type MemTransport = transport.Mem
+
+// NewMemTransport returns an empty in-memory network.
+func NewMemTransport() *MemTransport { return transport.NewMem() }
+
+// FaultConfig parameterizes deterministic fault injection: frame drops,
+// delays, mid-stream link breaks and dial failures, all driven by a
+// seeded PRNG for reproducible resilience tests.
+type FaultConfig = transport.FaultConfig
+
+// WithFaults wraps a transport so every connection it creates injects the
+// configured faults. Wrap only the endpoint under test to confine the
+// faults to its links.
+func WithFaults(inner Transport, cfg FaultConfig) Transport {
+	return transport.WithFaults(inner, cfg)
+}
 
 // Announcement is a master discovery beacon.
 type Announcement = discovery.Announcement
