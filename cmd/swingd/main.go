@@ -36,6 +36,14 @@ type masterOpts struct {
 	duration                 time.Duration
 	retryDeadline            time.Duration
 	maxAttempts              int
+	heartbeat                time.Duration
+	suspectAfter             time.Duration
+	deadAfter                time.Duration
+	breakerThreshold         int
+	breakerCooldown          time.Duration
+	breakerAckTimeout        time.Duration
+	inflightHighWater        int
+	statusEvery              time.Duration
 	transport                swing.Transport
 }
 
@@ -61,13 +69,23 @@ func run(args []string) error {
 		announce = fs.String("announce", "", "master: UDP discovery target, e.g. 255.255.255.255:17716")
 		retryDL  = fs.Duration("retry-deadline", 3*time.Second, "master: how long a tuple may still be retransmitted after its worker dies")
 		maxTries = fs.Int("max-attempts", 3, "master: total transmission attempts per tuple, first included")
-		id       = fs.String("id", "", "worker: device id")
-		master   = fs.String("master", "", "worker: master address (empty = discover via UDP)")
-		discover = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
-		speed    = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
-		rejoin   = fs.Bool("reconnect", false, "worker: rejoin the master with backoff after a broken link")
-		rejoinBO = fs.Duration("reconnect-backoff", 50*time.Millisecond, "worker: initial reconnect delay (doubles per failure)")
-		rejoinN  = fs.Int("reconnect-attempts", 0, "worker: consecutive failed rejoins before giving up (0 = forever)")
+
+		// Liveness and overload protection (master).
+		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "master: liveness ping period per worker (0 = no failure detector)")
+		suspectN  = fs.Duration("suspect-after", 0, "master: silence before a worker is marked suspect (0 = 3x heartbeat)")
+		deadN     = fs.Duration("dead-after", 0, "master: silence before a hung worker is evicted (0 = 6x heartbeat)")
+		brThresh  = fs.Int("breaker-threshold", 5, "master: consecutive failures that open a worker's circuit breaker (0 = no breakers)")
+		brCool    = fs.Duration("breaker-cooldown", 2*time.Second, "master: how long an open breaker blocks a worker before the half-open probe")
+		brAckTO   = fs.Duration("breaker-ack-timeout", 0, "master: unacked-tuple age counted as a breaker failure (0 = drops alone drive breakers)")
+		inflHW    = fs.Int("inflight-high-water", 0, "master: in-flight tuples beyond which Submit sheds oldest-first instead of blocking (0 = block on backpressure)")
+		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
+		id        = fs.String("id", "", "worker: device id")
+		master    = fs.String("master", "", "worker: master address (empty = discover via UDP)")
+		discover  = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
+		speed     = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
+		rejoin    = fs.Bool("reconnect", false, "worker: rejoin the master with backoff after a broken link")
+		rejoinBO  = fs.Duration("reconnect-backoff", 50*time.Millisecond, "worker: initial reconnect delay (doubles per failure)")
+		rejoinN   = fs.Int("reconnect-attempts", 0, "worker: consecutive failed rejoins before giving up (0 = forever)")
 
 		// Fault injection (for resilience drills; off by default).
 		faultSeed      = fs.Int64("fault-seed", 1, "fault injection: PRNG seed for deterministic replay")
@@ -98,6 +116,9 @@ func run(args []string) error {
 			listen: *listen, policy: *policyN, announce: *announce,
 			fps: *fps, duration: *duration,
 			retryDeadline: *retryDL, maxAttempts: *maxTries,
+			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
+			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
+			inflightHighWater: *inflHW, statusEvery: *statusEv,
 			transport: faults,
 		})
 	case "worker":
@@ -140,12 +161,19 @@ func runMaster(app *swing.App, opt masterOpts) error {
 	}
 	delivered := 0
 	m, err := swing.StartMaster(swing.MasterConfig{
-		App:           app,
-		Policy:        policy,
-		ListenAddr:    opt.listen,
-		Transport:     opt.transport,
-		RetryDeadline: opt.retryDeadline,
-		MaxAttempts:   opt.maxAttempts,
+		App:               app,
+		Policy:            policy,
+		ListenAddr:        opt.listen,
+		Transport:         opt.transport,
+		RetryDeadline:     opt.retryDeadline,
+		MaxAttempts:       opt.maxAttempts,
+		Heartbeat:         opt.heartbeat,
+		SuspectAfter:      opt.suspectAfter,
+		DeadAfter:         opt.deadAfter,
+		BreakerThreshold:  opt.breakerThreshold,
+		BreakerCooldown:   opt.breakerCooldown,
+		BreakerAckTimeout: opt.breakerAckTimeout,
+		InflightHighWater: opt.inflightHighWater,
 		OnResult: func(r swing.LiveResult) {
 			delivered++
 			if delivered%24 == 0 {
@@ -180,6 +208,12 @@ func runMaster(app *swing.App, opt masterOpts) error {
 	if opt.duration > 0 {
 		deadline = time.After(opt.duration)
 	}
+	var statusTick <-chan time.Time
+	if opt.statusEvery > 0 {
+		status := time.NewTicker(opt.statusEvery)
+		defer status.Stop()
+		statusTick = status.C
+	}
 	submitted, dropped := 0, 0
 	for {
 		select {
@@ -189,17 +223,31 @@ func runMaster(app *swing.App, opt masterOpts) error {
 			} else {
 				submitted++
 			}
+		case <-statusTick:
+			printStatus(m.Stats())
 		case <-deadline:
 			st := m.Stats()
 			fmt.Printf("done: submitted=%d dropped=%d arrived=%d played=%d skipped=%d\n",
 				submitted, dropped, st.Arrived, st.Played, st.Skipped)
-			fmt.Printf("ledger: acked=%d retransmitted=%d shed=%d workerDropped=%d inFlight=%d\n",
-				st.Acked, st.Retransmitted, st.Shed, st.WorkerDropped, st.InFlight)
+			fmt.Printf("ledger: acked=%d retransmitted=%d shed=%d (overload %d) workerDropped=%d evicted=%d inFlight=%d\n",
+				st.Acked, st.Retransmitted, st.Shed, st.ShedOverload, st.WorkerDropped, st.Evicted, st.InFlight)
 			return nil
 		case <-interrupted:
 			fmt.Println("interrupted")
 			return nil
 		}
+	}
+}
+
+// printStatus logs the periodic master status line: the ledger counters
+// plus each worker's failure-detector, breaker and self-reported state.
+func printStatus(st swing.MasterStats) {
+	fmt.Printf("status: submitted=%d acked=%d shed=%d (overload %d) inFlight=%d evicted=%d\n",
+		st.Submitted, st.Acked, st.Shed, st.ShedOverload, st.InFlight, st.Evicted)
+	for _, ws := range st.Workers {
+		fmt.Printf("  worker %s: health=%s silence=%s breaker=%s opens=%d queue=%d processed=%d dropped=%d reconnects=%d\n",
+			ws.ID, ws.Health, ws.Silence.Round(time.Millisecond), ws.Breaker,
+			ws.BreakerOpens, ws.QueueLen, ws.Processed, ws.Dropped, ws.Reconnects)
 	}
 }
 
@@ -234,16 +282,19 @@ func runWorker(app *swing.App, opt workerOpts) error {
 
 	interrupted := make(chan os.Signal, 1)
 	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
-	done := make(chan struct{})
-	go func() {
-		w.Wait()
-		close(done)
-	}()
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
 	select {
 	case <-interrupted:
 		fmt.Println("leaving swarm")
 		return w.Close()
-	case <-done:
+	case err := <-done:
+		if err != nil {
+			// Terminal failure (e.g. reconnect budget exhausted): exit
+			// non-zero so supervisors notice the worker fell out of the
+			// swarm instead of reading it as a clean shutdown.
+			return fmt.Errorf("worker terminated: %w (processed %d tuples)", err, w.Processed())
+		}
 		fmt.Printf("master closed the session; processed %d tuples\n", w.Processed())
 		return nil
 	}

@@ -105,6 +105,7 @@ type Router struct {
 	probeLeft  int
 	probeIdx   int
 	lastLambda float64
+	infeasible bool
 }
 
 // Errors returned by Router operations.
@@ -288,9 +289,15 @@ func (r *Router) recompute(lambda float64) {
 	}
 
 	chosen := cands
+	r.infeasible = false
 	if r.cfg.Policy.UsesSelection() && lambda > 0 {
 		// Worker Selection: the minimum prefix with Σμ ≥ (1+h)·Λ. If the
-		// constraint is infeasible, all downstreams are selected (§V-A).
+		// constraint is infeasible, all downstreams are selected (§V-A)
+		// and the infeasibility itself is surfaced via Overloaded so the
+		// runtime can shed instead of letting Submit back up. Unsampled
+		// downstreams carry an optimistic (effectively infinite) rate, so
+		// a swarm is never declared overloaded while unmeasured capacity
+		// remains.
 		target := lambda * (1 + r.cfg.Headroom)
 		sum := 0.0
 		cut := len(cands)
@@ -301,6 +308,7 @@ func (r *Router) recompute(lambda float64) {
 				break
 			}
 		}
+		r.infeasible = sum < target
 		chosen = cands[:cut]
 	}
 
@@ -354,6 +362,13 @@ func (r *Router) AppendSelected(ids []string, ws []float64) ([]string, []float64
 
 // Probing reports whether the router is currently in probe mode.
 func (r *Router) Probing() bool { return r.probeLeft > 0 }
+
+// Overloaded reports whether the last recompute found Worker Selection
+// infeasible: even with every downstream selected, the measured input
+// rate Λ exceeds the swarm's estimated service capacity Σμ. This is the
+// saturation signal behind the runtime's Submit-side admission control.
+// Always false for policies without selection.
+func (r *Router) Overloaded() bool { return r.infeasible }
 
 // Route picks the downstream for the next tuple. During probe mode it
 // cycles all downstreams round-robin; otherwise it follows the policy

@@ -631,3 +631,51 @@ func BenchmarkReconfigureLRS(b *testing.B) {
 		r.Reconfigure(24)
 	}
 }
+
+// TestOverloadedSignal: the router reports saturation (Λ > Σμ with every
+// downstream selected) only when all capacity is measured and genuinely
+// insufficient — the runtime's admission control keys off this.
+func TestOverloadedSignal(t *testing.T) {
+	r := newTestRouter(t, LRS)
+	if err := r.AddDownstream("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddDownstream("C"); err != nil {
+		t.Fatal(err)
+	}
+	// Unsampled downstreams are optimistically infinite: never overloaded.
+	r.Reconfigure(1e6)
+	if r.Overloaded() {
+		t.Fatal("overloaded with unmeasured downstreams")
+	}
+	// 100 ms latency each → μ = 10/s per worker, Σμ = 20/s.
+	feed(t, r, "B", 100*time.Millisecond, 80*time.Millisecond)
+	feed(t, r, "C", 100*time.Millisecond, 80*time.Millisecond)
+	r.Reconfigure(15) // feasible: Λ < Σμ
+	if r.Overloaded() {
+		t.Fatal("overloaded despite Σμ ≥ Λ")
+	}
+	r.Reconfigure(30) // infeasible: Λ > Σμ = 20
+	if !r.Overloaded() {
+		t.Fatal("saturation not reported with Λ > Σμ")
+	}
+	ids, _ := r.Selected()
+	if len(ids) != 2 {
+		t.Fatalf("infeasible selection chose %d of 2 downstreams", len(ids))
+	}
+	// Recovery: load drops back under capacity.
+	r.Reconfigure(5)
+	if r.Overloaded() {
+		t.Fatal("overload flag stuck after load dropped")
+	}
+	// Policies without selection never report overload.
+	rr := newTestRouter(t, RR)
+	if err := rr.AddDownstream("B"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, rr, "B", 100*time.Millisecond, 80*time.Millisecond)
+	rr.Reconfigure(1e6)
+	if rr.Overloaded() {
+		t.Fatal("RR reported overload")
+	}
+}

@@ -1,0 +1,132 @@
+package runtime
+
+import "time"
+
+// breakerState is one of the three classic circuit-breaker positions.
+type breakerState int32
+
+const (
+	// breakerClosed passes traffic and counts consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen blocks all traffic until the cooldown expires.
+	breakerOpen
+	// breakerHalfOpen admits exactly one probe tuple; its outcome decides
+	// between closing (success) and re-opening (failure).
+	breakerHalfOpen
+)
+
+// String names the breaker state for stats and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-worker circuit breaker over the master's view of that
+// worker: consecutive ack timeouts and processor-error drops open it, the
+// router then stops selecting the worker, and after a cooldown a single
+// half-open probe tuple (mirroring LRS's round-robin probing window, which
+// also spends one tuple to refresh a stale estimate) decides whether the
+// worker is re-admitted.
+//
+// The breaker is not self-locking; the owning workerConn's mutex guards
+// it. All transitions take an explicit time so tests drive the machine
+// deterministically with a fake clock.
+type breaker struct {
+	// threshold is the consecutive-failure count that opens the breaker;
+	// zero disables the breaker entirely (allow always passes).
+	threshold int
+	// cooldown is how long the breaker stays open before the next allow
+	// call moves it to half-open.
+	cooldown time.Duration
+
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // half-open: the probe tuple has been dispatched
+	opens    int64     // cumulative open transitions, for stats
+}
+
+// enabled reports whether the breaker is active.
+func (b *breaker) enabled() bool { return b.threshold > 0 }
+
+// allow reports whether the router may select this worker now. An open
+// breaker whose cooldown has expired moves to half-open and admits the
+// probe; a half-open breaker with its probe already in flight admits
+// nothing more.
+func (b *breaker) allow(now time.Time) bool {
+	if !b.enabled() {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		return true
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// noteDispatch records that a tuple was actually routed to the worker; in
+// half-open this claims the single probe slot.
+func (b *breaker) noteDispatch() {
+	if b.state == breakerHalfOpen {
+		b.probing = true
+	}
+}
+
+// onSuccess records a healthy ack: consecutive failures reset while
+// closed, and a half-open probe success closes the breaker. A success
+// arriving while open is a straggler — the ack of a tuple dispatched
+// before the breaker tripped — and must not short-circuit the cooldown,
+// mirroring how onFailure ignores stragglers while open.
+func (b *breaker) onSuccess() {
+	switch b.state {
+	case breakerClosed:
+		b.failures = 0
+	case breakerHalfOpen:
+		b.state = breakerClosed
+		b.probing = false
+		b.failures = 0
+	}
+}
+
+// onFailure records an ack timeout or processor-error drop. While closed
+// it counts toward the threshold; in half-open it re-opens immediately
+// (the probe failed); while open it only refreshes nothing — the cooldown
+// keeps running from the original open.
+func (b *breaker) onFailure(now time.Time) {
+	if !b.enabled() {
+		return
+	}
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open(now)
+		}
+	case breakerHalfOpen:
+		b.open(now)
+	}
+}
+
+func (b *breaker) open(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.probing = false
+	b.failures = 0
+	b.opens++
+}

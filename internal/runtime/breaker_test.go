@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+// fake clock for driving the breaker deterministically.
+func at(ms int64) time.Time { return time.Unix(0, ms*int64(time.Millisecond)) }
+
+func TestBreakerDisabled(t *testing.T) {
+	b := &breaker{} // threshold 0: disabled
+	for i := 0; i < 100; i++ {
+		b.onFailure(at(int64(i)))
+	}
+	if !b.allow(at(1000)) {
+		t.Fatal("disabled breaker blocked traffic")
+	}
+	if b.state != breakerClosed || b.opens != 0 {
+		t.Fatalf("disabled breaker mutated: %+v", b)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: 100 * time.Millisecond}
+	b.onFailure(at(1))
+	b.onFailure(at(2))
+	if !b.allow(at(3)) {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.onFailure(at(3))
+	if b.state != breakerOpen || b.opens != 1 {
+		t.Fatalf("state=%v opens=%d after 3 consecutive failures", b.state, b.opens)
+	}
+	if b.allow(at(50)) {
+		t.Fatal("open breaker admitted traffic inside cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: 100 * time.Millisecond}
+	b.onFailure(at(1))
+	b.onFailure(at(2))
+	b.onSuccess() // consecutive run broken
+	b.onFailure(at(3))
+	b.onFailure(at(4))
+	if b.state != breakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	b.onFailure(at(5))
+	if b.state != breakerOpen {
+		t.Fatal("third consecutive failure did not open")
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 100 * time.Millisecond}
+	b.onFailure(at(0))
+	if b.state != breakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	// Cooldown expiry: the next allow moves to half-open and admits
+	// exactly one probe.
+	if !b.allow(at(100)) {
+		t.Fatal("cooldown expiry did not admit the probe")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.state)
+	}
+	b.noteDispatch()
+	if b.allow(at(101)) {
+		t.Fatal("half-open admitted a second tuple while the probe is in flight")
+	}
+	b.onSuccess()
+	if b.state != breakerClosed {
+		t.Fatalf("probe success left state %v", b.state)
+	}
+	if !b.allow(at(102)) {
+		t.Fatal("closed breaker blocked traffic")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 100 * time.Millisecond}
+	b.onFailure(at(0))
+	if !b.allow(at(150)) {
+		t.Fatal("probe not admitted")
+	}
+	b.noteDispatch()
+	b.onFailure(at(160))
+	if b.state != breakerOpen || b.opens != 2 {
+		t.Fatalf("probe failure: state=%v opens=%d, want re-open", b.state, b.opens)
+	}
+	// The new cooldown runs from the re-open, not the original open.
+	if b.allow(at(200)) {
+		t.Fatal("re-opened breaker admitted traffic 40ms into a 100ms cooldown")
+	}
+	if !b.allow(at(260)) {
+		t.Fatal("re-opened breaker never recovered to half-open")
+	}
+}
+
+func TestBreakerSuccessWhileOpenIgnored(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 100 * time.Millisecond}
+	b.onFailure(at(0))
+	// A straggler ack — from a tuple dispatched before the open — must
+	// not close the breaker or shortcut the cooldown.
+	b.onSuccess()
+	if b.state != breakerOpen {
+		t.Fatalf("straggler success closed an open breaker: %v", b.state)
+	}
+	if b.allow(at(50)) {
+		t.Fatal("open breaker admitted traffic inside cooldown after straggler success")
+	}
+}
+
+func TestBreakerFailureWhileOpenKeepsCooldown(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 100 * time.Millisecond}
+	b.onFailure(at(0))
+	// Stragglers (e.g. more ack timeouts from tuples already in flight)
+	// must not extend the cooldown or re-count opens.
+	b.onFailure(at(50))
+	b.onFailure(at(90))
+	if b.opens != 1 {
+		t.Fatalf("opens=%d, straggler failures re-counted", b.opens)
+	}
+	if !b.allow(at(100)) {
+		t.Fatal("cooldown was extended by straggler failures")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[breakerState]string{
+		breakerClosed:   "closed",
+		breakerOpen:     "open",
+		breakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	const (
+		suspect = 100 * time.Millisecond
+		dead    = 300 * time.Millisecond
+	)
+	cases := []struct {
+		prev    healthState
+		silence time.Duration
+		want    healthState
+	}{
+		{healthHealthy, 0, healthHealthy},
+		{healthHealthy, 99 * time.Millisecond, healthHealthy},
+		{healthHealthy, 100 * time.Millisecond, healthSuspect},
+		{healthSuspect, 50 * time.Millisecond, healthHealthy}, // recovery
+		{healthSuspect, 299 * time.Millisecond, healthSuspect},
+		{healthSuspect, 300 * time.Millisecond, healthDead},
+		{healthHealthy, time.Second, healthDead}, // straight to dead
+		{healthDead, 0, healthDead},              // dead is terminal
+	}
+	for i, c := range cases {
+		if got := nextHealth(c.prev, c.silence, suspect, dead); got != c.want {
+			t.Errorf("case %d: nextHealth(%v, %v) = %v, want %v", i, c.prev, c.silence, got, c.want)
+		}
+	}
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	for s, want := range map[healthState]string{
+		healthHealthy: "healthy",
+		healthSuspect: "suspect",
+		healthDead:    "dead",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

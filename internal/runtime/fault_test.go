@@ -235,13 +235,18 @@ func TestWorkerReconnectAttemptsExhausted(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = w.Close() })
 
-	done := make(chan struct{})
-	go func() {
-		w.Wait()
-		close(done)
-	}()
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Wait() }()
 	select {
-	case <-done:
+	case err := <-errCh:
+		// Giving up must be reported as a terminal error, not a silent
+		// exit: callers (swingd) distinguish it from a clean stop.
+		if !errors.Is(err, ErrReconnectExhausted) {
+			t.Fatalf("Wait() = %v, want ErrReconnectExhausted", err)
+		}
+		if !errors.Is(w.Err(), ErrReconnectExhausted) {
+			t.Fatalf("Err() = %v, want ErrReconnectExhausted", w.Err())
+		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("worker did not give up after exhausting reconnect attempts")
 	}

@@ -1,0 +1,54 @@
+package runtime
+
+import "time"
+
+// healthState is the failure detector's verdict on one worker connection.
+// It is driven purely by how long the worker has been silent (no pong, no
+// result, no stats frame), so a hung worker whose TCP link never breaks
+// still progresses to dead and is evicted.
+type healthState int32
+
+const (
+	// healthHealthy: the worker answered within SuspectAfter.
+	healthHealthy healthState = iota
+	// healthSuspect: silent longer than SuspectAfter but not yet
+	// presumed dead; still routed to, but flagged in stats and logs.
+	healthSuspect
+	// healthDead: silent longer than DeadAfter; the master evicts the
+	// connection exactly like a broken link.
+	healthDead
+)
+
+// String names the health state for stats and logs.
+func (s healthState) String() string {
+	switch s {
+	case healthHealthy:
+		return "healthy"
+	case healthSuspect:
+		return "suspect"
+	case healthDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// nextHealth maps a worker's silence duration onto the health state
+// machine: healthy → suspect at suspectAfter, suspect → dead at
+// deadAfter. A worker that answers again before deadAfter recovers to
+// healthy (the transition back is legitimate: suspicion is a measurement,
+// not a sentence). Dead is terminal — eviction follows, and a genuinely
+// live worker re-enters by reconnecting as a fresh connection.
+func nextHealth(prev healthState, silence, suspectAfter, deadAfter time.Duration) healthState {
+	if prev == healthDead {
+		return healthDead
+	}
+	switch {
+	case silence >= deadAfter:
+		return healthDead
+	case silence >= suspectAfter:
+		return healthSuspect
+	default:
+		return healthHealthy
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -14,6 +15,12 @@ type inflightEntry struct {
 	worker   string
 	attempt  uint8
 	deadline time.Time
+	// sentAt orders entries for oldest-first overload shedding and ages
+	// them for the circuit breaker's ack-timeout sweep.
+	sentAt time.Time
+	// timedOut marks an entry already counted as a breaker failure, so a
+	// long-stuck tuple charges its worker once, not once per sweep.
+	timedOut bool
 }
 
 // inflightTable tracks every tuple between routing and acknowledgment,
@@ -76,6 +83,51 @@ func (t *inflightTable) takeWorker(worker string) []*inflightEntry {
 		}
 	}
 	return out
+}
+
+// takeOldest removes and returns up to n entries, oldest first by sentAt.
+// This is the overload-shedding order: a saturated swarm keeps the
+// freshest frames (the ones a live viewer still cares about) and abandons
+// the stalest.
+func (t *inflightTable) takeOldest(n int) []*inflightEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || len(t.m) == 0 {
+		return nil
+	}
+	all := make([]*inflightEntry, 0, len(t.m))
+	for _, e := range t.m {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].sentAt.Before(all[j].sentAt) })
+	if n > len(all) {
+		n = len(all)
+	}
+	for _, e := range all[:n] {
+		delete(t.m, e.t.ID)
+	}
+	return all[:n]
+}
+
+// sweepTimeouts counts, per worker, entries older than timeout that have
+// not been counted before, marking them so each stuck tuple charges its
+// worker's breaker exactly once. Entries stay tracked — a late ack or the
+// worker's death still resolves them through the normal paths.
+func (t *inflightTable) sweepTimeouts(now time.Time, timeout time.Duration) map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var counts map[string]int
+	for _, e := range t.m {
+		if e.timedOut || now.Sub(e.sentAt) < timeout {
+			continue
+		}
+		e.timedOut = true
+		if counts == nil {
+			counts = make(map[string]int)
+		}
+		counts[e.worker]++
+	}
+	return counts
 }
 
 // size reports the number of tracked tuples.

@@ -1,0 +1,456 @@
+package runtime
+
+import (
+	"errors"
+	"os"
+	stdruntime "runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/transport"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// slowApp builds a single-operator app whose processor sleeps perTuple
+// before emitting, so queue-wait time dominates end-to-end latency and
+// saturation is reached at a predictable rate.
+func slowApp(t *testing.T, perTuple time.Duration) *apps.App {
+	t.Helper()
+	g, err := graph.NewBuilder("slow").
+		Source("source").
+		Operator("op",
+			graph.WithWork(0.01),
+			graph.WithProcessor(func() graph.Processor {
+				return graph.ProcessorFunc(func(em graph.Emitter, tp *tuple.Tuple) error {
+					time.Sleep(perTuple)
+					out := tuple.New(tp.ID, tp.SeqNo)
+					out.EmitNanos = tp.EmitNanos
+					out.Set(apps.FieldResult, tuple.String("ok"))
+					return em.Emit(out)
+				})
+			})).
+		Sink("sink").
+		Chain("source", "op", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &apps.App{Graph: g, FrameBytes: 64, TargetFPS: 24, TotalWork: 0.01}
+}
+
+// plainTuple builds a minimal tuple for the synthetic apps above.
+func plainTuple(seq uint64) *tuple.Tuple {
+	tp := tuple.New(seq, seq)
+	tp.Set("x", tuple.Int64(1))
+	return tp
+}
+
+// TestHungWorkerEvicted is the liveness layer's core scenario: a worker
+// whose link never breaks but whose frames crawl (delay-injected writes)
+// must be detected by silence alone and evicted within the DeadAfter
+// window, with its in-flight backlog re-routed to the survivor and the
+// ledger invariant intact. Without heartbeats this worker would linger
+// forever: the TCP connection stays healthy the whole time.
+func TestHungWorkerEvicted(t *testing.T) {
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:          app,
+		ListenAddr:   "master",
+		Transport:    mem,
+		OnResult:     col.add,
+		Heartbeat:    20 * time.Millisecond,
+		SuspectAfter: 60 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	startTestWorker(t, mem, m, "w1", 1)
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "healthy worker joins")
+	// Every frame the lagged worker writes (hello, pongs, results) stalls
+	// 250 ms: longer than DeadAfter, but the link itself never breaks.
+	startFaultyWorker(t, mem, m, "lagged", transport.FaultConfig{Seed: 9, Delay: 250 * time.Millisecond})
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 2 }, "lagged worker joins")
+	joined := time.Now()
+
+	src := apps.NewFrameSource(600, 7)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := m.Submit(src.Next()); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+
+	// The failure detector must evict on silence, not on link state.
+	waitFor(t, 5*time.Second, func() bool {
+		return len(m.Workers()) == 1 && m.Stats().Evicted == 1
+	}, "hung worker evicted")
+	if detect := time.Since(joined); detect > 2*time.Second {
+		t.Fatalf("eviction took %v, want within a few DeadAfter periods (150ms)", detect)
+	}
+
+	// The lagged worker's backlog re-routes to the survivor and the
+	// ledger balances: nothing is silently lost.
+	waitFor(t, 10*time.Second, func() bool {
+		st := m.Stats()
+		return st.Acked+st.Shed == n && st.InFlight == 0
+	}, "ledger balances after eviction")
+	st := m.Stats()
+	if st.Submitted != n {
+		t.Fatalf("Submitted = %d, want %d", st.Submitted, n)
+	}
+	if st.Retransmitted == 0 {
+		t.Fatalf("no retransmissions despite eviction with backlog: %+v", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "w1" || st.Workers[0].Health != "healthy" {
+		t.Fatalf("surviving worker view = %+v, want healthy w1", st.Workers)
+	}
+	// No duplicate playback despite retransmissions.
+	seen := make(map[uint64]bool)
+	for _, r := range col.snapshot() {
+		if seen[r.Tuple.SeqNo] {
+			t.Fatalf("seq %d delivered twice", r.Tuple.SeqNo)
+		}
+		seen[r.Tuple.SeqNo] = true
+	}
+}
+
+// TestBreakerOpensAndRecovers drives one worker's breaker around its full
+// cycle: consecutive processor-error drops open it (Submit then refuses
+// with ErrNoWorkers instead of feeding a failing worker), the cooldown
+// admits a single half-open probe, and a successful probe closes it.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	mem := transport.NewMem()
+	app := poisonApp(t)
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:              app,
+		ListenAddr:       "master",
+		Transport:        mem,
+		OnResult:         col.add,
+		BreakerThreshold: 3,
+		BreakerCooldown:  500 * time.Millisecond,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "w1",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	seq := uint64(0)
+	submit := func(field string) error {
+		tp := plainTuple(seq)
+		seq++
+		if field != "" {
+			tp.Set(field, tuple.Bool(true))
+		}
+		return m.Submit(tp)
+	}
+	for i := 0; i < 3; i++ {
+		if err := submit("poison"); err != nil {
+			t.Fatalf("Submit poison %d: %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		st := m.Stats()
+		return len(st.Workers) == 1 && st.Workers[0].Breaker == "open"
+	}, "breaker opens after threshold consecutive drops")
+	st := m.Stats()
+	if st.Workers[0].BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.Workers[0].BreakerOpens)
+	}
+
+	// While open, the sole worker is inadmissible: Submit refuses rather
+	// than feeding a failing worker.
+	if err := submit(""); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("Submit with open breaker = %v, want ErrNoWorkers", err)
+	}
+
+	// After the cooldown the next Submit is the half-open probe; its
+	// success re-admits the worker.
+	time.Sleep(600 * time.Millisecond)
+	if err := submit(""); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		st := m.Stats()
+		return len(st.Workers) == 1 && st.Workers[0].Breaker == "closed" && st.Arrived >= 1
+	}, "probe success closes the breaker")
+	if err := submit(""); err != nil {
+		t.Fatalf("Submit after breaker closed: %v", err)
+	}
+}
+
+// TestWorkerQueueSaturation fills a small worker queue through a slow
+// processor and checks the two promised reactions to TCP backpressure:
+// the router's upstream latency estimate inflates with queue-wait time,
+// and the ack-timeout sweep opens the worker's breaker — while every
+// submitted tuple is still eventually acked, none lost. The worker's
+// self-reported queue length must also surface in MasterStats.
+func TestWorkerQueueSaturation(t *testing.T) {
+	const perTuple = 300 * time.Millisecond
+	mem := transport.NewMem()
+	app := slowApp(t, perTuple)
+	m, err := StartMaster(MasterConfig{
+		App:               app,
+		ListenAddr:        "master",
+		Transport:         mem,
+		OutboxCap:         4,
+		BreakerThreshold:  3,
+		BreakerAckTimeout: 150 * time.Millisecond,
+		Logger:            quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "w1",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		QueueCap:   4,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	// Blocking submits (admission control off) until the breaker refuses:
+	// backpressure, not loss, is the designed failure mode.
+	var submitted atomic.Int64
+	doneSub := make(chan struct{})
+	go func() {
+		defer close(doneSub)
+		for i := uint64(0); i < 30; i++ {
+			if err := m.Submit(plainTuple(i)); err != nil {
+				return // breaker opened: expected exit
+			}
+			submitted.Add(1)
+		}
+	}()
+
+	// The worker's self-reported queue length reaches MasterStats.
+	waitFor(t, 5*time.Second, func() bool {
+		st := m.Stats()
+		return len(st.Workers) == 1 && st.Workers[0].QueueLen > 0
+	}, "worker QueueLen surfaces in MasterStats")
+	// Stuck acks trip the breaker.
+	waitFor(t, 5*time.Second, func() bool {
+		st := m.Stats()
+		return len(st.Workers) == 1 && st.Workers[0].Breaker == "open"
+	}, "ack timeouts open the breaker")
+	<-doneSub
+
+	// Everything already accepted drains: acked, never lost.
+	waitFor(t, 15*time.Second, func() bool {
+		st := m.Stats()
+		return st.Acked == submitted.Load() && st.InFlight == 0
+	}, "all accepted tuples acked after saturation")
+	if got := w.Processed(); got != submitted.Load() {
+		t.Fatalf("worker processed %d of %d submitted", got, submitted.Load())
+	}
+	// Queue wait inflated the latency estimate well past pure processing
+	// time.
+	for _, info := range m.Snapshot() {
+		if info.ID != "w1" {
+			continue
+		}
+		if !info.Estimate.HasSample() {
+			t.Fatal("no latency samples folded")
+		}
+		if info.Estimate.Latency < perTuple*3/2 {
+			t.Fatalf("estimate %v did not reflect queue wait (processing alone is %v)",
+				info.Estimate.Latency, perTuple)
+		}
+	}
+}
+
+// TestOverloadShedding turns on admission control and bursts far past the
+// swarm's service rate: Submit must return immediately (no TCP-backpressure
+// blocking), shed oldest-first into the distinct ShedOverload counter, and
+// leave the ledger invariant intact once the swarm drains.
+func TestOverloadShedding(t *testing.T) {
+	mem := transport.NewMem()
+	app := slowApp(t, 50*time.Millisecond)
+	m, err := StartMaster(MasterConfig{
+		App:               app,
+		ListenAddr:        "master",
+		Transport:         mem,
+		OutboxCap:         8,
+		InflightHighWater: 8,
+		Logger:            quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "w1",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		QueueCap:   4,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	// 60 tuples at full speed against a 20-tuple/s worker. Blocking
+	// backpressure would pin this loop for ~3 s; admission control must
+	// return from every call immediately.
+	start := time.Now()
+	for i := uint64(0); i < 60; i++ {
+		if err := m.Submit(plainTuple(i)); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("burst took %v: Submit blocked despite admission control", elapsed)
+	}
+	if st := m.Stats(); st.ShedOverload == 0 {
+		t.Fatalf("no overload shedding under 3x overload: %+v", st)
+	}
+
+	// Quiescence: every submitted tuple is accounted — acked or shed,
+	// nothing lingering, nothing lost.
+	waitFor(t, 15*time.Second, func() bool {
+		st := m.Stats()
+		return st.Acked+st.Shed == st.Submitted && st.InFlight == 0
+	}, "ledger balances after overload burst")
+	st := m.Stats()
+	if st.Submitted != 60 {
+		t.Fatalf("Submitted = %d, want 60 (every accepted tuple counted)", st.Submitted)
+	}
+	if st.Shed < st.ShedOverload {
+		t.Fatalf("ShedOverload %d exceeds Shed %d: not a subset", st.ShedOverload, st.Shed)
+	}
+}
+
+// TestChaosSoak is the seeded long-running chaos test behind
+// scripts/soak.sh: three workers with drop, delay and break+reconnect
+// fault profiles under the full liveness layer, asserting the ledger
+// invariant at quiescence and zero goroutine leaks after shutdown. Opt in
+// with SWING_SOAK=1; SWING_SOAK_SECONDS overrides the default duration.
+func TestChaosSoak(t *testing.T) {
+	if os.Getenv("SWING_SOAK") == "" {
+		t.Skip("set SWING_SOAK=1 (see scripts/soak.sh) to run the chaos soak")
+	}
+	dur := 5 * time.Second
+	if s := os.Getenv("SWING_SOAK_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad SWING_SOAK_SECONDS %q", s)
+		}
+		dur = time.Duration(secs) * time.Second
+	}
+	baseline := stdruntime.NumGoroutine()
+
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StartMaster(MasterConfig{
+		App:               app,
+		ListenAddr:        "master",
+		Transport:         mem,
+		Heartbeat:         50 * time.Millisecond,
+		SuspectAfter:      150 * time.Millisecond,
+		DeadAfter:         400 * time.Millisecond,
+		BreakerThreshold:  5,
+		BreakerAckTimeout: 500 * time.Millisecond,
+		InflightHighWater: 256,
+		Logger:            quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// dropper loses every 9th frame it writes (acks and pongs included),
+	// laggy crawls, flaky's link breaks every ~300 frames and it rejoins
+	// through backoff.
+	dropper := startFaultyWorker(t, mem, m, "dropper", transport.FaultConfig{Seed: 21, DropEveryNth: 9})
+	laggy := startFaultyWorker(t, mem, m, "laggy", transport.FaultConfig{Seed: 22, Delay: 2 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	flaky, err := StartWorker(WorkerConfig{
+		DeviceID:         "flaky",
+		MasterAddr:       m.Addr(),
+		App:              app,
+		Transport:        transport.WithFaults(mem, transport.FaultConfig{Seed: 23, BreakAfterFrames: 300}),
+		Reconnect:        true,
+		ReconnectBackoff: 5 * time.Millisecond,
+		Seed:             23,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(m.Workers()) == 3 }, "all workers join")
+
+	src := apps.NewFrameSource(600, 42)
+	deadline := time.Now().Add(dur)
+	var sent, refused int64
+	for time.Now().Before(deadline) {
+		if err := m.Submit(src.Next()); err != nil {
+			refused++ // swarm momentarily empty or all breakers open
+		} else {
+			sent++
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Logf("soak: %d submitted, %d refused over %v", sent, refused, dur)
+	if sent == 0 {
+		t.Fatal("soak submitted nothing")
+	}
+
+	// Quiescence: stop submitting, let in-flight work settle, then demand
+	// the exact invariant. Dropped ack frames legitimately leave tuples
+	// in flight forever — the invariant charges them to InFlight, never
+	// loses them.
+	var last MasterStats
+	waitFor(t, 30*time.Second, func() bool {
+		st := m.Stats()
+		stable := st.Acked == last.Acked && st.Shed == last.Shed && st.InFlight == last.InFlight
+		last = st
+		return stable && st.Acked+st.Shed+int64(st.InFlight) == st.Submitted
+	}, "ledger invariant at quiescence")
+
+	_ = dropper.Close()
+	_ = laggy.Close()
+	_ = flaky.Close()
+	_ = m.Close()
+
+	// Every goroutine the run spawned must drain.
+	waitFor(t, 15*time.Second, func() bool {
+		stdruntime.GC()
+		return stdruntime.NumGoroutine() <= baseline+2
+	}, "goroutines drain after shutdown")
+}

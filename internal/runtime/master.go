@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,6 +65,34 @@ type MasterConfig struct {
 	// MaxAttempts bounds total transmission attempts per tuple, the first
 	// submission included (default 3).
 	MaxAttempts int
+	// Heartbeat is the liveness ping period per worker connection. Zero
+	// disables the failure detector: a hung worker then lingers until its
+	// TCP link actually breaks, the pre-liveness behavior.
+	Heartbeat time.Duration
+	// SuspectAfter is how long a worker may stay silent (no pong, result
+	// or stats frame) before it is marked suspect (default 3×Heartbeat).
+	SuspectAfter time.Duration
+	// DeadAfter is the silence after which a worker is declared dead and
+	// evicted exactly like a broken link: connection closed, in-flight
+	// backlog retransmitted to survivors (default 6×Heartbeat).
+	DeadAfter time.Duration
+	// BreakerThreshold opens a worker's circuit breaker after this many
+	// consecutive failures (ack timeouts or processor-error drops); the
+	// router stops selecting the worker until a half-open probe succeeds.
+	// Zero disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks traffic before
+	// admitting the single half-open probe tuple (default 2 s).
+	BreakerCooldown time.Duration
+	// BreakerAckTimeout ages in-flight tuples: one unacknowledged for
+	// longer than this counts as a failure against its worker's breaker.
+	// Zero disables the timeout sweep (drops alone then drive breakers).
+	BreakerAckTimeout time.Duration
+	// InflightHighWater is the admission-control bound on the in-flight
+	// table. At or above it, Submit sheds oldest-first (counted in
+	// ShedOverload) and never blocks the caller. Zero disables admission
+	// control, restoring pure TCP-backpressure blocking.
+	InflightHighWater int
 	// Seed drives the router's weighted-random draws (default 1).
 	Seed int64
 	// Logger defaults to slog.Default.
@@ -95,23 +124,59 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Heartbeat > 0 {
+		if c.SuspectAfter == 0 {
+			c.SuspectAfter = 3 * c.Heartbeat
+		}
+		if c.DeadAfter == 0 {
+			c.DeadAfter = 6 * c.Heartbeat
+		}
+	}
+	if c.BreakerThreshold > 0 && c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
 	return c
 }
 
+// outFrame is one queued write toward a worker: tuples from Submit and
+// liveness pings from the monitor share the send queue.
+type outFrame struct {
+	typ     wire.FrameType
+	payload []byte
+}
+
 // workerConn is the master's handle on one connected worker.
 type workerConn struct {
 	id   string
 	conn net.Conn
-	out  chan []byte // serialized FrameTuple payloads
+	out  chan outFrame
 	gone chan struct{}
 
-	mu        sync.Mutex
-	writeMu   sync.Mutex
-	processed int64
-	dropped   int64 // last Stats-reported processor-drop count
+	mu         sync.Mutex
+	writeMu    sync.Mutex
+	processed  int64
+	dropped    int64 // last Stats-reported processor-drop count
+	queueLen   int   // last Stats-reported input queue length
+	reconnects int64 // last Stats-reported rejoin count
+
+	// Liveness (guarded by mu): lastHeard is the arrival time of the most
+	// recent frame of any kind; health is the failure detector's verdict.
+	lastHeard time.Time
+	health    healthState
+	pingSeq   uint64
+
+	// br is this worker's circuit breaker (guarded by mu).
+	br breaker
+}
+
+// noteHeard refreshes the liveness timestamp on any inbound frame.
+func (wc *workerConn) noteHeard(now time.Time) {
+	wc.mu.Lock()
+	wc.lastHeard = now
+	wc.mu.Unlock()
 }
 
 // Master coordinates a swarm run: accepts workers, routes submitted
@@ -142,7 +207,9 @@ type Master struct {
 	acked         int64
 	retransmitted int64
 	shed          int64
+	shedOverload  int64
 	workerDropped int64
+	evicted       int64
 
 	start time.Time
 	stop  chan struct{}
@@ -162,6 +229,9 @@ const minReorderCap = 8
 var (
 	ErrStopped   = errors.New("runtime: master stopped")
 	ErrNoWorkers = errors.New("runtime: no workers connected")
+	// ErrReconnectExhausted is a worker's terminal failure: its reconnect
+	// attempt budget ran out without rejoining the master.
+	ErrReconnectExhausted = errors.New("runtime: reconnect attempts exhausted")
 )
 
 // StartMaster launches the master: it listens for workers and is
@@ -204,6 +274,10 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 	m.wg.Add(2)
 	go m.acceptLoop()
 	go m.reconfigureLoop(rc.ReconfigurePeriod)
+	if cfg.Heartbeat > 0 || cfg.BreakerAckTimeout > 0 {
+		m.wg.Add(1)
+		go m.monitorLoop()
+	}
 	return m, nil
 }
 
@@ -246,21 +320,56 @@ type MasterStats struct {
 	// Retransmitted counts re-routed transmissions after worker failures.
 	Retransmitted int64
 	// Shed counts tuples abandoned after a worker failure because their
-	// retry deadline or attempt budget was exhausted.
+	// retry deadline or attempt budget was exhausted, plus tuples shed by
+	// admission control (the ShedOverload subset), keeping the ledger
+	// invariant Acked + Shed + InFlight == Submitted.
 	Shed int64
+	// ShedOverload is the subset of Shed caused by Submit-side admission
+	// control: the in-flight high-water mark or a saturated swarm
+	// (Λ > Σμ) shed the tuple oldest-first instead of blocking Submit.
+	ShedOverload int64
 	// WorkerDropped counts tuples workers discarded on processor errors.
 	WorkerDropped int64
+	// Evicted counts hung workers the failure detector removed: their
+	// connection was alive but silent past DeadAfter.
+	Evicted int64
 	// InFlight is the current routed-but-unacknowledged tuple count.
 	InFlight int
+	// Workers is the per-worker liveness view, sorted by ID.
+	Workers []WorkerStatus
 }
 
-// Stats returns sink counters.
+// WorkerStatus is one worker's health as the master sees it: failure
+// detector state, circuit breaker position, and the worker's own last
+// self-report — enough to explain why a suspect/dead or breaker
+// transition happened.
+type WorkerStatus struct {
+	ID string
+	// Health is the failure detector state: healthy, suspect or dead.
+	Health string
+	// Silence is how long the worker has been quiet (any frame counts).
+	Silence time.Duration
+	// Breaker is the circuit state: closed, open, half-open — or "off"
+	// when breakers are disabled.
+	Breaker string
+	// BreakerOpens counts this connection's cumulative open transitions.
+	BreakerOpens int64
+	// QueueLen, Processed, Dropped and Reconnects mirror the worker's
+	// latest Stats self-report (Processed/Dropped are cumulative across
+	// the device's reconnects).
+	QueueLen   int
+	Processed  int64
+	Dropped    int64
+	Reconnects int64
+}
+
+// Stats returns sink counters and the per-worker liveness view.
 func (m *Master) Stats() MasterStats {
 	m.sinkMu.Lock()
 	defer m.sinkMu.Unlock()
 	m.subMu.Lock()
 	defer m.subMu.Unlock()
-	return MasterStats{
+	st := MasterStats{
 		Submitted:     m.submitted,
 		Arrived:       m.arrived,
 		Played:        m.played,
@@ -268,9 +377,35 @@ func (m *Master) Stats() MasterStats {
 		Acked:         m.acked,
 		Retransmitted: m.retransmitted,
 		Shed:          m.shed,
+		ShedOverload:  m.shedOverload,
 		WorkerDropped: m.workerDropped,
+		Evicted:       m.evicted,
 		InFlight:      m.inflight.size(),
 	}
+	now := time.Now()
+	m.workersMu.Lock()
+	for _, wc := range m.workers {
+		wc.mu.Lock()
+		ws := WorkerStatus{
+			ID:           wc.id,
+			Health:       wc.health.String(),
+			Silence:      now.Sub(wc.lastHeard),
+			Breaker:      "off",
+			BreakerOpens: wc.br.opens,
+			QueueLen:     wc.queueLen,
+			Processed:    wc.processed,
+			Dropped:      wc.dropped,
+			Reconnects:   wc.reconnects,
+		}
+		if wc.br.enabled() {
+			ws.Breaker = wc.br.state.String()
+		}
+		wc.mu.Unlock()
+		st.Workers = append(st.Workers, ws)
+	}
+	m.workersMu.Unlock()
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
 }
 
 // acceptLoop admits workers for the life of the master. Transient Accept
@@ -333,10 +468,15 @@ func (m *Master) handleWorker(conn net.Conn) {
 		return
 	}
 	wc := &workerConn{
-		id:   hello.DeviceID,
-		conn: conn,
-		out:  make(chan []byte, m.cfg.OutboxCap),
-		gone: make(chan struct{}),
+		id:        hello.DeviceID,
+		conn:      conn,
+		out:       make(chan outFrame, m.cfg.OutboxCap),
+		gone:      make(chan struct{}),
+		lastHeard: time.Now(),
+		br: breaker{
+			threshold: m.cfg.BreakerThreshold,
+			cooldown:  m.cfg.BreakerCooldown,
+		},
 	}
 
 	// Deploy: every worker activates the full operator pipeline (the
@@ -386,9 +526,9 @@ func (m *Master) handleWorker(conn net.Conn) {
 func (m *Master) writeLoop(wc *workerConn) {
 	for {
 		select {
-		case frame := <-wc.out:
+		case f := <-wc.out:
 			wc.writeMu.Lock()
-			err := wire.WriteFrame(wc.conn, wire.FrameTuple, frame)
+			err := wire.WriteFrame(wc.conn, f.typ, f.payload)
 			wc.writeMu.Unlock()
 			if err != nil {
 				return
@@ -407,6 +547,9 @@ func (m *Master) readLoop(wc *workerConn) {
 		if err != nil {
 			return
 		}
+		// Any frame is proof of life for the failure detector; pongs exist
+		// so even an idle link produces them.
+		wc.noteHeard(time.Now())
 		switch typ {
 		case wire.FrameResult:
 			m.handleResult(wc, payload)
@@ -416,11 +559,118 @@ func (m *Master) readLoop(wc *workerConn) {
 				wc.mu.Lock()
 				wc.processed = st.Processed
 				wc.dropped = st.Dropped
+				wc.queueLen = st.QueueLen
+				wc.reconnects = st.Reconnects
 				wc.mu.Unlock()
 			}
+		case wire.FramePong:
+			// lastHeard is already refreshed above; the echo payload is
+			// not otherwise needed.
 		default:
 			// Ignore unexpected frames from workers.
 		}
+	}
+}
+
+// monitorLoop is the failure detector and breaker sweeper: each tick it
+// pings every worker, advances health states from observed silence,
+// evicts workers that crossed DeadAfter, and charges breakers for
+// in-flight tuples stuck past the ack timeout.
+func (m *Master) monitorLoop() {
+	defer m.wg.Done()
+	period := m.cfg.Heartbeat
+	if period <= 0 {
+		// Breaker-only mode: sweep ack timeouts without heartbeats.
+		period = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			now := time.Now()
+			if m.cfg.Heartbeat > 0 {
+				m.checkWorkers(now)
+			}
+			if m.cfg.BreakerAckTimeout > 0 {
+				for id, n := range m.inflight.sweepTimeouts(now, m.cfg.BreakerAckTimeout) {
+					m.chargeBreaker(id, n, now)
+				}
+			}
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// checkWorkers pings every worker and advances its health state. Pings
+// are enqueued without blocking: on a backed-up link the queue is already
+// full of traffic the worker is not consuming, which is exactly the
+// silence the detector measures — a blocked ping would only stall the
+// monitor.
+func (m *Master) checkWorkers(now time.Time) {
+	m.workersMu.Lock()
+	conns := make([]*workerConn, 0, len(m.workers))
+	for _, wc := range m.workers {
+		conns = append(conns, wc)
+	}
+	m.workersMu.Unlock()
+	for _, wc := range conns {
+		wc.mu.Lock()
+		wc.pingSeq++
+		ping := wire.Ping{Seq: wc.pingSeq, SentNanos: now.UnixNano()}
+		prev := wc.health
+		next := nextHealth(prev, now.Sub(wc.lastHeard), m.cfg.SuspectAfter, m.cfg.DeadAfter)
+		wc.health = next
+		wc.mu.Unlock()
+		if pb, err := wire.EncodeJSON(ping); err == nil {
+			select {
+			case wc.out <- outFrame{typ: wire.FramePing, payload: pb}:
+			default: // queue full: the silence clock is already running
+			}
+		}
+		if next == prev {
+			continue
+		}
+		switch next {
+		case healthSuspect:
+			m.cfg.Logger.Warn("swing master: worker suspect", "worker", wc.id,
+				"silence", now.Sub(wc.lastHeard))
+		case healthHealthy:
+			m.cfg.Logger.Info("swing master: worker recovered", "worker", wc.id)
+		case healthDead:
+			m.subMu.Lock()
+			m.evicted++
+			m.subMu.Unlock()
+			m.cfg.Logger.Warn("swing master: evicting hung worker", "worker", wc.id,
+				"silence", now.Sub(wc.lastHeard))
+			// Closing the connection funnels the eviction through the
+			// same dropWorker path as a broken link: the routing table
+			// sheds the worker and its backlog retransmits to survivors.
+			_ = wc.conn.Close()
+		}
+	}
+}
+
+// chargeBreaker records n ack-timeout failures against a worker's
+// breaker, logging open transitions.
+func (m *Master) chargeBreaker(id string, n int, now time.Time) {
+	m.workersMu.Lock()
+	wc, ok := m.workers[id]
+	m.workersMu.Unlock()
+	if !ok {
+		return // worker already gone; its backlog is being retransmitted
+	}
+	wc.mu.Lock()
+	prev := wc.br.state
+	for i := 0; i < n; i++ {
+		wc.br.onFailure(now)
+	}
+	next := wc.br.state
+	wc.mu.Unlock()
+	if prev != breakerOpen && next == breakerOpen {
+		m.cfg.Logger.Warn("swing master: breaker opened", "worker", id,
+			"timeouts", n, "ackTimeout", m.cfg.BreakerAckTimeout)
 	}
 }
 
@@ -507,13 +757,50 @@ func (m *Master) reconfigureLoop(period time.Duration) {
 	}
 }
 
-// Submit routes one tuple into the swarm. It blocks when the chosen
-// worker's send queue is full (TCP backpressure) and returns ErrNoWorkers
-// when the swarm is empty. The tuple is tracked until a worker
-// acknowledges it; if its worker dies first it is retransmitted to a
-// survivor or shed at its retry deadline.
+// Submit routes one tuple into the swarm. With admission control off
+// (InflightHighWater 0) it blocks when the chosen worker's send queue is
+// full (TCP backpressure); with it on, Submit never blocks — overload
+// sheds the oldest in-flight tuples instead, counted in ShedOverload.
+// It returns ErrNoWorkers when the swarm is empty or every worker's
+// breaker is open. The tuple is tracked until a worker acknowledges it;
+// if its worker dies first it is retransmitted to a survivor or shed at
+// its retry deadline.
 func (m *Master) Submit(t *tuple.Tuple) error {
 	return m.submit(t, 0, time.Now().Add(m.cfg.RetryDeadline))
+}
+
+// admissionShed is Submit-side overload protection, run before a fresh
+// tuple is routed. Two triggers: the in-flight table crossing its
+// high-water mark, and the router reporting Λ > Σμ infeasibility while
+// the table holds at least one outbox worth of backlog. Victims leave
+// the in-flight table for the Shed column (ShedOverload subset), so the
+// ledger invariant Acked + Shed + InFlight == Submitted is untouched; a
+// straggler ack for a shed tuple finds no entry and is ignored.
+func (m *Master) admissionShed() {
+	size := m.inflight.size()
+	var victims []*inflightEntry
+	if hw := m.cfg.InflightHighWater; hw > 0 && size >= hw {
+		victims = m.inflight.takeOldest(size - hw + 1)
+	} else if size >= m.cfg.OutboxCap && m.routerOverloaded() {
+		victims = m.inflight.takeOldest(1)
+	}
+	if len(victims) == 0 {
+		return
+	}
+	m.subMu.Lock()
+	m.shed += int64(len(victims))
+	m.shedOverload += int64(len(victims))
+	m.subMu.Unlock()
+	for _, e := range victims {
+		m.cfg.Logger.Info("swing master: shed tuple",
+			"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", e.worker, "reason", "overload")
+	}
+}
+
+func (m *Master) routerOverloaded() bool {
+	m.routerMu.Lock()
+	defer m.routerMu.Unlock()
+	return m.router.Overloaded()
 }
 
 // submit is the routing core behind Submit and retransmission. attempt 0
@@ -522,6 +809,13 @@ func (m *Master) Submit(t *tuple.Tuple) error {
 // separately so retried traffic cannot inflate the input-rate measurement
 // that drives Worker Selection.
 func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error {
+	if attempt == 0 && m.cfg.InflightHighWater > 0 {
+		m.admissionShed()
+	}
+	// refused collects workers whose breaker rejected this tuple, so
+	// probing re-draws steer around them; RouteAvoiding's weighted mode
+	// ignores avoid by design, hence the bounded-retry loop.
+	var refused map[string]bool
 	for tries := 0; ; tries++ {
 		select {
 		case <-m.stop:
@@ -530,6 +824,9 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		}
 		m.routerMu.Lock()
 		id, err := m.router.RouteAvoiding(func(id string) bool {
+			if refused[id] {
+				return true
+			}
 			m.workersMu.Lock()
 			wc, ok := m.workers[id]
 			m.workersMu.Unlock()
@@ -548,7 +845,21 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			}
 			continue // routed to a worker that just left; re-route
 		}
-		t.EmitNanos = time.Now().UnixNano()
+		now := time.Now()
+		wc.mu.Lock()
+		admitted := wc.br.allow(now)
+		wc.mu.Unlock()
+		if !admitted {
+			if refused == nil {
+				refused = make(map[string]bool)
+			}
+			refused[id] = true
+			if tries > 8 {
+				return ErrNoWorkers
+			}
+			continue // breaker open: steer to another worker
+		}
+		t.EmitNanos = now.UnixNano()
 		t.Attempt = attempt
 		frame, err := tuple.Marshal(t)
 		if err != nil {
@@ -557,16 +868,47 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		// Track before enqueueing so the tuple is never in a send queue
 		// without an owner; an ack arriving immediately after the send
 		// always finds the entry.
-		m.inflight.track(t.ID, &inflightEntry{t: t, worker: id, attempt: attempt, deadline: deadline})
-		select {
-		case wc.out <- frame:
-			m.subMu.Lock()
-			if attempt == 0 {
-				m.submitted++
-			} else {
-				m.retransmitted++
+		m.inflight.track(t.ID, &inflightEntry{
+			t: t, worker: id, attempt: attempt, deadline: deadline, sentAt: now,
+		})
+		if m.cfg.InflightHighWater > 0 {
+			// Admission-control mode: never block the caller. A full queue
+			// reclaims the entry and re-routes; when nowhere can take the
+			// tuple it is counted submitted-then-shed so the ledger still
+			// accounts for it.
+			select {
+			case wc.out <- outFrame{typ: wire.FrameTuple, payload: frame}:
+				m.noteDispatched(wc, attempt)
+				return nil
+			default:
+				if _, ours := m.inflight.takeIf(t.ID, id); !ours {
+					// The worker died and its drop path claimed the entry;
+					// the retransmitter owns the tuple now.
+					m.subMu.Lock()
+					if attempt == 0 {
+						m.submitted++
+					}
+					m.subMu.Unlock()
+					return nil
+				}
+				if tries > 8 {
+					m.subMu.Lock()
+					if attempt == 0 {
+						m.submitted++
+					}
+					m.shed++
+					m.shedOverload++
+					m.subMu.Unlock()
+					m.cfg.Logger.Info("swing master: shed tuple",
+						"tuple", t.ID, "seq", t.SeqNo, "reason", "all queues full")
+					return nil
+				}
+				continue
 			}
-			m.subMu.Unlock()
+		}
+		select {
+		case wc.out <- outFrame{typ: wire.FrameTuple, payload: frame}:
+			m.noteDispatched(wc, attempt)
 			return nil
 		case <-wc.gone:
 			// Worker died while we were blocked. If the drop path already
@@ -589,6 +931,21 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 	}
 }
 
+// noteDispatched counts a successful enqueue and claims the breaker's
+// half-open probe slot when one is pending.
+func (m *Master) noteDispatched(wc *workerConn, attempt uint8) {
+	wc.mu.Lock()
+	wc.br.noteDispatch()
+	wc.mu.Unlock()
+	m.subMu.Lock()
+	if attempt == 0 {
+		m.submitted++
+	} else {
+		m.retransmitted++
+	}
+	m.subMu.Unlock()
+}
+
 // handleResult is the sink path: release the in-flight entry, fold the
 // latency feedback into the router, then reorder for playback (§IV-C
 // "Reordering Service"). Ack-only frames (no tuple bytes) stop here: the
@@ -608,6 +965,27 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 		m.subMu.Lock()
 		m.workerDropped++
 		m.subMu.Unlock()
+		// A processor-error drop is a breaker failure: the worker is
+		// reachable but not producing results.
+		wc.mu.Lock()
+		prev := wc.br.state
+		wc.br.onFailure(time.Now())
+		next := wc.br.state
+		wc.mu.Unlock()
+		if prev != breakerOpen && next == breakerOpen {
+			m.cfg.Logger.Warn("swing master: breaker opened", "worker", wc.id,
+				"reason", "processor drops")
+		}
+	} else {
+		wc.mu.Lock()
+		prev := wc.br.state
+		wc.br.onSuccess()
+		closed := prev == breakerHalfOpen
+		wc.mu.Unlock()
+		if closed {
+			m.cfg.Logger.Info("swing master: breaker closed", "worker", wc.id,
+				"reason", "probe succeeded")
+		}
 	}
 	now := time.Now()
 	latency := now.Sub(time.Unix(0, meta.EmitNanos))

@@ -107,6 +107,7 @@ type Worker struct {
 	processed  int64
 	dropped    int64
 	reconnects int64
+	termErr    error // terminal failure (e.g. reconnect budget exhausted)
 
 	start time.Time
 	stop  chan struct{}
@@ -241,6 +242,12 @@ func (w *Worker) reconnect(rng *rand.Rand) (*workerSession, bool) {
 		if w.cfg.ReconnectAttempts > 0 && attempt > w.cfg.ReconnectAttempts {
 			w.cfg.Logger.Warn("swing worker: reconnect attempts exhausted",
 				"device", w.cfg.DeviceID, "attempts", w.cfg.ReconnectAttempts)
+			// Giving up is a terminal failure, not a clean shutdown: record
+			// it so Wait/Err report the worker fell out of the swarm.
+			w.statsMu.Lock()
+			w.termErr = fmt.Errorf("%w after %d attempts (device %s)",
+				ErrReconnectExhausted, w.cfg.ReconnectAttempts, w.cfg.DeviceID)
+			w.statsMu.Unlock()
 			return nil, false
 		}
 		delay := backoff/2 + time.Duration(rng.Int64N(int64(backoff)))
@@ -321,6 +328,13 @@ func (w *Worker) readLoop(s *workerSession) {
 			select {
 			case s.queue <- t:
 			case <-w.stop:
+				return
+			}
+		case wire.FramePing:
+			// Echo the payload verbatim: the pong is the master's proof of
+			// life for this link, and a worker whose processing queue is
+			// saturated can still answer from the read loop.
+			if w.writeFrame(s, wire.FramePong, payload) != nil {
 				return
 			}
 		case wire.FrameStop:
@@ -447,11 +461,12 @@ func (w *Worker) statsLoop(s *workerSession) {
 		case <-ticker.C:
 			w.statsMu.Lock()
 			st := wire.Stats{
-				DeviceID:  w.cfg.DeviceID,
-				Processed: w.processed,
-				Dropped:   w.dropped,
-				QueueLen:  len(s.queue),
-				UptimeMS:  time.Since(w.start).Milliseconds(),
+				DeviceID:   w.cfg.DeviceID,
+				Processed:  w.processed,
+				Dropped:    w.dropped,
+				QueueLen:   len(s.queue),
+				Reconnects: w.reconnects,
+				UptimeMS:   time.Since(w.start).Milliseconds(),
 			}
 			w.statsMu.Unlock()
 			b, err := wire.EncodeJSON(st)
@@ -506,7 +521,21 @@ func (w *Worker) Close() error {
 	return nil
 }
 
+// Err reports the worker's terminal failure, if any: non-nil once the
+// reconnect budget is exhausted (wrapping ErrReconnectExhausted). A clean
+// stop — master-initiated Stop, Close, or a link break with reconnection
+// disabled — leaves it nil.
+func (w *Worker) Err() error {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.termErr
+}
+
 // Wait blocks until the worker has fully shut down: the master stopped
 // it, the link broke with reconnection disabled, or the reconnect budget
-// ran out.
-func (w *Worker) Wait() { <-w.done }
+// ran out. It returns the terminal failure from Err, so callers learn the
+// difference between a clean stop and a worker that gave up rejoining.
+func (w *Worker) Wait() error {
+	<-w.done
+	return w.Err()
+}

@@ -38,6 +38,13 @@ const (
 	FrameResult
 	// FrameStats carries periodic worker-side statistics.
 	FrameStats
+	// FramePing is the master's liveness probe; the worker echoes the
+	// payload back in a FramePong. A hung worker whose TCP link is still
+	// up stops echoing, which is how the failure detector tells "slow"
+	// from "gone" without waiting for the connection to break.
+	FramePing
+	// FramePong is the worker's echo of a FramePing payload.
+	FramePong
 )
 
 // String names the frame type.
@@ -57,6 +64,10 @@ func (t FrameType) String() string {
 		return "result"
 	case FrameStats:
 		return "stats"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -103,7 +114,7 @@ func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	typ := FrameType(hdr[4])
-	if typ < FrameHello || typ > FrameStats {
+	if typ < FrameHello || typ > FramePong {
 		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[4])
 	}
 	payload := make([]byte, n)
@@ -165,7 +176,19 @@ type Stats struct {
 	// (cumulative over the worker's lifetime, across reconnects).
 	Dropped  int64 `json:"dropped,omitempty"`
 	QueueLen int   `json:"queueLen"`
-	UptimeMS int64 `json:"uptimeMillis"`
+	// Reconnects counts how many times this worker has rejoined the
+	// master after a broken link, so the master can explain suspect/dead
+	// transitions on a flapping device.
+	Reconnects int64 `json:"reconnects,omitempty"`
+	UptimeMS   int64 `json:"uptimeMillis"`
+}
+
+// Ping is the payload of a FramePing, echoed verbatim in the FramePong.
+type Ping struct {
+	// Seq numbers the master's pings per connection.
+	Seq uint64 `json:"seq"`
+	// SentNanos is the master's send timestamp, for RTT measurement.
+	SentNanos int64 `json:"sentNanos"`
 }
 
 // EncodeJSON marshals a control message for a frame payload.

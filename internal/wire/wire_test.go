@@ -92,7 +92,7 @@ func TestFrameTruncated(t *testing.T) {
 }
 
 func TestFrameTypeString(t *testing.T) {
-	for ft := FrameHello; ft <= FrameStats; ft++ {
+	for ft := FrameHello; ft <= FramePong; ft++ {
 		if strings.Contains(ft.String(), "frame(") {
 			t.Errorf("type %d unnamed", ft)
 		}
@@ -159,8 +159,41 @@ func TestResultAckOnly(t *testing.T) {
 	}
 }
 
+// TestPingPongRoundTrip frames a liveness probe and its echo: the pong
+// payload must carry the ping's sequence and timestamp back unchanged.
+func TestPingPongRoundTrip(t *testing.T) {
+	ping := Ping{Seq: 42, SentNanos: 987654321}
+	pb, err := EncodeJSON(ping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePing, pb); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != FramePing {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	// The worker echoes the payload verbatim under FramePong.
+	if err := WriteFrame(&buf, FramePong, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = ReadFrame(&buf)
+	if err != nil || typ != FramePong {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	var got Ping
+	if err := DecodeJSON(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != ping {
+		t.Fatalf("echo %+v, want %+v", got, ping)
+	}
+}
+
 func TestStatsJSON(t *testing.T) {
-	st := Stats{DeviceID: "B", Processed: 10, Dropped: 2, QueueLen: 1, UptimeMS: 99}
+	st := Stats{DeviceID: "B", Processed: 10, Dropped: 2, QueueLen: 1, Reconnects: 3, UptimeMS: 99}
 	b, err := EncodeJSON(st)
 	if err != nil {
 		t.Fatal(err)
@@ -186,9 +219,9 @@ func TestResultDecodingErrors(t *testing.T) {
 // TestFrameRoundTripProperty fuzzes payloads through the framing.
 func TestFrameRoundTripProperty(t *testing.T) {
 	f := func(payload []byte, typSeed uint8) bool {
-		typ := FrameType(typSeed%uint8(FrameStats)) + FrameHello
-		if typ > FrameStats {
-			typ = FrameStats
+		typ := FrameType(typSeed%uint8(FramePong)) + FrameHello
+		if typ > FramePong {
+			typ = FramePong
 		}
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, typ, payload); err != nil {

@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# Repo-wide static checks plus race-checked tests for the packages that run
-# concurrent code (the experiment executor and everything it fans out over).
+# Repo-wide static checks plus race-checked tests. gofmt is enforced (any
+# unformatted file fails the build), then vet, then the full test tree
+# under the race detector.
 set -eu
 cd "$(dirname "$0")/.."
 
+fmt="$(gofmt -l .)"
+if [ -n "$fmt" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
 go vet ./...
-go test -race ./internal/experiments ./internal/sim ./internal/routing
-# The live runtime's fault-tolerance paths (retransmit, reconnect, fault
-# injection) are timing-sensitive; run them twice under the race detector.
-go test -race -count=2 ./internal/runtime/... ./internal/transport/...
+go test -race ./...
+# The live runtime's fault-tolerance and liveness paths (retransmit,
+# reconnect, heartbeat eviction, breakers, fault injection) are
+# timing-sensitive; run them a second time under the race detector.
+go test -race -count=1 ./internal/runtime/... ./internal/transport/...

@@ -273,8 +273,13 @@ type LiveResult = runtime.Result
 
 // MasterStats summarizes the master's side of a live run, including the
 // fault-tolerance ledger (every submitted tuple ends acked or shed, never
-// silently lost).
+// silently lost) and the per-worker liveness view.
 type MasterStats = runtime.MasterStats
+
+// WorkerStatus is one worker's health as the master sees it: failure
+// detector state, circuit breaker position, and the worker's latest
+// self-reported queue/drop/reconnect counters.
+type WorkerStatus = runtime.WorkerStatus
 
 // StartMaster launches a live master that accepts workers and routes
 // submitted tuples.
@@ -282,6 +287,11 @@ func StartMaster(cfg MasterConfig) (*Master, error) { return runtime.StartMaster
 
 // StartWorker joins a live swarm as a worker device.
 func StartWorker(cfg WorkerConfig) (*Worker, error) { return runtime.StartWorker(cfg) }
+
+// ErrReconnectExhausted is a worker's terminal failure: its reconnect
+// attempt budget ran out without rejoining the master. Worker.Wait and
+// Worker.Err return an error wrapping it.
+var ErrReconnectExhausted = runtime.ErrReconnectExhausted
 
 // Transport abstracts the byte transport under the live runtime (default
 // TCP); swap it for an in-memory network in tests or wrap it with fault
