@@ -44,6 +44,9 @@ type masterOpts struct {
 	breakerAckTimeout        time.Duration
 	inflightHighWater        int
 	statusEvery              time.Duration
+	journal                  string
+	checkpointEvery          time.Duration
+	fsync                    string
 	transport                swing.Transport
 }
 
@@ -79,13 +82,18 @@ func run(args []string) error {
 		brAckTO   = fs.Duration("breaker-ack-timeout", 0, "master: unacked-tuple age counted as a breaker failure (0 = drops alone drive breakers)")
 		inflHW    = fs.Int("inflight-high-water", 0, "master: in-flight tuples beyond which Submit sheds oldest-first instead of blocking (0 = block on backpressure)")
 		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
-		id        = fs.String("id", "", "worker: device id")
-		master    = fs.String("master", "", "worker: master address (empty = discover via UDP)")
-		discover  = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
-		speed     = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
-		rejoin    = fs.Bool("reconnect", false, "worker: rejoin the master with backoff after a broken link")
-		rejoinBO  = fs.Duration("reconnect-backoff", 50*time.Millisecond, "worker: initial reconnect delay (doubles per failure)")
-		rejoinN   = fs.Int("reconnect-attempts", 0, "worker: consecutive failed rejoins before giving up (0 = forever)")
+
+		// Crash recovery (master).
+		journalP = fs.String("journal", "", "master: write-ahead journal path enabling crash recovery (empty = off); a restart with the same path resumes the previous incarnation")
+		ckptEv   = fs.Duration("checkpoint-every", 10*time.Second, "master: checkpoint + journal compaction period (<0 = recovery/close checkpoints only)")
+		fsyncM   = fs.String("fsync", "interval", "master: journal fsync policy: always, interval or never")
+		id       = fs.String("id", "", "worker: device id")
+		master   = fs.String("master", "", "worker: master address (empty = discover via UDP)")
+		discover = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
+		speed    = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
+		rejoin   = fs.Bool("reconnect", false, "worker: rejoin the master with backoff after a broken link")
+		rejoinBO = fs.Duration("reconnect-backoff", 50*time.Millisecond, "worker: initial reconnect delay (doubles per failure)")
+		rejoinN  = fs.Int("reconnect-attempts", 0, "worker: consecutive failed rejoins before giving up (0 = forever)")
 
 		// Fault injection (for resilience drills; off by default).
 		faultSeed      = fs.Int64("fault-seed", 1, "fault injection: PRNG seed for deterministic replay")
@@ -119,6 +127,7 @@ func run(args []string) error {
 			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
 			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
 			inflightHighWater: *inflHW, statusEvery: *statusEv,
+			journal: *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
 			transport: faults,
 		})
 	case "worker":
@@ -159,6 +168,10 @@ func runMaster(app *swing.App, opt masterOpts) error {
 	if err != nil {
 		return err
 	}
+	fsync, err := swing.ParseFsyncMode(opt.fsync)
+	if err != nil {
+		return err
+	}
 	delivered := 0
 	m, err := swing.StartMaster(swing.MasterConfig{
 		App:               app,
@@ -174,6 +187,9 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		BreakerCooldown:   opt.breakerCooldown,
 		BreakerAckTimeout: opt.breakerAckTimeout,
 		InflightHighWater: opt.inflightHighWater,
+		JournalPath:       opt.journal,
+		CheckpointEvery:   opt.checkpointEvery,
+		Fsync:             fsync,
 		OnResult: func(r swing.LiveResult) {
 			delivered++
 			if delivered%24 == 0 {
@@ -187,11 +203,15 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		return err
 	}
 	defer func() { _ = m.Close() }()
+	if opt.journal != "" && m.Epoch() > 1 {
+		fmt.Printf("master recovered from %s: epoch %d, resuming stream at frame %d\n",
+			opt.journal, m.Epoch(), m.NextSeq())
+	}
 	fmt.Println("master listening on", m.Addr())
 
 	if opt.announce != "" {
 		ann, err := swing.Announce(opt.announce,
-			swing.Announcement{App: app.Name(), Addr: m.Addr()}, time.Second)
+			swing.Announcement{App: app.Name(), Addr: m.Addr(), Epoch: m.Epoch()}, time.Second)
 		if err != nil {
 			return err
 		}
@@ -202,6 +222,9 @@ func runMaster(app *swing.App, opt masterOpts) error {
 	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
 
 	src := swing.NewFrameSource(app.FrameBytes, 1)
+	// After a crash-recovery restart the source resumes past every burned
+	// sequence number, so replayed backlog and fresh frames never collide.
+	src.SeekTo(m.NextSeq())
 	ticker := time.NewTicker(time.Duration(float64(time.Second) / opt.fps))
 	defer ticker.Stop()
 	var deadline <-chan time.Time

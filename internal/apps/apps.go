@@ -168,6 +168,17 @@ func (s *FrameSource) Next() *tuple.Tuple {
 // Generated reports how many frames have been produced.
 func (s *FrameSource) Generated() uint64 { return s.next }
 
+// SeekTo positions the source so the next frame has the given sequence
+// number. A master restarted from a checkpoint resumes its source here:
+// frame content stays deterministic per (seed, id), so the stream
+// continues exactly where the crashed incarnation left off without ever
+// reusing a sequence slot.
+func (s *FrameSource) SeekTo(seq uint64) {
+	if seq > s.next {
+		s.next = seq
+	}
+}
+
 // knownNames is the face database of the synthetic recognizer.
 var knownNames = []string{
 	"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,23 +26,43 @@ type Announcement struct {
 	App string
 	// Addr is the master's control address ("host:port").
 	Addr string
+	// Epoch is the master's incarnation number (0 on beacons from masters
+	// predating crash recovery). Workers prefer the highest epoch they
+	// hear: after a master restart, stale beacons still in flight from the
+	// dead incarnation must not win the race against the live one.
+	Epoch uint64
 }
 
-// Encode renders the announcement datagram.
+// Encode renders the announcement datagram. The epoch field is appended
+// only when set, so beacons stay parseable by pre-epoch listeners (which
+// split on whitespace and reject anything but three fields).
 func (a Announcement) Encode() []byte {
-	return []byte(Magic + " " + a.App + " " + a.Addr)
+	s := Magic + " " + a.App + " " + a.Addr
+	if a.Epoch > 0 {
+		s += " " + strconv.FormatUint(a.Epoch, 10)
+	}
+	return []byte(s)
 }
 
 // ErrBadAnnouncement reports an unparseable datagram.
 var ErrBadAnnouncement = errors.New("discovery: bad announcement")
 
-// Parse decodes an announcement datagram.
+// Parse decodes an announcement datagram: the 3-field pre-epoch form or
+// the 4-field form with a trailing epoch.
 func Parse(b []byte) (Announcement, error) {
 	parts := strings.Fields(string(b))
-	if len(parts) != 3 || parts[0] != Magic {
+	if (len(parts) != 3 && len(parts) != 4) || parts[0] != Magic {
 		return Announcement{}, fmt.Errorf("%w: %q", ErrBadAnnouncement, string(b))
 	}
-	return Announcement{App: parts[1], Addr: parts[2]}, nil
+	ann := Announcement{App: parts[1], Addr: parts[2]}
+	if len(parts) == 4 {
+		epoch, err := strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return Announcement{}, fmt.Errorf("%w: epoch %q", ErrBadAnnouncement, parts[3])
+		}
+		ann.Epoch = epoch
+	}
+	return ann, nil
 }
 
 // Announcer broadcasts the master's presence on a fixed period.
@@ -100,6 +121,15 @@ func (a *Announcer) Close() error {
 // Listen blocks until a master announcement for app arrives on the UDP
 // listen address (e.g. ":17716"), or the timeout expires.
 func Listen(listenAddr, app string, timeout time.Duration) (Announcement, error) {
+	return ListenSince(listenAddr, app, 0, timeout)
+}
+
+// ListenSince is Listen filtered by incarnation: beacons whose epoch is
+// below minEpoch are ignored. A worker that was joined to incarnation N
+// passes N so a not-yet-dead announcer from the crashed master (or a
+// zombie that lost a partition) cannot steer it back to a stale address.
+// Epoch-less (pre-recovery) beacons are only accepted when minEpoch is 0.
+func ListenSince(listenAddr, app string, minEpoch uint64, timeout time.Duration) (Announcement, error) {
 	pc, err := net.ListenPacket("udp", listenAddr)
 	if err != nil {
 		return Announcement{}, fmt.Errorf("discovery: listen %s: %w", listenAddr, err)
@@ -122,6 +152,9 @@ func Listen(listenAddr, app string, timeout time.Duration) (Announcement, error)
 		}
 		if app != "" && ann.App != app {
 			continue
+		}
+		if ann.Epoch < minEpoch {
+			continue // stale beacon from a dead or zombie incarnation
 		}
 		return ann, nil
 	}

@@ -128,3 +128,78 @@ func TestAnnouncerBadPeriod(t *testing.T) {
 		t.Fatal("zero period accepted")
 	}
 }
+
+func TestEncodeParseEpoch(t *testing.T) {
+	ann := Announcement{App: "facerec", Addr: "192.168.1.2:7000", Epoch: 3}
+	got, err := Parse(ann.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ann {
+		t.Fatalf("got %+v, want %+v", got, ann)
+	}
+	// Epoch 0 encodes to the 3-field pre-epoch form: old listeners split
+	// on whitespace and reject a fourth field.
+	legacy := Announcement{App: "facerec", Addr: "192.168.1.2:7000"}
+	if s := string(legacy.Encode()); s != "SWING1 facerec 192.168.1.2:7000" {
+		t.Fatalf("epoch-0 beacon = %q, not the 3-field form", s)
+	}
+}
+
+func TestParseEpochForms(t *testing.T) {
+	// 3-field beacons from pre-epoch masters parse with Epoch 0.
+	got, err := Parse([]byte("SWING1 facerec 10.0.0.1:7000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("3-field beacon epoch = %d, want 0", got.Epoch)
+	}
+	// A non-numeric fourth field is a malformed beacon, not an app name.
+	if _, err := Parse([]byte("SWING1 facerec 10.0.0.1:7000 banana")); !errors.Is(err, ErrBadAnnouncement) {
+		t.Fatalf("bad epoch err = %v", err)
+	}
+}
+
+func TestListenSinceFiltersStaleEpochs(t *testing.T) {
+	port := freeUDPPort(t)
+	target := fmt.Sprintf("127.0.0.1:%d", port)
+
+	// A zombie incarnation keeps announcing epoch 1; the live master
+	// announces epoch 2. A worker that was joined to epoch 2 must never
+	// be steered to the stale address.
+	stale, err := NewAnnouncer(target, Announcement{App: "facerec", Addr: "10.0.0.1:1", Epoch: 1}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stale.Close() }()
+
+	found := make(chan Announcement, 1)
+	errs := make(chan error, 1)
+	go func() {
+		ann, err := ListenSince(fmt.Sprintf("127.0.0.1:%d", port), "facerec", 2, 5*time.Second)
+		if err != nil {
+			errs <- err
+			return
+		}
+		found <- ann
+	}()
+	time.Sleep(100 * time.Millisecond) // stale beacons are flowing and ignored
+
+	live, err := NewAnnouncer(target, Announcement{App: "facerec", Addr: "10.0.0.2:2", Epoch: 2}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = live.Close() }()
+
+	select {
+	case got := <-found:
+		if got.Addr != "10.0.0.2:2" || got.Epoch != 2 {
+			t.Fatalf("steered to %+v, want the live epoch-2 master", got)
+		}
+	case err := <-errs:
+		t.Fatalf("ListenSince: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("live announcement never accepted")
+	}
+}

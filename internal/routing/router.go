@@ -86,6 +86,12 @@ type Router struct {
 	downs map[string]*downState
 	order []string // insertion order, for deterministic iteration
 
+	// warm holds checkpointed estimates from a previous incarnation of the
+	// coordinator, applied when the matching downstream re-joins so the
+	// router resumes routing on measured rates instead of re-learning from
+	// scratch (master crash recovery). Entries are consumed on use.
+	warm map[string]Estimate
+
 	// Routing table (recomputed on Reconfigure).
 	selected []string
 	weights  []float64 // parallel to selected; sums to 1
@@ -146,7 +152,14 @@ func (r *Router) AddDownstream(id string) error {
 	if _, dup := r.downs[id]; dup {
 		return fmt.Errorf("%w: %q", ErrDupDownstream, id)
 	}
-	r.downs[id] = &downState{id: id}
+	d := &downState{id: id}
+	if est, ok := r.warm[id]; ok {
+		// A re-adopted worker resumes with its checkpointed estimate; new
+		// ACKs fold into it through the usual EWMA.
+		d.est = est
+		delete(r.warm, id)
+	}
+	r.downs[id] = d
 	r.order = append(r.order, id)
 	// Fold the newcomer into the live table right away so it receives
 	// traffic within one reconfigure period ("within a second of G's
@@ -160,8 +173,18 @@ func (r *Router) AddDownstream(id string) error {
 // immediately recomputes the routing table so no further tuples route to
 // it (§IV-C "Handling Joining and Leaving").
 func (r *Router) RemoveDownstream(id string) error {
-	if _, ok := r.downs[id]; !ok {
+	d, ok := r.downs[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDownstream, id)
+	}
+	if d.est.Samples > 0 {
+		// Park the estimate: a worker that drops and rejoins (or rejoins a
+		// restarted master that checkpointed this table) resumes warm
+		// instead of re-probing from scratch.
+		if r.warm == nil {
+			r.warm = make(map[string]Estimate, 1)
+		}
+		r.warm[id] = d.est
 	}
 	delete(r.downs, id)
 	for i, d := range r.order {
@@ -185,6 +208,50 @@ func (r *Router) Downstreams() []string {
 func (r *Router) Has(id string) bool {
 	_, ok := r.downs[id]
 	return ok
+}
+
+// SeedEstimates primes the router with per-downstream estimates from a
+// previous incarnation (crash recovery). Each estimate is applied — once —
+// when a downstream with a matching ID joins; IDs that never re-join
+// simply age out with the map. Downstreams already registered are updated
+// in place.
+func (r *Router) SeedEstimates(ests map[string]Estimate) {
+	if len(ests) == 0 {
+		return
+	}
+	if r.warm == nil {
+		r.warm = make(map[string]Estimate, len(ests))
+	}
+	for id, est := range ests {
+		if d, ok := r.downs[id]; ok {
+			d.est = est
+			continue
+		}
+		r.warm[id] = est
+	}
+	r.recompute(r.lastLambda)
+}
+
+// SeededEstimate reports the warm estimate waiting for a downstream that
+// has not re-joined yet (crash-recovery introspection).
+func (r *Router) SeededEstimate(id string) (Estimate, bool) {
+	est, ok := r.warm[id]
+	return est, ok
+}
+
+// Estimates returns a copy of every known estimate keyed by ID — the
+// export side of checkpointing. Warm estimates still waiting for their
+// worker to re-join are included, so checkpoints survive crash-restart
+// cycles shorter than a worker's reconnect backoff.
+func (r *Router) Estimates() map[string]Estimate {
+	out := make(map[string]Estimate, len(r.downs)+len(r.warm))
+	for id, est := range r.warm {
+		out[id] = est
+	}
+	for id, d := range r.downs {
+		out[id] = d.est
+	}
+	return out
 }
 
 // ObserveAck folds a downstream ACK into its delay estimates. latency is

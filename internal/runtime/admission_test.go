@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/transport"
+)
+
+// TestHelloTimeoutEvictsSilentConn verifies the join handshake is
+// bounded: a connection that never sends its hello is closed at the
+// hello timeout and does not wedge the accept path for real workers.
+func TestHelloTimeoutEvictsSilentConn(t *testing.T) {
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StartMaster(MasterConfig{
+		App:          app,
+		ListenAddr:   "master",
+		Transport:    mem,
+		HelloTimeout: 60 * time.Millisecond,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	conn, err := mem.Dial(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Stall: send nothing. The master must hang up, not us timing out.
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var buf [1]byte
+	_, err = conn.Read(buf[:])
+	if err == nil {
+		t.Fatal("silent connection received data instead of being closed")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("master never closed the silent connection within 2s")
+	}
+
+	// The accept path is unharmed: a real worker still joins.
+	startTestWorker(t, mem, m, "w1", 1)
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "worker joins after evicted conn")
+}
+
+// TestHandshakeAdmissionCap verifies the cap on concurrent pending
+// handshakes: with the single slot held by a stalled connection, a join
+// attempt is refused outright; once the hello timeout frees the slot,
+// joining succeeds.
+func TestHandshakeAdmissionCap(t *testing.T) {
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StartMaster(MasterConfig{
+		App:                  app,
+		ListenAddr:           "master",
+		Transport:            mem,
+		HelloTimeout:         250 * time.Millisecond,
+		MaxPendingHandshakes: 1,
+		Logger:               quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	stalled, err := mem.Dial(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stalled.Close() }()
+	// Give the accept loop time to hand the conn to a handshake goroutine
+	// so the single slot is definitely occupied.
+	time.Sleep(50 * time.Millisecond)
+
+	join := func() (*Worker, error) {
+		return StartWorker(WorkerConfig{
+			DeviceID:   "capped",
+			MasterAddr: m.Addr(),
+			App:        app,
+			Transport:  mem,
+			Logger:     quietLogger(),
+		})
+	}
+	if w, err := join(); err == nil {
+		_ = w.Close()
+		t.Fatal("join succeeded while the handshake slot was full")
+	}
+
+	// The stalled conn times out, the slot frees, and a retry gets in.
+	var w *Worker
+	waitFor(t, 3*time.Second, func() bool {
+		got, err := join()
+		if err != nil {
+			return false
+		}
+		w = got
+		return true
+	}, "join after handshake slot frees")
+	t.Cleanup(func() { _ = w.Close() })
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "capped worker registered")
+}

@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// A checkpoint snapshots everything a restarted master needs that the
+// journal alone cannot cheaply reconstruct: the cumulative ledger
+// counters, the sink's playback position, the source sequence high-water
+// mark, the router's warm per-worker latency estimates, and the set of
+// tuples still un-acked at snapshot time (full bytes, so they can be
+// retransmitted). Each checkpoint advances the generation counter and the
+// journal rotates to match; recovery replays the journal only when its
+// generation equals the checkpoint's, which makes the two-file update
+// crash-safe without cross-file atomicity:
+//
+//	write ckpt(gen+1) → rename → rotate journal(gen+1) → rename
+//
+// A crash between the renames leaves ckpt at gen+1 and the journal at gen;
+// the stale journal is ignored (every record it holds is already folded
+// into the checkpoint).
+//
+// On-disk layout: u32 length | JSON | u32 crc32c(JSON). A short, corrupt
+// or torn checkpoint fails closed — recovery reports the error rather
+// than silently starting cold from a half-written snapshot (the previous
+// checkpoint was atomically replaced, so a torn one can only mean outside
+// interference or disk corruption).
+
+// checkpointVersion guards the snapshot schema.
+const checkpointVersion = 1
+
+// ckptEstimate is one worker's persisted routing estimate.
+type ckptEstimate struct {
+	ID              string `json:"id"`
+	LatencyNanos    int64  `json:"latencyNanos"`
+	ProcessingNanos int64  `json:"processingNanos"`
+	Samples         int64  `json:"samples"`
+}
+
+// ckptPending is one un-acked tuple at snapshot time.
+type ckptPending struct {
+	Tuple   string `json:"tuple"` // base64 of the marshaled tuple
+	Attempt uint8  `json:"attempt"`
+}
+
+// checkpointState is the JSON snapshot body.
+type checkpointState struct {
+	Version    int    `json:"version"`
+	Epoch      uint64 `json:"epoch"`
+	Generation uint64 `json:"generation"`
+
+	Submitted     int64 `json:"submitted"`
+	Acked         int64 `json:"acked"`
+	Retransmitted int64 `json:"retransmitted"`
+	Shed          int64 `json:"shed"`
+	ShedOverload  int64 `json:"shedOverload"`
+	WorkerDropped int64 `json:"workerDropped"`
+	Evicted       int64 `json:"evicted"`
+	Readopted     int64 `json:"readopted"`
+
+	Arrived  int64  `json:"arrived"`
+	Played   int64  `json:"played"`
+	Skipped  int64  `json:"skipped"`
+	NextPlay uint64 `json:"nextPlay"`
+	NextSeq  uint64 `json:"nextSeq"`
+
+	Estimates []ckptEstimate `json:"estimates,omitempty"`
+	Pending   []ckptPending  `json:"pending,omitempty"`
+}
+
+// saveCheckpoint writes the snapshot atomically: temp file, fsync, rename.
+func saveCheckpoint(path string, st *checkpointState) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("runtime: encode checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, 4+len(body)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Update(0, journalCRC, body))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("runtime: write checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("runtime: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("runtime: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runtime: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("runtime: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads and verifies a snapshot. A missing file returns
+// (nil, nil): no checkpoint has ever been written.
+func loadCheckpoint(path string) (*checkpointState, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: read checkpoint: %w", err)
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("runtime: checkpoint too short (%d bytes)", len(raw))
+	}
+	n := binary.LittleEndian.Uint32(raw[:4])
+	if int(n) > len(raw)-8 {
+		return nil, fmt.Errorf("runtime: checkpoint body length %d exceeds file", n)
+	}
+	body := raw[4 : 4+n]
+	sum := binary.LittleEndian.Uint32(raw[4+n : 8+n])
+	if crc32.Update(0, journalCRC, body) != sum {
+		return nil, errors.New("runtime: checkpoint checksum mismatch")
+	}
+	var st checkpointState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("runtime: decode checkpoint: %w", err)
+	}
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("runtime: checkpoint version %d, want %d", st.Version, checkpointVersion)
+	}
+	return &st, nil
+}
+
+// recoveredState is the merged checkpoint + journal view handed to the
+// new incarnation.
+type recoveredState struct {
+	prevEpoch  uint64
+	generation uint64
+	counters   checkpointState // counter fields only
+	// pending is the un-acked backlog to retransmit, keyed by tuple ID.
+	pending map[uint64]*inflightEntry
+	// acked is the cross-epoch sink dedup set: IDs acknowledged by the
+	// previous incarnation whose straggler results must not replay.
+	acked map[uint64]struct{}
+	// estimates warm-start the router when each worker re-joins.
+	estimates map[string]routing.Estimate
+	// journalTruncated reports a torn tail was cut during replay.
+	journalTruncated bool
+}
+
+// recoverState merges the checkpoint (if any) with the journal's
+// replayable prefix. The journal is replayed only when its generation
+// matches the checkpoint's; an older journal predates the snapshot and is
+// wholly folded in already.
+func recoverState(journalPath, ckptPath string) (*recoveredState, error) {
+	ckpt, err := loadCheckpoint(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := replayJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	rs := &recoveredState{
+		pending:          make(map[uint64]*inflightEntry),
+		acked:            make(map[uint64]struct{}),
+		estimates:        make(map[string]routing.Estimate),
+		journalTruncated: rep.truncated,
+	}
+	if ckpt != nil {
+		rs.prevEpoch = ckpt.Epoch
+		rs.generation = ckpt.Generation
+		rs.counters = *ckpt
+		for _, e := range ckpt.Estimates {
+			rs.estimates[e.ID] = routing.Estimate{
+				Latency:    time.Duration(e.LatencyNanos),
+				Processing: time.Duration(e.ProcessingNanos),
+				Samples:    e.Samples,
+			}
+		}
+		for _, p := range ckpt.Pending {
+			raw, err := base64.StdEncoding.DecodeString(p.Tuple)
+			if err != nil {
+				continue
+			}
+			t, err := tuple.Unmarshal(raw)
+			if err != nil {
+				continue
+			}
+			rs.pending[t.ID] = &inflightEntry{t: t, attempt: p.Attempt}
+		}
+	}
+
+	replayable := ckpt == nil || rep.generation >= ckpt.Generation
+	if replayable {
+		if rep.epoch > rs.prevEpoch {
+			rs.prevEpoch = rep.epoch
+		}
+		for id, raw := range rep.submits {
+			if _, dup := rs.pending[id]; dup {
+				continue
+			}
+			t, err := tuple.Unmarshal(raw)
+			if err != nil {
+				continue
+			}
+			rs.pending[id] = &inflightEntry{t: t}
+			rs.counters.Submitted++
+			if t.SeqNo >= rs.counters.NextSeq {
+				rs.counters.NextSeq = t.SeqNo + 1
+			}
+		}
+		for id, attempt := range rep.attempts {
+			if e, ok := rs.pending[id]; ok && attempt > e.attempt {
+				e.attempt = attempt
+			}
+		}
+		rs.counters.Retransmitted += rep.resends
+		for id := range rep.acked {
+			if _, ok := rs.pending[id]; ok {
+				delete(rs.pending, id)
+				rs.counters.Acked++
+			}
+			rs.acked[id] = struct{}{}
+		}
+		for id, overload := range rep.shed {
+			if _, ok := rs.pending[id]; ok {
+				delete(rs.pending, id)
+				rs.counters.Shed++
+				if overload {
+					rs.counters.ShedOverload++
+				}
+			}
+		}
+	}
+	return rs, nil
+}

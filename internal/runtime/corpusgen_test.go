@@ -1,0 +1,37 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateJournalFuzzCorpus regenerates the checked-in seed corpus
+// for FuzzJournalRecord. Run manually with SWING_GEN_CORPUS=1.
+func TestGenerateJournalFuzzCorpus(t *testing.T) {
+	if os.Getenv("SWING_GEN_CORPUS") == "" {
+		t.Skip("set SWING_GEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalRecord")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	emit := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := make([]byte, 16)
+	binary.LittleEndian.PutUint64(meta[0:8], 2)
+	binary.LittleEndian.PutUint64(meta[8:16], 5)
+	id := binary.LittleEndian.AppendUint64(nil, 77)
+	emit("seed_meta", encodeJournalRecord(recMeta, meta))
+	emit("seed_ack", encodeJournalRecord(recAck, id))
+	emit("seed_shed", encodeJournalRecord(recShed, append(id, 1)))
+	torn := encodeJournalRecord(recAck, id)
+	emit("seed_torn", torn[:len(torn)-2])
+	emit("seed_oversize", []byte{0xff, 0xff, 0xff, 0xff, byte(recSubmit)})
+}

@@ -3,11 +3,13 @@ package runtime
 import (
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/swingframework/swing/internal/apps"
 	"github.com/swingframework/swing/internal/discovery"
+	"github.com/swingframework/swing/internal/routing"
 	"github.com/swingframework/swing/internal/transport"
 )
 
@@ -85,4 +87,128 @@ func TestDiscoveryToJoin(t *testing.T) {
 		}
 	}
 	waitFor(t, 5*time.Second, func() bool { return len(col.snapshot()) == 5 }, "results via discovered worker")
+}
+
+// TestLateJoinerWarmsIntoSelection exercises the paper's §IV-C workflow
+// for a device that arrives mid-stream: it hears the master's
+// epoch-bearing beacon, joins the running swarm, is probed while its
+// estimate is cold, and enters the selected routing set once the
+// estimate warms.
+func TestLateJoinerWarmsIntoSelection(t *testing.T) {
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		ListenAddr: "127.0.0.1:0",
+		Transport:  transport.TCP{},
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+
+	w1, err := StartWorker(WorkerConfig{
+		DeviceID:   "early",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  transport.TCP{},
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = w1.Close() }()
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "early worker joins")
+
+	// Stream continuously so probing and selection have live traffic.
+	stop := make(chan struct{})
+	var streamDone sync.WaitGroup
+	streamDone.Add(1)
+	go func() {
+		defer streamDone.Done()
+		src := apps.NewFrameSource(6000, 11)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = m.Submit(src.Next())
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer func() { close(stop); streamDone.Wait() }()
+
+	// The master announces with its epoch; the late joiner filters beacons
+	// by that epoch — a stale incarnation could not steer it.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpAddr := fmt.Sprintf("127.0.0.1:%d", pc.LocalAddr().(*net.UDPAddr).Port)
+	_ = pc.Close()
+	found := make(chan discovery.Announcement, 1)
+	go func() {
+		ann, err := discovery.ListenSince(udpAddr, app.Name(), m.Epoch(), 10*time.Second)
+		if err == nil {
+			found <- ann
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ann, err := discovery.NewAnnouncer(udpAddr,
+		discovery.Announcement{App: app.Name(), Addr: m.Addr(), Epoch: m.Epoch()},
+		50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ann.Close() }()
+	var beacon discovery.Announcement
+	select {
+	case beacon = <-found:
+	case <-time.After(10 * time.Second):
+		t.Fatal("late joiner never heard an acceptable beacon")
+	}
+	if beacon.Epoch != m.Epoch() {
+		t.Fatalf("beacon epoch = %d, want %d", beacon.Epoch, m.Epoch())
+	}
+
+	late, err := StartWorker(WorkerConfig{
+		DeviceID:   "late",
+		MasterAddr: beacon.Addr,
+		App:        app,
+		Transport:  transport.TCP{},
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("late StartWorker: %v", err)
+	}
+	defer func() { _ = late.Close() }()
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 2 }, "late worker joins mid-stream")
+
+	// A genuinely new device starts cold — no samples — and must be probed
+	// with real traffic before LRS can weigh it (§IV-C).
+	lateInfo := func() (routing.Info, bool) {
+		for _, info := range m.Snapshot() {
+			if info.ID == "late" {
+				return info, true
+			}
+		}
+		return routing.Info{}, false
+	}
+	if info, ok := lateInfo(); !ok {
+		t.Fatal("late worker missing from routing snapshot")
+	} else if info.Estimate.Samples != 0 {
+		t.Fatalf("late joiner started with %d samples, want cold start", info.Estimate.Samples)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		info, ok := lateInfo()
+		return ok && info.Estimate.Samples > 0
+	}, "late joiner probed")
+	waitFor(t, 10*time.Second, func() bool {
+		info, ok := lateInfo()
+		return ok && info.Estimate.Samples > 0 && info.Selected
+	}, "late joiner selected once estimate warms")
 }

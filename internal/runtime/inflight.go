@@ -130,6 +130,19 @@ func (t *inflightTable) sweepTimeouts(now time.Time, timeout time.Duration) map[
 	return counts
 }
 
+// snapshotEntries returns a copy of the entry list (checkpointing). The
+// entries themselves are shared; callers only read immutable fields
+// (tuple bytes, attempt).
+func (t *inflightTable) snapshotEntries() []*inflightEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*inflightEntry, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, e)
+	}
+	return out
+}
+
 // size reports the number of tracked tuples.
 func (t *inflightTable) size() int {
 	t.mu.Lock()

@@ -1,0 +1,400 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// The master's write-ahead journal (§IV-C's coordinator made crash-safe):
+// an append-only file of checksummed records tracking every tuple's life —
+// submitted, retransmitted, acked, shed — so a restarted master can rebuild
+// the exact ledger and the un-acked backlog of its previous incarnation.
+// Checkpoints (checkpoint.go) snapshot the full state and rotate the
+// journal to a fresh generation, bounding both replay time and file size.
+//
+// Record layout (all integers little-endian):
+//
+//	u32 payloadLen | u8 type | payload | u32 crc32c(type || payload)
+//
+// The trailing checksum makes a torn tail — a partial record from a crash
+// mid-append — detectable: recovery replays records until the first short
+// read or checksum mismatch, then truncates the file at the last good
+// offset. Everything before the tear is trusted; the tear itself is
+// discarded (its tuple stays pending and is retransmitted, never lost).
+
+// journalRecType distinguishes journal records.
+type journalRecType uint8
+
+const (
+	// recMeta is the mandatory first record of every journal generation:
+	// the writing incarnation's epoch and the checkpoint generation this
+	// journal extends.
+	recMeta journalRecType = iota + 1
+	// recSubmit logs a fresh tuple entering the swarm: full tuple bytes.
+	recSubmit
+	// recResend logs a retransmission: tuple ID + new attempt counter.
+	recResend
+	// recAck logs a worker acknowledgment: tuple ID.
+	recAck
+	// recShed logs an abandoned tuple: tuple ID + overload flag.
+	recShed
+)
+
+// maxJournalRecord bounds a record payload, protecting replay against a
+// corrupt length prefix (tuples are bounded by wire.MaxFrameSize anyway).
+const maxJournalRecord = 32 << 20
+
+// journalCRC is the checksum table for record integrity (Castagnoli, the
+// same polynomial storage systems use for torn-write detection).
+var journalCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// FsyncMode selects how aggressively the journal is flushed to stable
+// storage. Process crashes (the common mobile case: the coordinating app
+// is killed) lose nothing under any mode, because appends go straight to
+// the file; fsync only buys durability against whole-machine crashes.
+type FsyncMode int
+
+const (
+	// FsyncInterval syncs at most once per FsyncEvery (default). Bounded
+	// loss window on power failure, negligible overhead.
+	FsyncInterval FsyncMode = iota
+	// FsyncAlways syncs after every append: zero loss window, one
+	// fsync per tuple lifecycle event.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS.
+	FsyncNever
+)
+
+// String names the mode (the -fsync flag values).
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsyncMode parses a -fsync flag value.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("runtime: unknown fsync mode %q (always, interval or never)", s)
+	}
+}
+
+// journal is the append side of the write-ahead log. Appends are
+// serialized by mu; rotate (checkpoint compaction) holds the same lock so
+// a record is never split across generations.
+type journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	mode     FsyncMode
+	every    time.Duration
+	lastSync time.Time
+}
+
+// encodeJournalRecord frames one record.
+func encodeJournalRecord(typ journalRecType, payload []byte) []byte {
+	buf := make([]byte, 0, 4+1+len(payload)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, byte(typ))
+	buf = append(buf, payload...)
+	sum := crc32.Update(0, journalCRC, buf[4:])
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// errTornRecord marks the end of the replayable prefix: a partial or
+// corrupt record where a crash interrupted an append.
+var errTornRecord = errors.New("runtime: torn journal record")
+
+// readJournalRecord reads one record from r, returning errTornRecord on a
+// short read, oversized length or checksum mismatch.
+func readJournalRecord(r io.Reader) (journalRecType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, errTornRecord
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxJournalRecord {
+		return 0, nil, errTornRecord
+	}
+	body := make([]byte, 1+n+4)
+	body[0] = hdr[4]
+	if _, err := io.ReadFull(r, body[1:]); err != nil {
+		return 0, nil, errTornRecord
+	}
+	sum := binary.LittleEndian.Uint32(body[1+n:])
+	if crc32.Update(0, journalCRC, body[:1+n]) != sum {
+		return 0, nil, errTornRecord
+	}
+	return journalRecType(body[0]), body[1 : 1+n], nil
+}
+
+// openJournal creates (or truncates) the journal file and writes the meta
+// record for this generation. The previous generation's contents must
+// already have been recovered — opening discards them.
+func openJournal(path string, epoch, generation uint64, mode FsyncMode, every time.Duration) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: open journal: %w", err)
+	}
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	j := &journal{f: f, path: path, mode: mode, every: every, lastSync: time.Now()}
+	if err := j.append(recMeta, metaPayload(epoch, generation)); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("runtime: sync journal: %w", err)
+	}
+	return j, nil
+}
+
+func metaPayload(epoch, generation uint64) []byte {
+	b := make([]byte, 0, 16)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	return binary.LittleEndian.AppendUint64(b, generation)
+}
+
+func parseMetaPayload(b []byte) (epoch, generation uint64, err error) {
+	if len(b) != 16 {
+		return 0, 0, fmt.Errorf("runtime: journal meta record has %d bytes, want 16", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]), nil
+}
+
+// append writes one record and applies the fsync policy. Callers must not
+// hold master locks that appendAck/appendShed callers also take (the
+// journal lock is innermost).
+func (j *journal) append(typ journalRecType, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(typ, payload)
+}
+
+func (j *journal) appendLocked(typ journalRecType, payload []byte) error {
+	if _, err := j.f.Write(encodeJournalRecord(typ, payload)); err != nil {
+		return fmt.Errorf("runtime: journal append: %w", err)
+	}
+	switch j.mode {
+	case FsyncAlways:
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("runtime: journal sync: %w", err)
+		}
+	case FsyncInterval:
+		if now := time.Now(); now.Sub(j.lastSync) >= j.every {
+			j.lastSync = now
+			if err := j.f.Sync(); err != nil {
+				return fmt.Errorf("runtime: journal sync: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// appendSubmit logs a first-attempt dispatch: the full tuple, so recovery
+// can rebuild and retransmit it.
+func (j *journal) appendSubmit(t *tuple.Tuple) error {
+	b, err := tuple.Marshal(t)
+	if err != nil {
+		return err
+	}
+	return j.append(recSubmit, b)
+}
+
+// appendResend logs a retransmission's new attempt counter.
+func (j *journal) appendResend(id uint64, attempt uint8) error {
+	b := make([]byte, 0, 9)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return j.append(recResend, append(b, attempt))
+}
+
+// appendAck logs a worker acknowledgment.
+func (j *journal) appendAck(id uint64) error {
+	return j.append(recAck, binary.LittleEndian.AppendUint64(make([]byte, 0, 8), id))
+}
+
+// appendShed logs an abandoned tuple; overload marks admission-control
+// shedding (the ShedOverload ledger subset).
+func (j *journal) appendShed(id uint64, overload bool) error {
+	b := make([]byte, 0, 9)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	if overload {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return j.append(recShed, b)
+}
+
+// rotateLocked atomically replaces the journal with a fresh generation:
+// the new file is written beside the old and renamed over it, so a crash
+// at any point leaves either the complete old journal or the complete new
+// one. The checkpointer calls it holding j.mu across both the state
+// snapshot and the rotation, so no append lands in the old generation
+// after the snapshot was taken (it would double-count on recovery).
+func (j *journal) rotateLocked(epoch, generation uint64) error {
+	tmp := j.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("runtime: rotate journal: %w", err)
+	}
+	if _, err := nf.Write(encodeJournalRecord(recMeta, metaPayload(epoch, generation))); err != nil {
+		_ = nf.Close()
+		return fmt.Errorf("runtime: rotate journal: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		_ = nf.Close()
+		return fmt.Errorf("runtime: rotate journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		_ = nf.Close()
+		return fmt.Errorf("runtime: rotate journal: %w", err)
+	}
+	old := j.f
+	j.f = nf
+	_ = old.Close()
+	return nil
+}
+
+// sync forces pending appends to stable storage.
+func (j *journal) sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// close syncs and closes the journal file.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.f.Sync()
+	return j.f.Close()
+}
+
+// journalReplay is the parsed content of one journal generation.
+type journalReplay struct {
+	epoch      uint64
+	generation uint64
+	// submits maps tuple ID → marshaled tuple bytes for attempt-0 records.
+	submits map[uint64][]byte
+	// attempts maps tuple ID → highest attempt seen in resend records.
+	attempts map[uint64]uint8
+	// acked and shed are the IDs released after their submit; a true shed
+	// value marks admission-control (overload) shedding.
+	acked   map[uint64]struct{}
+	shed    map[uint64]bool
+	resends int64
+	// truncated reports whether a torn tail was detected and cut.
+	truncated bool
+}
+
+// replayJournal reads the journal at path, replays its replayable prefix
+// and truncates any torn tail in place. A missing file returns an empty
+// replay (nil error): a fresh start.
+func replayJournal(path string) (*journalReplay, error) {
+	rep := &journalReplay{
+		submits:  make(map[uint64][]byte),
+		attempts: make(map[uint64]uint8),
+		acked:    make(map[uint64]struct{}),
+		shed:     make(map[uint64]bool),
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: open journal for recovery: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	// Count every good record's bytes so a torn tail truncates exactly at
+	// the last intact boundary.
+	good := int64(0)
+	first := true
+	for {
+		typ, payload, err := readJournalRecord(f)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, errTornRecord) {
+			rep.truncated = true
+			if err := f.Truncate(good); err != nil {
+				return nil, fmt.Errorf("runtime: truncate torn journal tail: %w", err)
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			if typ != recMeta {
+				// No meta record: not a journal we wrote. Treat as torn from
+				// the start rather than guessing at its contents.
+				rep.truncated = true
+				if err := f.Truncate(0); err != nil {
+					return nil, fmt.Errorf("runtime: truncate foreign journal: %w", err)
+				}
+				return rep, nil
+			}
+			if rep.epoch, rep.generation, err = parseMetaPayload(payload); err != nil {
+				return nil, err
+			}
+			first = false
+			good += int64(4 + 1 + len(payload) + 4)
+			continue
+		}
+		switch typ {
+		case recSubmit:
+			t, err := tuple.Unmarshal(payload)
+			if err == nil {
+				rep.submits[t.ID] = payload
+			}
+		case recResend:
+			if len(payload) == 9 {
+				id := binary.LittleEndian.Uint64(payload[:8])
+				if payload[8] > rep.attempts[id] {
+					rep.attempts[id] = payload[8]
+				}
+				rep.resends++
+			}
+		case recAck:
+			if len(payload) == 8 {
+				rep.acked[binary.LittleEndian.Uint64(payload)] = struct{}{}
+			}
+		case recShed:
+			if len(payload) == 9 {
+				rep.shed[binary.LittleEndian.Uint64(payload[:8])] = payload[8] != 0
+			}
+		case recMeta:
+			// A second meta record never occurs in a well-formed journal;
+			// ignore defensively.
+		}
+		good += int64(4 + 1 + len(payload) + 4)
+	}
+	return rep, nil
+}

@@ -13,6 +13,7 @@
 package runtime
 
 import (
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -93,6 +94,34 @@ type MasterConfig struct {
 	// ShedOverload) and never blocks the caller. Zero disables admission
 	// control, restoring pure TCP-backpressure blocking.
 	InflightHighWater int
+	// JournalPath enables master crash recovery: every tuple lifecycle
+	// event (submit, retransmit, ack, shed) is appended to a write-ahead
+	// journal at this path, and StartMaster recovers state — ledger
+	// counters, warm routing estimates, the un-acked backlog — from the
+	// journal plus checkpoint of a previous incarnation before listening.
+	// Empty disables journaling (pre-recovery behavior).
+	JournalPath string
+	// CheckpointPath is the state snapshot beside the journal (default
+	// JournalPath + ".ckpt").
+	CheckpointPath string
+	// CheckpointEvery is the period of checkpoint + journal compaction
+	// (default 10 s; < 0 disables periodic checkpoints — one is still
+	// written at recovery and on Close).
+	CheckpointEvery time.Duration
+	// Fsync selects the journal's flush-to-stable-storage policy (default
+	// FsyncInterval; see FsyncMode).
+	Fsync FsyncMode
+	// FsyncEvery is the FsyncInterval flush period (default 100 ms).
+	FsyncEvery time.Duration
+	// HelloTimeout bounds the join handshake: a connection that has not
+	// completed hello/deploy/start within it is closed, so a half-open
+	// TCP connect cannot pin a registration goroutine (default 5 s;
+	// < 0 disables the deadline).
+	HelloTimeout time.Duration
+	// MaxPendingHandshakes caps concurrent connections inside the join
+	// handshake; excess connects are refused immediately (default 32;
+	// < 0 removes the cap).
+	MaxPendingHandshakes int
 	// Seed drives the router's weighted-random draws (default 1).
 	Seed int64
 	// Logger defaults to slog.Default.
@@ -134,6 +163,23 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	}
 	if c.BreakerThreshold > 0 && c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.JournalPath != "" {
+		if c.CheckpointPath == "" {
+			c.CheckpointPath = c.JournalPath + ".ckpt"
+		}
+		if c.CheckpointEvery == 0 {
+			c.CheckpointEvery = 10 * time.Second
+		}
+		if c.FsyncEvery == 0 {
+			c.FsyncEvery = 100 * time.Millisecond
+		}
+	}
+	if c.HelloTimeout == 0 {
+		c.HelloTimeout = 5 * time.Second
+	}
+	if c.MaxPendingHandshakes == 0 {
+		c.MaxPendingHandshakes = 32
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -210,6 +256,22 @@ type Master struct {
 	shedOverload  int64
 	workerDropped int64
 	evicted       int64
+	readopted     int64
+	nextSeq       uint64
+
+	// Crash recovery (immutable after StartMaster returns, except
+	// generation which only the single-threaded checkpointer advances).
+	epoch      uint64
+	generation uint64
+	journal    *journal
+	// recoveredAcked is the cross-epoch sink dedup set: tuple IDs the
+	// previous incarnation acknowledged whose straggler results must be
+	// dropped, never replayed to the sink. Read-only after recovery.
+	recoveredAcked map[uint64]struct{}
+	recovered      int64
+
+	// handshakes caps concurrent join handshakes (nil = uncapped).
+	handshakes chan struct{}
 
 	start time.Time
 	stop  chan struct{}
@@ -268,8 +330,18 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 		reorder:  make(map[uint64]*pendingResult),
 		rcap:     rcap,
 		inflight: newInflightTable(),
+		epoch:    1,
 		start:    time.Now(),
 		stop:     make(chan struct{}),
+	}
+	if cfg.MaxPendingHandshakes > 0 {
+		m.handshakes = make(chan struct{}, cfg.MaxPendingHandshakes)
+	}
+	if cfg.JournalPath != "" {
+		if err := m.initRecovery(); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
 	}
 	m.wg.Add(2)
 	go m.acceptLoop()
@@ -278,7 +350,102 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 		m.wg.Add(1)
 		go m.monitorLoop()
 	}
+	if m.journal != nil && cfg.CheckpointEvery > 0 {
+		m.wg.Add(1)
+		go m.checkpointLoop()
+	}
 	return m, nil
+}
+
+// initRecovery rebuilds the previous incarnation's state from checkpoint
+// plus journal, persists a fresh checkpoint under the new epoch, and opens
+// a new journal generation. It runs before the listener admits anyone, so
+// re-joining workers always see the final epoch and warm estimates.
+func (m *Master) initRecovery() error {
+	rs, err := recoverState(m.cfg.JournalPath, m.cfg.CheckpointPath)
+	if err != nil {
+		return err
+	}
+	m.epoch = rs.prevEpoch + 1
+	m.generation = rs.generation + 1
+	m.recoveredAcked = rs.acked
+	c := rs.counters
+	m.submitted, m.acked, m.retransmitted = c.Submitted, c.Acked, c.Retransmitted
+	m.shed, m.shedOverload = c.Shed, c.ShedOverload
+	m.workerDropped, m.evicted, m.readopted = c.WorkerDropped, c.Evicted, c.Readopted
+	m.arrived, m.played, m.skipped = c.Arrived, c.Played, c.Skipped
+	m.nextPlay, m.nextSeq = c.NextPlay, c.NextSeq
+	if len(rs.estimates) > 0 {
+		m.router.SeedEstimates(rs.estimates)
+	}
+	if rs.journalTruncated {
+		m.cfg.Logger.Warn("swing master: truncated torn journal tail",
+			"path", m.cfg.JournalPath)
+	}
+	// The un-acked backlog re-enters the in-flight table under a pseudo
+	// worker named for the dead incarnation; once a worker joins (or the
+	// retry deadline passes) it flows through the normal retransmit path,
+	// keeping the ledger invariant across the crash.
+	if len(rs.pending) > 0 {
+		now := time.Now()
+		from := fmt.Sprintf("crashed-epoch-%d", rs.prevEpoch)
+		for id, e := range rs.pending {
+			e.worker = from
+			e.deadline = now.Add(m.cfg.RetryDeadline)
+			e.sentAt = now
+			m.inflight.track(id, e)
+		}
+		m.recovered = int64(len(rs.pending))
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.resubmitRecovered(from)
+		}()
+	}
+	st := m.snapshotState()
+	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
+		return err
+	}
+	j, err := openJournal(m.cfg.JournalPath, m.epoch, m.generation, m.cfg.Fsync, m.cfg.FsyncEvery)
+	if err != nil {
+		return err
+	}
+	m.journal = j
+	if rs.prevEpoch > 0 {
+		m.cfg.Logger.Info("swing master: recovered from crash",
+			"epoch", m.epoch, "backlog", m.recovered,
+			"submitted", c.Submitted, "acked", c.Acked,
+			"estimates", len(rs.estimates))
+	}
+	return nil
+}
+
+// resubmitRecovered waits for the first worker of the new incarnation,
+// then funnels the recovered backlog through the normal retransmit path.
+// If no worker joins before the backlog's fresh retry deadline,
+// retransmitAll sheds it there — accounted, never silently lost.
+func (m *Master) resubmitRecovered(from string) {
+	deadline := time.Now().Add(m.cfg.RetryDeadline)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		m.workersMu.Lock()
+		n := len(m.workers)
+		m.workersMu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-ticker.C:
+		case <-m.stop:
+			// Backlog stays in the in-flight table; the final checkpoint
+			// persists it as pending for the next incarnation.
+			return
+		}
+	}
+	if orphans := m.inflight.takeWorker(from); len(orphans) > 0 {
+		m.retransmitAll(from, orphans)
+	}
 }
 
 // Addr returns the master's listen address for workers to dial.
@@ -333,6 +500,15 @@ type MasterStats struct {
 	// Evicted counts hung workers the failure detector removed: their
 	// connection was alive but silent past DeadAfter.
 	Evicted int64
+	// Epoch is the master incarnation number: 1 for a fresh start, one
+	// more than the recovered epoch after each crash-recovery restart.
+	Epoch uint64
+	// Readopted counts workers from a previous incarnation re-admitted
+	// after a master restart (their Hello carried an older epoch).
+	Readopted int64
+	// Recovered counts un-acked backlog tuples rebuilt from the journal
+	// and checkpoint at startup.
+	Recovered int64
 	// InFlight is the current routed-but-unacknowledged tuple count.
 	InFlight int
 	// Workers is the per-worker liveness view, sorted by ID.
@@ -380,6 +556,9 @@ func (m *Master) Stats() MasterStats {
 		ShedOverload:  m.shedOverload,
 		WorkerDropped: m.workerDropped,
 		Evicted:       m.evicted,
+		Epoch:         m.epoch,
+		Readopted:     m.readopted,
+		Recovered:     m.recovered,
 		InFlight:      m.inflight.size(),
 	}
 	now := time.Now()
@@ -448,25 +627,71 @@ func (m *Master) acceptLoop() {
 	}
 }
 
-// handleWorker performs the join workflow (paper §IV-B steps 2-3):
-// receive Hello, deploy the operator units, start, then serve the
-// connection until it breaks.
+// handleWorker admits one connection through the bounded join handshake,
+// then serves it until it breaks.
 func (m *Master) handleWorker(conn net.Conn) {
+	if m.handshakes != nil {
+		select {
+		case m.handshakes <- struct{}{}:
+		default:
+			// The pending-handshake cap is full: refuse immediately rather
+			// than pin another goroutine on a possibly half-open connection.
+			m.cfg.Logger.Warn("swing master: handshake cap reached, refusing connection",
+				"cap", cap(m.handshakes))
+			_ = conn.Close()
+			return
+		}
+	}
+	wc, ok := m.admitWorker(conn)
+	if m.handshakes != nil {
+		<-m.handshakes
+	}
+	if !ok {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.writeLoop(wc)
+	}()
+	m.readLoop(wc) // returns when the connection breaks
+	m.dropWorker(wc)
+}
+
+// admitWorker performs the join workflow (paper §IV-B steps 2-3) under
+// the hello deadline: receive Hello, deploy the operator units, start,
+// and register the worker. A connection that stalls anywhere in the
+// handshake is closed when the deadline fires, so half-open connects
+// cannot pin registration goroutines.
+func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
+	if m.cfg.HelloTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(m.cfg.HelloTimeout))
+	}
 	typ, payload, err := wire.ReadFrame(conn)
 	if err != nil || typ != wire.FrameHello {
 		_ = conn.Close()
-		return
+		return nil, false
 	}
 	var hello wire.Hello
 	if err := wire.DecodeJSON(payload, &hello); err != nil || hello.DeviceID == "" {
 		_ = conn.Close()
-		return
+		return nil, false
 	}
 	if hello.App != m.cfg.App.Name() {
 		m.cfg.Logger.Warn("swing master: app mismatch", "worker", hello.DeviceID, "app", hello.App)
 		_ = conn.Close()
-		return
+		return nil, false
 	}
+	if m.journal != nil && hello.Epoch > m.epoch {
+		// The worker was joined to a later incarnation than this one — we
+		// are the stale master (a zombie that survived its replacement).
+		// Refusing beats adopting a worker the real master owns.
+		m.cfg.Logger.Warn("swing master: refusing worker from a newer incarnation",
+			"worker", hello.DeviceID, "workerEpoch", hello.Epoch, "epoch", m.epoch)
+		_ = conn.Close()
+		return nil, false
+	}
+	readopted := hello.Epoch != 0 && hello.Epoch < m.epoch
 	wc := &workerConn{
 		id:        hello.DeviceID,
 		conn:      conn,
@@ -480,20 +705,25 @@ func (m *Master) handleWorker(conn net.Conn) {
 	}
 
 	// Deploy: every worker activates the full operator pipeline (the
-	// vertical-slice deployment of Figure 3).
-	deploy := wire.Deploy{Units: m.cfg.App.Graph.Operators(), ReportEveryMillis: 1000}
+	// vertical-slice deployment of Figure 3). The epoch tells a
+	// re-adopted worker which incarnation owns it now.
+	deploy := wire.Deploy{
+		Units:             m.cfg.App.Graph.Operators(),
+		ReportEveryMillis: 1000,
+		Epoch:             m.epoch,
+	}
 	db, err := wire.EncodeJSON(deploy)
 	if err != nil {
 		_ = conn.Close()
-		return
+		return nil, false
 	}
 	if err := wire.WriteFrame(conn, wire.FrameDeploy, db); err != nil {
 		_ = conn.Close()
-		return
+		return nil, false
 	}
 	if err := wire.WriteFrame(conn, wire.FrameStart, nil); err != nil {
 		_ = conn.Close()
-		return
+		return nil, false
 	}
 
 	m.workersMu.Lock()
@@ -501,10 +731,14 @@ func (m *Master) handleWorker(conn net.Conn) {
 		m.workersMu.Unlock()
 		m.cfg.Logger.Warn("swing master: duplicate worker id", "worker", wc.id)
 		_ = conn.Close()
-		return
+		return nil, false
 	}
 	m.workers[wc.id] = wc
 	m.workersMu.Unlock()
+
+	if m.cfg.HelloTimeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
 
 	m.routerMu.Lock()
 	err = m.router.AddDownstream(wc.id)
@@ -512,15 +746,16 @@ func (m *Master) handleWorker(conn net.Conn) {
 	if err != nil {
 		m.cfg.Logger.Warn("swing master: register worker", "worker", wc.id, "err", err)
 	}
-	m.cfg.Logger.Info("swing master: worker joined", "worker", wc.id)
-
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		m.writeLoop(wc)
-	}()
-	m.readLoop(wc) // returns when the connection breaks
-	m.dropWorker(wc)
+	if readopted {
+		m.subMu.Lock()
+		m.readopted++
+		m.subMu.Unlock()
+		m.cfg.Logger.Info("swing master: re-adopted worker from previous incarnation",
+			"worker", wc.id, "workerEpoch", hello.Epoch, "epoch", m.epoch)
+	} else {
+		m.cfg.Logger.Info("swing master: worker joined", "worker", wc.id)
+	}
+	return wc, true
 }
 
 func (m *Master) writeLoop(wc *workerConn) {
@@ -729,6 +964,7 @@ func (m *Master) retransmitAll(from string, orphans []*inflightEntry) {
 			m.subMu.Lock()
 			m.shed++
 			m.subMu.Unlock()
+			m.journalShed(e.t.ID, false)
 			m.cfg.Logger.Info("swing master: shed tuple",
 				"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", from, "reason", reason)
 		}
@@ -792,6 +1028,7 @@ func (m *Master) admissionShed() {
 	m.shedOverload += int64(len(victims))
 	m.subMu.Unlock()
 	for _, e := range victims {
+		m.journalShed(e.t.ID, true)
 		m.cfg.Logger.Info("swing master: shed tuple",
 			"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", e.worker, "reason", "overload")
 	}
@@ -809,12 +1046,23 @@ func (m *Master) routerOverloaded() bool {
 // separately so retried traffic cannot inflate the input-rate measurement
 // that drives Worker Selection.
 func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error {
-	if attempt == 0 && m.cfg.InflightHighWater > 0 {
-		m.admissionShed()
+	if attempt == 0 {
+		// nextSeq is the source-resumption high-water mark: every sequence
+		// number handed to Submit is burned, successful or not, so a
+		// restarted source never reuses one.
+		m.subMu.Lock()
+		if t.SeqNo >= m.nextSeq {
+			m.nextSeq = t.SeqNo + 1
+		}
+		m.subMu.Unlock()
+		if m.cfg.InflightHighWater > 0 {
+			m.admissionShed()
+		}
 	}
 	// refused collects workers whose breaker rejected this tuple, so
 	// probing re-draws steer around them; RouteAvoiding's weighted mode
 	// ignores avoid by design, hence the bounded-retry loop.
+	journaled := false
 	var refused map[string]bool
 	for tries := 0; ; tries++ {
 		select {
@@ -865,6 +1113,13 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		if err != nil {
 			return fmt.Errorf("runtime: submit: %w", err)
 		}
+		// Journal before tracking or enqueueing: once the tuple can reach
+		// a worker, the write-ahead record must already exist, or a crash
+		// here would lose the tuple silently instead of retransmitting it.
+		if m.journal != nil && !journaled {
+			journaled = true
+			m.journalDispatch(t, attempt)
+		}
 		// Track before enqueueing so the tuple is never in a send queue
 		// without an owner; an ack arriving immediately after the send
 		// always finds the entry.
@@ -899,6 +1154,7 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 					m.shed++
 					m.shedOverload++
 					m.subMu.Unlock()
+					m.journalShed(t.ID, true)
 					m.cfg.Logger.Info("swing master: shed tuple",
 						"tuple", t.ID, "seq", t.SeqNo, "reason", "all queues full")
 					return nil
@@ -946,6 +1202,138 @@ func (m *Master) noteDispatched(wc *workerConn, attempt uint8) {
 	m.subMu.Unlock()
 }
 
+// journalDispatch logs a dispatch to the write-ahead journal: the full
+// tuple on the first attempt, an id+attempt resend record after. Append
+// failures are logged, not fatal — the master keeps serving with recovery
+// degraded rather than stalling the stream on a sick disk.
+func (m *Master) journalDispatch(t *tuple.Tuple, attempt uint8) {
+	var err error
+	if attempt == 0 {
+		err = m.journal.appendSubmit(t)
+	} else {
+		err = m.journal.appendResend(t.ID, attempt)
+	}
+	if err != nil {
+		m.cfg.Logger.Warn("swing master: journal append", "err", err)
+	}
+}
+
+// journalAck logs a worker acknowledgment (no-op without a journal).
+func (m *Master) journalAck(id uint64) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.appendAck(id); err != nil {
+		m.cfg.Logger.Warn("swing master: journal append", "err", err)
+	}
+}
+
+// journalShed logs an abandoned tuple (no-op without a journal).
+func (m *Master) journalShed(id uint64, overload bool) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.appendShed(id, overload); err != nil {
+		m.cfg.Logger.Warn("swing master: journal append", "err", err)
+	}
+}
+
+// snapshotState captures a checkpoint body from the live counters. The
+// caller must either hold the journal lock (checkpointNow) or otherwise
+// exclude journal appends (initRecovery, Close after goroutines drain) so
+// the snapshot and the journal generation stay consistent.
+func (m *Master) snapshotState() *checkpointState {
+	st := &checkpointState{
+		Version:    checkpointVersion,
+		Epoch:      m.epoch,
+		Generation: m.generation,
+	}
+	m.subMu.Lock()
+	st.Submitted, st.Acked, st.Retransmitted = m.submitted, m.acked, m.retransmitted
+	st.Shed, st.ShedOverload = m.shed, m.shedOverload
+	st.WorkerDropped, st.Evicted, st.Readopted = m.workerDropped, m.evicted, m.readopted
+	st.NextSeq = m.nextSeq
+	m.subMu.Unlock()
+	m.sinkMu.Lock()
+	st.Arrived, st.Played, st.Skipped, st.NextPlay = m.arrived, m.played, m.skipped, m.nextPlay
+	m.sinkMu.Unlock()
+	m.routerMu.Lock()
+	for id, est := range m.router.Estimates() {
+		st.Estimates = append(st.Estimates, ckptEstimate{
+			ID:              id,
+			LatencyNanos:    int64(est.Latency),
+			ProcessingNanos: int64(est.Processing),
+			Samples:         est.Samples,
+		})
+	}
+	m.routerMu.Unlock()
+	sort.Slice(st.Estimates, func(i, j int) bool { return st.Estimates[i].ID < st.Estimates[j].ID })
+	for _, e := range m.inflight.snapshotEntries() {
+		b, err := tuple.Marshal(e.t)
+		if err != nil {
+			continue
+		}
+		st.Pending = append(st.Pending, ckptPending{
+			Tuple:   base64.StdEncoding.EncodeToString(b),
+			Attempt: e.attempt,
+		})
+	}
+	return st
+}
+
+// checkpointNow snapshots state to the checkpoint file and rotates the
+// journal to the next generation. The journal lock is held across both so
+// no lifecycle event lands in the old generation after the snapshot —
+// such an event would be double-counted on recovery.
+func (m *Master) checkpointNow() error {
+	if m.journal == nil {
+		return nil
+	}
+	m.journal.mu.Lock()
+	defer m.journal.mu.Unlock()
+	gen := m.generation + 1
+	st := m.snapshotState()
+	st.Generation = gen
+	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
+		return err
+	}
+	if err := m.journal.rotateLocked(m.epoch, gen); err != nil {
+		return err
+	}
+	m.generation = gen
+	return nil
+}
+
+// checkpointLoop periodically compacts the journal into a checkpoint.
+func (m *Master) checkpointLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := m.checkpointNow(); err != nil {
+				m.cfg.Logger.Warn("swing master: checkpoint", "err", err)
+			}
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Epoch returns this incarnation's number: 1 for a fresh master, one more
+// than the recovered epoch after a crash-recovery restart.
+func (m *Master) Epoch() uint64 { return m.epoch }
+
+// NextSeq returns the first unused source sequence number. A restarted
+// master's frame source should resume from here so recovered and new
+// tuples never share a sequence slot in the reorder buffer.
+func (m *Master) NextSeq() uint64 {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	return m.nextSeq
+}
+
 // handleResult is the sink path: release the in-flight entry, fold the
 // latency feedback into the router, then reorder for playback (§IV-C
 // "Reordering Service"). Ack-only frames (no tuple bytes) stop here: the
@@ -956,10 +1344,20 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	if err != nil {
 		return
 	}
+	if _, ghost := m.recoveredAcked[meta.TupleID]; ghost {
+		// Straggler from a previous incarnation: the old master already
+		// acked (and possibly played) this tuple before it crashed.
+		// Dropping the duplicate keeps the sink at-most-once across epochs.
+		return
+	}
 	if m.inflight.ack(meta.TupleID) {
 		m.subMu.Lock()
 		m.acked++
 		m.subMu.Unlock()
+		// Journal the ack before the result can reach the sink: a crash
+		// between the two drops the frame (at-most-once) rather than
+		// replaying an already-played frame after restart.
+		m.journalAck(meta.TupleID)
 	}
 	if meta.Dropped {
 		m.subMu.Lock()
@@ -1044,8 +1442,9 @@ func (m *Master) deliver(r Result) {
 	}
 }
 
-// Close stops the master: workers receive Stop, connections close, and
-// all goroutines drain.
+// Close stops the master: workers receive Stop, connections close, all
+// goroutines drain, and — when journaling — a final checkpoint folds the
+// quiesced state so the next incarnation restarts without journal replay.
 func (m *Master) Close() error {
 	m.once.Do(func() {
 		close(m.stop)
@@ -1063,6 +1462,38 @@ func (m *Master) Close() error {
 			_ = wc.conn.Close()
 		}
 		m.wg.Wait()
+		if m.journal != nil {
+			if err := m.checkpointNow(); err != nil {
+				m.cfg.Logger.Warn("swing master: final checkpoint", "err", err)
+			}
+			_ = m.journal.close()
+		}
 	})
 	return nil
+}
+
+// crash tears the master down the way a process kill would: the listener
+// and connections close and goroutines drain, but no Stop frames are sent
+// and no final checkpoint is written. Recovery tests restart from exactly
+// the on-disk state an abrupt termination leaves behind.
+func (m *Master) crash() {
+	m.once.Do(func() {
+		close(m.stop)
+		_ = m.ln.Close()
+		m.workersMu.Lock()
+		conns := make([]*workerConn, 0, len(m.workers))
+		for _, wc := range m.workers {
+			conns = append(conns, wc)
+		}
+		m.workersMu.Unlock()
+		for _, wc := range conns {
+			_ = wc.conn.Close()
+		}
+		m.wg.Wait()
+		if m.journal != nil {
+			// Close without checkpointing; the already-written bytes
+			// survive the same way they would a SIGKILL.
+			_ = m.journal.close()
+		}
+	})
 }

@@ -87,6 +87,10 @@ type workerSession struct {
 	conn        net.Conn
 	chain       []graph.Processor
 	reportEvery time.Duration
+	// epoch is the master incarnation that deployed this session; a change
+	// between sessions means the worker was re-adopted by a restarted
+	// master, not merely reconnected to the same one.
+	epoch uint64
 
 	queue   chan *tuple.Tuple
 	dead    chan struct{} // closed when the read loop exits
@@ -107,7 +111,8 @@ type Worker struct {
 	processed  int64
 	dropped    int64
 	reconnects int64
-	termErr    error // terminal failure (e.g. reconnect budget exhausted)
+	lastEpoch  uint64 // master incarnation of the current session
+	termErr    error  // terminal failure (e.g. reconnect budget exhausted)
 
 	start time.Time
 	stop  chan struct{}
@@ -127,7 +132,7 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.DeviceID == "" {
 		return nil, errors.New("runtime: empty device id")
 	}
-	s, err := dialSession(cfg)
+	s, err := dialSession(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -138,14 +143,17 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	w.lastEpoch = s.epoch
 	go w.run(s)
 	cfg.Logger.Info("swing worker: joined", "device", cfg.DeviceID, "master", cfg.MasterAddr)
 	return w, nil
 }
 
 // dialSession performs the join workflow (paper §IV-B steps 2-3): dial,
-// hello, receive the deployment, acknowledge start.
-func dialSession(cfg WorkerConfig) (*workerSession, error) {
+// hello, receive the deployment, acknowledge start. lastEpoch is the
+// master incarnation the worker was last joined to (0 on the first join);
+// echoing it lets a restarted master count the re-adoption.
+func dialSession(cfg WorkerConfig, lastEpoch uint64) (*workerSession, error) {
 	conn, err := cfg.Transport.Dial(cfg.MasterAddr)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: join master: %w", err)
@@ -154,6 +162,7 @@ func dialSession(cfg WorkerConfig) (*workerSession, error) {
 		DeviceID:    cfg.DeviceID,
 		App:         cfg.App.Name(),
 		SpeedFactor: cfg.SpeedFactor,
+		Epoch:       lastEpoch,
 	})
 	if err != nil {
 		_ = conn.Close()
@@ -189,6 +198,7 @@ func dialSession(cfg WorkerConfig) (*workerSession, error) {
 		conn:        conn,
 		chain:       chain,
 		reportEvery: time.Duration(deploy.ReportEveryMillis) * time.Millisecond,
+		epoch:       deploy.Epoch,
 		queue:       make(chan *tuple.Tuple, cfg.QueueCap),
 		dead:        make(chan struct{}),
 	}, nil
@@ -256,7 +266,7 @@ func (w *Worker) reconnect(rng *rand.Rand) (*workerSession, bool) {
 		case <-w.stop:
 			return nil, false
 		}
-		s, err := dialSession(w.cfg)
+		s, err := dialSession(w.cfg, w.MasterEpoch())
 		if err == nil {
 			w.mu.Lock()
 			w.conn = s.conn
@@ -268,9 +278,16 @@ func (w *Worker) reconnect(rng *rand.Rand) (*workerSession, bool) {
 			}
 			w.statsMu.Lock()
 			w.reconnects++
+			prevEpoch := w.lastEpoch
+			w.lastEpoch = s.epoch
 			w.statsMu.Unlock()
-			w.cfg.Logger.Info("swing worker: rejoined",
-				"device", w.cfg.DeviceID, "master", w.cfg.MasterAddr, "attempt", attempt)
+			if s.epoch != prevEpoch && prevEpoch != 0 {
+				w.cfg.Logger.Info("swing worker: re-adopted by new master incarnation",
+					"device", w.cfg.DeviceID, "prevEpoch", prevEpoch, "epoch", s.epoch)
+			} else {
+				w.cfg.Logger.Info("swing worker: rejoined",
+					"device", w.cfg.DeviceID, "master", w.cfg.MasterAddr, "attempt", attempt)
+			}
 			return s, true
 		}
 		w.cfg.Logger.Warn("swing worker: reconnect failed",
@@ -505,6 +522,15 @@ func (w *Worker) Reconnects() int64 {
 	w.statsMu.Lock()
 	defer w.statsMu.Unlock()
 	return w.reconnects
+}
+
+// MasterEpoch reports the incarnation number of the master that deployed
+// the current session; it advances when a reconnect lands on a restarted
+// master (re-adoption) rather than the original one.
+func (w *Worker) MasterEpoch() uint64 {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.lastEpoch
 }
 
 // Close leaves the swarm: the connection closes (the master observes an

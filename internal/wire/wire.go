@@ -135,6 +135,10 @@ type Hello struct {
 	// SpeedFactor optionally declares an artificial slowdown for
 	// heterogeneity experiments on homogeneous hosts (1 = native).
 	SpeedFactor float64 `json:"speedFactor,omitempty"`
+	// Epoch is the last master incarnation this worker was joined to
+	// (0 = never joined). A reconnecting worker echoes it so a restarted
+	// master can tell a re-adoption from a fresh join.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Deploy assigns function units to the worker.
@@ -143,6 +147,11 @@ type Deploy struct {
 	Units []string `json:"units"`
 	// ReportEveryMillis sets the stats reporting period.
 	ReportEveryMillis int64 `json:"reportEveryMillis,omitempty"`
+	// Epoch is the master's incarnation number (1 for a fresh master,
+	// incremented on each crash-recovery restart). Workers remember it and
+	// echo it in their next Hello; a change tells a reconnecting worker it
+	// is being re-adopted by a new incarnation.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ResultMeta prefixes a FrameResult payload (before the tuple bytes).

@@ -18,3 +18,11 @@ go test -race ./...
 # reconnect, heartbeat eviction, breakers, fault injection) are
 # timing-sensitive; run them a second time under the race detector.
 go test -race -count=1 ./internal/runtime/... ./internal/transport/...
+# Short fuzz smoke over the two on-disk/on-wire codecs: the frame codec
+# that fronts every connection and the journal record codec that recovery
+# replays from whatever a crash left behind. The checked-in seed corpus
+# always runs; FUZZ_SECONDS (default 5) of coverage-guided input rides on
+# top. One -fuzz target per invocation is a `go test` restriction.
+FUZZ_SECONDS="${FUZZ_SECONDS:-5}"
+go test -run '^$' -fuzz 'FuzzFrameCodec' -fuzztime "${FUZZ_SECONDS}s" ./internal/wire/
+go test -run '^$' -fuzz 'FuzzJournalRecord' -fuzztime "${FUZZ_SECONDS}s" ./internal/runtime/

@@ -1,14 +1,25 @@
 #!/usr/bin/env sh
-# Seeded chaos soak: three fault-injected workers (frame drops, per-frame
-# delays, periodic link breaks with reconnection) under the full liveness
-# layer — heartbeats, eviction, breakers, admission control — for
-# SOAK_SECONDS (default 60). The test asserts the fault-tolerance ledger
-# invariant (Acked + Shed + InFlight == Submitted) at quiescence and that
-# every goroutine drains after shutdown (no leaks). All faults are driven
-# by fixed seeds, so a failure replays identically.
+# Seeded chaos soaks, each SOAK_SECONDS long (default 60):
+#
+#   1. TestChaosSoak — three fault-injected workers (frame drops,
+#      per-frame delays, periodic link breaks with reconnection) under the
+#      full liveness layer: heartbeats, eviction, breakers, admission
+#      control.
+#   2. TestMasterKillSoak — the master is repeatedly crashed at seeded
+#      intervals and restarted from its write-ahead journal and periodic
+#      checkpoints while reconnecting workers stream on; every incarnation
+#      must re-adopt the swarm and drain the recovered backlog.
+#
+# Both assert the fault-tolerance ledger invariant
+# (Acked + Shed + InFlight == Submitted) at quiescence — cumulative across
+# master incarnations in the kill soak — plus at-most-once delivery per
+# tuple and that every goroutine drains after shutdown (no leaks). All
+# faults and kill times are driven by fixed seeds, so a failure replays
+# identically.
 set -eu
 cd "$(dirname "$0")/.."
 
 SOAK_SECONDS="${SOAK_SECONDS:-60}"
 SWING_SOAK=1 SWING_SOAK_SECONDS="$SOAK_SECONDS" \
-    go test -race -run TestChaosSoak -v -timeout "$((SOAK_SECONDS + 120))s" ./internal/runtime/
+    go test -race -run 'TestChaosSoak|TestMasterKillSoak' -v \
+    -timeout "$((2 * SOAK_SECONDS + 240))s" ./internal/runtime/

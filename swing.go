@@ -282,8 +282,31 @@ type MasterStats = runtime.MasterStats
 type WorkerStatus = runtime.WorkerStatus
 
 // StartMaster launches a live master that accepts workers and routes
-// submitted tuples.
+// submitted tuples. With MasterConfig.JournalPath set it first recovers
+// the previous incarnation's state — ledger counters, warm routing
+// estimates, and the un-acked backlog — from the write-ahead journal and
+// checkpoint, then listens under a new epoch so reconnecting workers are
+// re-adopted.
 func StartMaster(cfg MasterConfig) (*Master, error) { return runtime.StartMaster(cfg) }
+
+// FsyncMode selects how aggressively the master's write-ahead journal is
+// flushed to stable storage (the -fsync flag of swingd).
+type FsyncMode = runtime.FsyncMode
+
+// Journal fsync policies.
+const (
+	// FsyncInterval syncs at most once per MasterConfig.FsyncEvery
+	// (default): bounded loss window on power failure, negligible cost.
+	FsyncInterval = runtime.FsyncInterval
+	// FsyncAlways syncs after every append: zero loss window.
+	FsyncAlways = runtime.FsyncAlways
+	// FsyncNever leaves flushing to the OS.
+	FsyncNever = runtime.FsyncNever
+)
+
+// ParseFsyncMode resolves an fsync policy name ("always", "interval",
+// "never").
+func ParseFsyncMode(s string) (FsyncMode, error) { return runtime.ParseFsyncMode(s) }
 
 // StartWorker joins a live swarm as a worker device.
 func StartWorker(cfg WorkerConfig) (*Worker, error) { return runtime.StartWorker(cfg) }
@@ -339,4 +362,12 @@ func Announce(target string, ann Announcement, period time.Duration) (*Announcer
 // listen address, or the timeout expires.
 func Discover(listenAddr, app string, timeout time.Duration) (Announcement, error) {
 	return discovery.Listen(listenAddr, app, timeout)
+}
+
+// DiscoverSince is Discover filtered by master incarnation: beacons with
+// an epoch below minEpoch are ignored, so a worker re-discovering after a
+// master crash cannot be steered back to the dead incarnation by stale
+// datagrams.
+func DiscoverSince(listenAddr, app string, minEpoch uint64, timeout time.Duration) (Announcement, error) {
+	return discovery.ListenSince(listenAddr, app, minEpoch, timeout)
 }
