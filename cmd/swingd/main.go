@@ -43,6 +43,8 @@ type masterOpts struct {
 	breakerCooldown          time.Duration
 	breakerAckTimeout        time.Duration
 	inflightHighWater        int
+	parallelism              int
+	linger                   time.Duration
 	statusEvery              time.Duration
 	journal                  string
 	checkpointEvery          time.Duration
@@ -82,6 +84,10 @@ func run(args []string) error {
 		brAckTO   = fs.Duration("breaker-ack-timeout", 0, "master: unacked-tuple age counted as a breaker failure (0 = drops alone drive breakers)")
 		inflHW    = fs.Int("inflight-high-water", 0, "master: in-flight tuples beyond which Submit sheds oldest-first instead of blocking (0 = block on backpressure)")
 		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
+
+		// Dataplane tuning (master; deployed to every worker).
+		parallel = fs.Int("parallelism", 0, "master: worker processor-pool width deployed to every worker (0 = worker GOMAXPROCS)")
+		linger   = fs.Duration("linger", 0, "master: worker ack/result batching window; a result may wait up to this long to share a frame (0 = opportunistic batching only)")
 
 		// Crash recovery (master).
 		journalP = fs.String("journal", "", "master: write-ahead journal path enabling crash recovery (empty = off); a restart with the same path resumes the previous incarnation")
@@ -126,8 +132,9 @@ func run(args []string) error {
 			retryDeadline: *retryDL, maxAttempts: *maxTries,
 			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
 			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
-			inflightHighWater: *inflHW, statusEvery: *statusEv,
-			journal: *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
+			inflightHighWater: *inflHW, parallelism: *parallel, linger: *linger,
+			statusEvery: *statusEv,
+			journal:     *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
 			transport: faults,
 		})
 	case "worker":
@@ -187,6 +194,8 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		BreakerCooldown:   opt.breakerCooldown,
 		BreakerAckTimeout: opt.breakerAckTimeout,
 		InflightHighWater: opt.inflightHighWater,
+		Parallelism:       opt.parallelism,
+		AckLinger:         opt.linger,
 		JournalPath:       opt.journal,
 		CheckpointEvery:   opt.checkpointEvery,
 		Fsync:             fsync,

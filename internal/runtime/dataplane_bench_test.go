@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/transport"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// benchApp is a passthrough pipeline (source → echo → sink): the operator
+// emits its input tuple unchanged, so the benchmark measures framework
+// dataplane overhead — framing, queues, acks, reordering — rather than
+// app kernel cost.
+func benchApp(b *testing.B) *apps.App {
+	b.Helper()
+	g, err := graph.NewBuilder("benchapp").
+		Source("src").
+		Operator("echo",
+			graph.WithWork(0.001),
+			graph.WithProcessor(func() graph.Processor {
+				return graph.ProcessorFunc(func(em graph.Emitter, t *tuple.Tuple) error {
+					return em.Emit(t)
+				})
+			})).
+		Sink("sink").
+		Chain("src", "echo", "sink").
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &apps.App{Graph: g, FrameBytes: 6000, TargetFPS: 24, TotalWork: 0.001}
+}
+
+// benchTuples pre-builds n tuples sharing one payload slice, so tuple
+// construction does not pollute the measured dataplane allocations.
+func benchTuples(n int, firstSeq uint64) []*tuple.Tuple {
+	payload := make([]byte, 6000)
+	out := make([]*tuple.Tuple, n)
+	for i := range out {
+		t := tuple.New(firstSeq+uint64(i), firstSeq+uint64(i))
+		t.Set("frame", tuple.Bytes(payload))
+		out[i] = t
+	}
+	return out
+}
+
+// BenchmarkLiveRoundTrip measures the full live dataplane: Submit on the
+// master, one worker processing over the in-memory transport, the ack
+// releasing the in-flight entry, and in-order sink delivery. allocs/op is
+// the per-tuple framework overhead the LRS latency estimates ride on.
+func BenchmarkLiveRoundTrip(b *testing.B) {
+	app := benchApp(b)
+	mem := transport.NewMem()
+	var played atomic.Int64
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "bench-master",
+		Transport:  mem,
+		OutboxCap:  256,
+		OnResult:   func(Result) { played.Add(1) },
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "bench-worker",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		QueueCap:   256,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = w.Close() }()
+
+	const warm = 32
+	for _, t := range benchTuples(warm, 0) {
+		if err := m.Submit(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for played.Load() < warm {
+		goruntime.Gosched()
+	}
+
+	tuples := benchTuples(b.N, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, t := range tuples {
+		if err := m.Submit(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Wait for every submitted tuple's ack so the measured window covers
+	// the full round trip, not just the enqueue.
+	want := int64(warm + b.N)
+	for played.Load() < want {
+		goruntime.Gosched()
+	}
+	b.StopTimer()
+}
+
+// BenchmarkJournalAppendFsyncAlways measures the Submit-path journal cost
+// under the strictest durability mode, with concurrent appenders — the
+// case group commit exists for: many Submits coalescing into one
+// write+fsync.
+func BenchmarkJournalAppendFsyncAlways(b *testing.B) {
+	j, err := openJournal(b.TempDir()+"/bench.journal", 1, 1, FsyncAlways, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = j.close() }()
+	t := tuple.New(1, 1)
+	t.Set("frame", tuple.Bytes(make([]byte, 6000)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := j.appendSubmit(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/transport"
+)
+
+// TestCoalescedMasterWrites proves the master's per-connection writer
+// batches queued frames into shared Write calls: a burst submitted
+// faster than the link drains must reach the worker in noticeably fewer
+// writes than frames. The fault transport (no faults configured) wraps
+// the master's listener purely for its frame/write counters.
+func TestCoalescedMasterWrites(t *testing.T) {
+	mem := transport.NewMem()
+	mf := transport.WithFaults(mem, transport.FaultConfig{})
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "master",
+		Transport:  mf,
+		OnResult:   col.add,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	startTestWorker(t, mem, m, "w1", 1)
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	src := apps.NewFrameSource(600, 7)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := m.Submit(src.Next()); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		st := m.Stats()
+		return st.Acked+st.Shed == n
+	}, "all acked")
+
+	frames, calls := mf.FramesWritten(), mf.WriteCalls()
+	// Deploy + Start + n tuple frames, before any Stop.
+	if frames < n+2 {
+		t.Fatalf("FramesWritten = %d, want >= %d", frames, n+2)
+	}
+	if calls >= frames {
+		t.Fatalf("WriteCalls = %d >= FramesWritten = %d: no coalescing", calls, frames)
+	}
+	if saved := frames - calls; saved < n/4 {
+		t.Fatalf("only %d writes saved over %d frames: coalescing too weak", saved, frames)
+	}
+	t.Logf("master frames=%d writes=%d (%.1f frames/write)",
+		frames, calls, float64(frames)/float64(calls))
+}
+
+// TestAckBatchingReducesUpstreamFrames: with a linger window, a worker
+// must pack many results per FrameResultBatch, so the upstream frame
+// count stays far below the result count. Counters ride the worker's
+// fault-wrapped (but fault-free) transport.
+func TestAckBatchingReducesUpstreamFrames(t *testing.T) {
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "master",
+		Transport:  mem,
+		AckLinger:  5 * time.Millisecond,
+		OnResult:   col.add,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	wf := transport.WithFaults(mem, transport.FaultConfig{})
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "w1",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  wf,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	src := apps.NewFrameSource(600, 7)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := m.Submit(src.Next()); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, 15*time.Second, func() bool { return m.Stats().Arrived == n }, "all arrive")
+
+	// Worker frames: hello + a stats report or two + result batches. If
+	// every result rode its own frame this would exceed n; batching must
+	// keep it far under.
+	frames := wf.FramesWritten()
+	if frames >= n {
+		t.Fatalf("worker wrote %d frames for %d results: no ack batching", frames, n)
+	}
+	if frames > n/2+10 {
+		t.Fatalf("worker wrote %d frames for %d results: batching too weak", frames, n)
+	}
+	t.Logf("worker frames=%d for %d results", frames, n)
+}
+
+// runLingerLatencySession submits widely spaced lone tuples (no
+// successor ever completes within the linger window) and returns the
+// mean end-to-end latency — the worst case for linger-induced delay.
+func runLingerLatencySession(t *testing.T, linger time.Duration) time.Duration {
+	t.Helper()
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "master",
+		Transport:  mem,
+		AckLinger:  linger,
+		OnResult:   col.add,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "w1",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = w.Close() }()
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	src := apps.NewFrameSource(600, 7)
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := m.Submit(src.Next()); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		// Same pacing for every session, comfortably past the widest
+		// linger window under test: each result flushes alone.
+		time.Sleep(150 * time.Millisecond)
+	}
+	waitFor(t, 10*time.Second, func() bool { return len(col.snapshot()) == n }, "all results")
+	var total time.Duration
+	for _, r := range col.snapshot() {
+		total += r.Latency
+	}
+	return total / n
+}
+
+// TestAckLingerLatencyBound pins the ack-batching latency contract: a
+// linger window d may inflate a result's end-to-end latency by at most
+// ~d (plus scheduling noise), and must actually engage — a lone result
+// waits out the window before its batch flushes.
+func TestAckLingerLatencyBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second paced sessions in -short mode")
+	}
+	const d = 60 * time.Millisecond
+	plain := runLingerLatencySession(t, 0)
+	lingered := runLingerLatencySession(t, d)
+	t.Logf("mean latency: linger=0 %v, linger=%v %v", plain, d, lingered)
+	diff := lingered - plain
+	if diff > d+40*time.Millisecond {
+		t.Fatalf("linger %v inflated latency by %v, bound is ~%v", d, diff, d)
+	}
+	if diff < d/4 {
+		t.Fatalf("linger %v inflated latency by only %v: window never engaged", d, diff)
+	}
+}
+
+// runLingerPolicySession runs a 1.2 s LRS stream against one fast and
+// one 40x-slower worker under the given linger window and reports each
+// worker's processed count.
+func runLingerPolicySession(t *testing.T, linger time.Duration) (fast, slow int64) {
+	t.Helper()
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "master",
+		Transport:  mem,
+		AckLinger:  linger,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	wFast := startTestWorker(t, mem, m, "fast", 1)
+	wSlow := startTestWorker(t, mem, m, "slow", 40)
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 2 }, "join")
+
+	src := apps.NewFrameSource(600, 5)
+	deadline := time.After(1200 * time.Millisecond)
+	ticker := time.NewTicker(3 * time.Millisecond)
+	defer ticker.Stop()
+stream:
+	for {
+		select {
+		case <-ticker.C:
+			done := make(chan error, 1)
+			go func() { done <- m.Submit(src.Next()) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+			case <-deadline:
+				break stream
+			}
+		case <-deadline:
+			break stream
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	return wFast.Processed(), wSlow.Processed()
+}
+
+// TestLRSSelectionUnchangedByLinger: ack batching delays when feedback
+// arrives, but must not change what it says — LRS under heterogeneous
+// worker profiles shifts load to the fast worker just as decisively
+// with a linger window as without one.
+func TestLRSSelectionUnchangedByLinger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live sessions in -short mode")
+	}
+	plainFast, plainSlow := runLingerPolicySession(t, 0)
+	lingerFast, lingerSlow := runLingerPolicySession(t, 10*time.Millisecond)
+	t.Logf("linger=0: fast=%d slow=%d; linger=10ms: fast=%d slow=%d",
+		plainFast, plainSlow, lingerFast, lingerSlow)
+	if plainFast < 3*plainSlow {
+		t.Fatalf("unbatched LRS split fast=%d slow=%d, want heavy skew", plainFast, plainSlow)
+	}
+	if lingerFast < 3*lingerSlow {
+		t.Fatalf("batched LRS split fast=%d slow=%d, want heavy skew", lingerFast, lingerSlow)
+	}
+}
+
+// TestPoolPreservesOrder: a multi-goroutine processor pool may finish
+// tuples in any order, but the worker must still emit results in tuple
+// arrival order — under a floor-sized reorder buffer, a burst through a
+// parallel worker plays back completely, in order, with zero skips.
+func TestPoolPreservesOrder(t *testing.T) {
+	mem := transport.NewMem()
+	app, err := apps.FaceRecognition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &resultCollector{}
+	m, err := StartMaster(MasterConfig{
+		App:           app,
+		Policy:        routing.LRS,
+		ListenAddr:    "master",
+		Transport:     mem,
+		Parallelism:   4,
+		ReorderBuffer: time.Millisecond, // collapses to the rcap floor
+		OnResult:      col.add,
+		Logger:        quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	startTestWorker(t, mem, m, "w1", 1)
+	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "join")
+
+	src := apps.NewFrameSource(600, 7)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := m.Submit(src.Next()); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, 15*time.Second, func() bool { return m.Stats().Played == n }, "all played")
+	st := m.Stats()
+	if st.Skipped != 0 {
+		t.Fatalf("skipped %d frames: pool broke result order", st.Skipped)
+	}
+	plays := col.snapshot()
+	for i := 1; i < len(plays); i++ {
+		if plays[i].Tuple.SeqNo <= plays[i-1].Tuple.SeqNo {
+			t.Fatalf("playback out of order at %d: %d after %d",
+				i, plays[i].Tuple.SeqNo, plays[i-1].Tuple.SeqNo)
+		}
+	}
+}

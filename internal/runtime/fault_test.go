@@ -44,10 +44,10 @@ func TestRetransmitOnWorkerDeath(t *testing.T) {
 	col := &resultCollector{}
 	m := startTestMaster(t, mem, col)
 	startTestWorker(t, mem, m, "w1", 1)
-	// w2's connection dies after 8 written frames (hello + ~7 results):
-	// mid-stream, with tuples still queued on the link and in its input
-	// queue.
-	startFaultyWorker(t, mem, m, "w2", transport.FaultConfig{Seed: 11, BreakAfterFrames: 8})
+	// w2's connection dies after 3 written frames (hello + ~2 result
+	// batches — batching packs many acks per frame): mid-stream, with
+	// tuples still queued on the link and in its input queue.
+	startFaultyWorker(t, mem, m, "w2", transport.FaultConfig{Seed: 11, BreakAfterFrames: 3})
 	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 2 }, "workers join")
 
 	src := apps.NewFrameSource(600, 7)
@@ -104,7 +104,10 @@ func TestDeadlineShedding(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = m.Close() })
-	startFaultyWorker(t, mem, m, "w1", transport.FaultConfig{Seed: 3, BreakAfterFrames: 4})
+	// Break after hello + the first result batch, leaving a backlog on
+	// the link (result batching acks many tuples per frame, so a higher
+	// threshold would let the whole stream complete before the break).
+	startFaultyWorker(t, mem, m, "w1", transport.FaultConfig{Seed: 3, BreakAfterFrames: 2})
 	waitFor(t, 2*time.Second, func() bool { return len(m.Workers()) == 1 }, "worker joins")
 
 	src := apps.NewFrameSource(600, 7)

@@ -99,16 +99,35 @@ func ParseFsyncMode(s string) (FsyncMode, error) {
 	}
 }
 
-// journal is the append side of the write-ahead log. Appends are
-// serialized by mu; rotate (checkpoint compaction) holds the same lock so
-// a record is never split across generations.
+// journal is the append side of the write-ahead log, with group commit:
+// concurrent appends encode their records into a shared pending buffer
+// under mu, then one appender (the leader) writes and fsyncs the whole
+// batch while the others wait on cond. Every append still returns only
+// after its record has reached the file — and, under FsyncAlways, the
+// disk — so durability semantics match the one-write-per-record design;
+// the batch just amortizes the write and fsync across the appends that
+// piled up behind it.
+//
+// Rotate (checkpoint compaction) holds mu and waits out any in-flight
+// flush, so a record is never split across generations and the file
+// handle never changes under the leader's feet.
 type journal struct {
 	mu       sync.Mutex
+	cond     *sync.Cond
 	f        *os.File
 	path     string
 	mode     FsyncMode
 	every    time.Duration
 	lastSync time.Time
+
+	// Group-commit state, all guarded by mu.
+	pending    []byte // encoded records awaiting the next flush
+	spare      []byte // recycled batch buffer for the next swap
+	appendSeq  uint64 // sequence of the most recently buffered record
+	flushedSeq uint64 // sequence through which records are in the file
+	flushing   bool   // a leader is writing outside the lock
+	broken     error  // first flush failure; the log is unusable after
+	brokenSeq  uint64 // first record sequence the failed flush covered
 }
 
 // encodeJournalRecord frames one record.
@@ -163,6 +182,7 @@ func openJournal(path string, epoch, generation uint64, mode FsyncMode, every ti
 		every = 100 * time.Millisecond
 	}
 	j := &journal{f: f, path: path, mode: mode, every: every, lastSync: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
 	if err := j.append(recMeta, metaPayload(epoch, generation)); err != nil {
 		_ = f.Close()
 		return nil, err
@@ -187,43 +207,159 @@ func parseMetaPayload(b []byte) (epoch, generation uint64, err error) {
 	return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]), nil
 }
 
+// reserveLocked begins a record in the pending buffer: length
+// placeholder plus type byte. It returns the record's start offset for
+// sealLocked.
+func (j *journal) reserveLocked(typ journalRecType) (int, error) {
+	if j.broken != nil {
+		return 0, j.broken
+	}
+	start := len(j.pending)
+	j.pending = append(j.pending, 0, 0, 0, 0, byte(typ))
+	return start, nil
+}
+
+// sealLocked patches the record's length prefix and appends its
+// checksum; the payload must already sit between reserve and seal.
+func (j *journal) sealLocked(start int) {
+	n := len(j.pending) - start - 5
+	binary.LittleEndian.PutUint32(j.pending[start:start+4], uint32(n))
+	sum := crc32.Update(0, journalCRC, j.pending[start+4:])
+	j.pending = binary.LittleEndian.AppendUint32(j.pending, sum)
+}
+
+// maxBatchRetain caps how large a recycled batch buffer may stay; a
+// burst should not pin its high-water mark forever.
+const maxBatchRetain = 4 << 20
+
+// commitAndUnlock implements the group-commit protocol for a record
+// just sealed into pending. Exactly one appender becomes the flush
+// leader: it takes the whole pending batch, writes (and per policy
+// fsyncs) it outside the lock, then wakes the appenders whose records
+// rode along. Every caller returns only once its record is in the file.
+func (j *journal) commitAndUnlock() error {
+	j.appendSeq++
+	mySeq := j.appendSeq
+	for {
+		// Records flushed before any failure succeeded; records in or
+		// after the failing batch report the breakage.
+		if j.broken != nil && mySeq >= j.brokenSeq {
+			err := j.broken
+			j.mu.Unlock()
+			return err
+		}
+		if j.flushedSeq >= mySeq {
+			j.mu.Unlock()
+			return nil
+		}
+		if !j.flushing {
+			j.flushing = true
+			batch := j.pending
+			last := j.appendSeq
+			j.pending = j.spare[:0]
+			j.spare = nil
+			f := j.f
+			doSync := j.mode == FsyncAlways
+			if j.mode == FsyncInterval {
+				if now := time.Now(); now.Sub(j.lastSync) >= j.every {
+					j.lastSync = now
+					doSync = true
+				}
+			}
+			j.mu.Unlock()
+
+			var err error
+			if _, werr := f.Write(batch); werr != nil {
+				err = fmt.Errorf("runtime: journal append: %w", werr)
+			} else if doSync {
+				if serr := f.Sync(); serr != nil {
+					err = fmt.Errorf("runtime: journal sync: %w", serr)
+				}
+			}
+
+			j.mu.Lock()
+			j.flushing = false
+			if err != nil && j.broken == nil {
+				// A failed or partial batch write leaves a torn middle that
+				// replay would truncate at; accepting later appends would
+				// silently drop everything behind the tear. Fail the whole
+				// batch and everything after it.
+				j.broken = err
+				j.brokenSeq = j.flushedSeq + 1
+			}
+			j.flushedSeq = last
+			if cap(batch) <= maxBatchRetain {
+				j.spare = batch[:0]
+			}
+			j.cond.Broadcast()
+			continue
+		}
+		j.cond.Wait()
+	}
+}
+
+// quiesceLocked waits until no flush leader is writing outside the
+// lock. The caller holds mu, so no new flush can start afterwards.
+func (j *journal) quiesceLocked() {
+	for j.flushing {
+		j.cond.Wait()
+	}
+}
+
+// flushPendingLocked writes any buffered records directly; the caller
+// holds mu and must have quiesced first.
+func (j *journal) flushPendingLocked() error {
+	if j.broken != nil {
+		return j.broken
+	}
+	if len(j.pending) == 0 {
+		return nil
+	}
+	_, err := j.f.Write(j.pending)
+	j.pending = j.pending[:0]
+	if err != nil {
+		j.broken = fmt.Errorf("runtime: journal append: %w", err)
+		j.brokenSeq = j.flushedSeq + 1
+	}
+	j.flushedSeq = j.appendSeq
+	j.cond.Broadcast()
+	return j.broken
+}
+
 // append writes one record and applies the fsync policy. Callers must not
 // hold master locks that appendAck/appendShed callers also take (the
 // journal lock is innermost).
 func (j *journal) append(typ journalRecType, payload []byte) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.appendLocked(typ, payload)
-}
-
-func (j *journal) appendLocked(typ journalRecType, payload []byte) error {
-	if _, err := j.f.Write(encodeJournalRecord(typ, payload)); err != nil {
-		return fmt.Errorf("runtime: journal append: %w", err)
+	start, err := j.reserveLocked(typ)
+	if err != nil {
+		j.mu.Unlock()
+		return err
 	}
-	switch j.mode {
-	case FsyncAlways:
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("runtime: journal sync: %w", err)
-		}
-	case FsyncInterval:
-		if now := time.Now(); now.Sub(j.lastSync) >= j.every {
-			j.lastSync = now
-			if err := j.f.Sync(); err != nil {
-				return fmt.Errorf("runtime: journal sync: %w", err)
-			}
-		}
-	}
-	return nil
+	j.pending = append(j.pending, payload...)
+	j.sealLocked(start)
+	return j.commitAndUnlock()
 }
 
 // appendSubmit logs a first-attempt dispatch: the full tuple, so recovery
-// can rebuild and retransmit it.
+// can rebuild and retransmit it. The tuple is serialized straight into
+// the pending batch buffer — no intermediate allocation.
 func (j *journal) appendSubmit(t *tuple.Tuple) error {
-	b, err := tuple.Marshal(t)
+	j.mu.Lock()
+	start, err := j.reserveLocked(recSubmit)
 	if err != nil {
+		j.mu.Unlock()
 		return err
 	}
-	return j.append(recSubmit, b)
+	p, err := tuple.AppendMarshal(j.pending, t)
+	if err != nil {
+		j.pending = j.pending[:start]
+		j.mu.Unlock()
+		return err
+	}
+	j.pending = p
+	j.sealLocked(start)
+	return j.commitAndUnlock()
 }
 
 // appendResend logs a retransmission's new attempt counter.
@@ -255,8 +391,12 @@ func (j *journal) appendShed(id uint64, overload bool) error {
 // the new file is written beside the old and renamed over it, so a crash
 // at any point leaves either the complete old journal or the complete new
 // one. The checkpointer calls it holding j.mu across both the state
-// snapshot and the rotation, so no append lands in the old generation
-// after the snapshot was taken (it would double-count on recovery).
+// snapshot and the rotation — after quiescing any in-flight group-commit
+// flush — so no returned append lands in the old generation after the
+// snapshot was taken (it would double-count on recovery). Records still
+// buffered in pending belong to appends that have not returned yet —
+// their effects are not in the snapshot — and flush into the new
+// generation, where replay applies them on top of the checkpoint.
 func (j *journal) rotateLocked(epoch, generation uint64) error {
 	tmp := j.path + ".tmp"
 	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -281,19 +421,42 @@ func (j *journal) rotateLocked(epoch, generation uint64) error {
 	return nil
 }
 
-// sync forces pending appends to stable storage.
+// sync flushes buffered records and forces them to stable storage.
 func (j *journal) sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Sync()
+	j.quiesceLocked()
+	if err := j.flushPendingLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		if j.broken == nil {
+			j.broken = fmt.Errorf("runtime: journal sync: %w", err)
+		}
+		return j.broken
+	}
+	return nil
 }
 
-// close syncs and closes the journal file.
+// close flushes, syncs and closes the journal file. Later appends fail.
 func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.quiesceLocked()
+	ferr := j.flushPendingLocked()
 	_ = j.f.Sync()
-	return j.f.Close()
+	cerr := j.f.Close()
+	if j.broken == nil {
+		// Only appends after the close fail; everything buffered so far
+		// was just flushed.
+		j.broken = errors.New("runtime: journal closed")
+		j.brokenSeq = j.appendSeq + 1
+		j.cond.Broadcast()
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }
 
 // journalReplay is the parsed content of one journal generation.

@@ -54,6 +54,17 @@ type MasterConfig struct {
 	Transport transport.Transport
 	// OutboxCap bounds the per-worker send queue in tuples (default 16).
 	OutboxCap int
+	// Parallelism is the processor-pool width deployed to every worker:
+	// how many tuples a worker may process concurrently. Zero deploys the
+	// worker-side default (GOMAXPROCS on the worker device). Results are
+	// returned in arrival order regardless of pool width.
+	Parallelism int
+	// AckLinger is the worker-side ack/result batching window deployed to
+	// every worker: a completed result may wait up to this long to share
+	// one result-batch frame with its successors, trading up to AckLinger
+	// of added latency for fewer upstream writes. Zero disables lingering
+	// (workers still batch results that are already queued back-to-back).
+	AckLinger time.Duration
 	// ReorderBuffer is the sink reorder timespan (default 1 s).
 	ReorderBuffer time.Duration
 	// OnResult, if set, receives in-order playback deliveries.
@@ -188,18 +199,31 @@ func (c MasterConfig) withDefaults() MasterConfig {
 }
 
 // outFrame is one queued write toward a worker: tuples from Submit and
-// liveness pings from the monitor share the send queue.
+// liveness pings from the monitor share the send queue. When the payload
+// lives in a pooled buffer, buf carries it so the writer can return it to
+// the pool once the bytes are coalesced into the outgoing batch.
 type outFrame struct {
 	typ     wire.FrameType
 	payload []byte
+	buf     *wire.Buf
 }
+
+// release returns the frame's pooled payload buffer, if any.
+func (f outFrame) release() { f.buf.Release() }
 
 // workerConn is the master's handle on one connected worker.
 type workerConn struct {
 	id   string
 	conn net.Conn
 	out  chan outFrame
-	gone chan struct{}
+	// slots is the send-queue occupancy semaphore: every enqueue onto out
+	// first takes a token, and the writer returns tokens only after the
+	// frame's bytes are written. Backpressure checks read len(slots), not
+	// len(out) — the coalescing writer drains out into its batch buffer
+	// long before the peer consumed anything, so channel length alone
+	// would report an idle queue on a stalled link.
+	slots chan struct{}
+	gone  chan struct{}
 
 	mu         sync.Mutex
 	writeMu    sync.Mutex
@@ -239,7 +263,7 @@ type Master struct {
 	workers   map[string]*workerConn
 
 	sinkMu   sync.Mutex
-	reorder  map[uint64]*pendingResult
+	reorder  map[uint64]Result
 	nextPlay uint64
 	rcap     int
 	skipped  int64
@@ -277,10 +301,6 @@ type Master struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 	once  sync.Once
-}
-
-type pendingResult struct {
-	res Result
 }
 
 // minReorderCap floors the reorder buffer so degenerate configurations
@@ -327,7 +347,7 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 		ln:       ln,
 		router:   router,
 		workers:  make(map[string]*workerConn),
-		reorder:  make(map[uint64]*pendingResult),
+		reorder:  make(map[uint64]Result),
 		rcap:     rcap,
 		inflight: newInflightTable(),
 		epoch:    1,
@@ -696,6 +716,7 @@ func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
 		id:        hello.DeviceID,
 		conn:      conn,
 		out:       make(chan outFrame, m.cfg.OutboxCap),
+		slots:     make(chan struct{}, m.cfg.OutboxCap),
 		gone:      make(chan struct{}),
 		lastHeard: time.Now(),
 		br: breaker{
@@ -711,6 +732,8 @@ func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
 		Units:             m.cfg.App.Graph.Operators(),
 		ReportEveryMillis: 1000,
 		Epoch:             m.epoch,
+		Parallelism:       m.cfg.Parallelism,
+		AckLingerMicros:   m.cfg.AckLinger.Microseconds(),
 	}
 	db, err := wire.EncodeJSON(deploy)
 	if err != nil {
@@ -758,15 +781,66 @@ func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
 	return wc, true
 }
 
+// sendFlushBytes caps how many coalesced frame bytes the per-connection
+// writer packs into one Write call; past it the batch flushes even while
+// more frames wait, bounding both the scratch buffer and the latency a
+// queued liveness ping can sit behind tuple traffic.
+const sendFlushBytes = 256 << 10
+
+// slowWriteThreshold decides when a peer is congested: a Write that takes
+// longer than this was absorbed by the peer's backpressure, not its
+// bandwidth. The writer then stops coalescing — a multi-frame batch
+// written to a stalled link would hold every frame's queue slot for the
+// whole (long) write, turning the steady one-slot-per-service-time
+// trickle the router's backpressure signal relies on into rare bursts
+// that can block a Submit for seconds.
+const slowWriteThreshold = 2 * time.Millisecond
+
+// writeLoop drains the worker's send queue, coalescing every frame
+// already waiting into one buffer flushed with a single Write call —
+// on TCP, one syscall and one segment train instead of one per frame.
+// A slow peer therefore costs one blocked writer goroutine, never the
+// submitters or the monitor, which enqueue and move on; and a ping
+// enqueued behind a burst of tuples rides the same flush rather than
+// waiting out per-frame writes.
 func (m *Master) writeLoop(wc *workerConn) {
+	scratch := wire.GetBuf(0)
+	defer scratch.Release()
+	congested := false
 	for {
 		select {
 		case f := <-wc.out:
-			wc.writeMu.Lock()
-			err := wire.WriteFrame(wc.conn, f.typ, f.payload)
-			wc.writeMu.Unlock()
+			nframes := 1
+			buf := m.appendOut(wc, scratch.B[:0], f)
+			if !congested {
+			coalesce:
+				for len(buf) < sendFlushBytes {
+					select {
+					case f = <-wc.out:
+						nframes++
+						buf = m.appendOut(wc, buf, f)
+					default:
+						break coalesce // queue idle: flush what we have
+					}
+				}
+			}
+			scratch.B = buf
+			var err error
+			if len(buf) > 0 {
+				begin := time.Now()
+				wc.writeMu.Lock()
+				_, err = wc.conn.Write(buf)
+				wc.writeMu.Unlock()
+				congested = time.Since(begin) > slowWriteThreshold
+			}
 			if err != nil {
-				return
+				return // tokens stay taken: the connection is dead
+			}
+			// Only now that the bytes are written do the batch's queue
+			// slots free up — a stalled peer keeps reading as "full" to
+			// the router even while its frames sit in the batch buffer.
+			for i := 0; i < nframes; i++ {
+				<-wc.slots
 			}
 		case <-wc.gone:
 			return
@@ -776,11 +850,36 @@ func (m *Master) writeLoop(wc *workerConn) {
 	}
 }
 
+// appendOut encodes one queued frame onto the coalescing buffer and
+// releases its pooled payload. An oversized frame is dropped (AppendFrame
+// leaves dst untouched): its tuple resurfaces through the retry path
+// instead of poisoning the connection.
+func (m *Master) appendOut(wc *workerConn, dst []byte, f outFrame) []byte {
+	out, err := wire.AppendFrame(dst, f.typ, f.payload)
+	f.release()
+	if err != nil {
+		m.cfg.Logger.Warn("swing master: dropping unsendable frame",
+			"worker", wc.id, "type", f.typ, "err", err)
+		return dst
+	}
+	return out
+}
+
 func (m *Master) readLoop(wc *workerConn) {
+	// One closure per connection, reused across batch frames, so decoding
+	// a batch costs no per-frame allocation.
+	onEntry := func(entry []byte) error {
+		m.handleResult(wc, entry)
+		return nil
+	}
 	for {
-		typ, payload, err := wire.ReadFrame(wc.conn)
+		typ, buf, err := wire.ReadFrameBuf(wc.conn)
 		if err != nil {
 			return
+		}
+		var payload []byte
+		if buf != nil {
+			payload = buf.B
 		}
 		// Any frame is proof of life for the failure detector; pongs exist
 		// so even an idle link produces them.
@@ -788,6 +887,11 @@ func (m *Master) readLoop(wc *workerConn) {
 		switch typ {
 		case wire.FrameResult:
 			m.handleResult(wc, payload)
+		case wire.FrameResultBatch:
+			if err := wire.DecodeResultBatch(payload, onEntry); err != nil {
+				m.cfg.Logger.Warn("swing master: bad result batch",
+					"worker", wc.id, "err", err)
+			}
 		case wire.FrameStats:
 			var st wire.Stats
 			if err := wire.DecodeJSON(payload, &st); err == nil {
@@ -804,6 +908,9 @@ func (m *Master) readLoop(wc *workerConn) {
 		default:
 			// Ignore unexpected frames from workers.
 		}
+		// handleResult copies what it keeps (owned tuple decode), so the
+		// frame buffer can return to the pool here.
+		buf.Release()
 	}
 }
 
@@ -860,7 +967,8 @@ func (m *Master) checkWorkers(now time.Time) {
 		wc.mu.Unlock()
 		if pb, err := wire.EncodeJSON(ping); err == nil {
 			select {
-			case wc.out <- outFrame{typ: wire.FramePing, payload: pb}:
+			case wc.slots <- struct{}{}:
+				wc.out <- outFrame{typ: wire.FramePing, payload: pb}
 			default: // queue full: the silence clock is already running
 			}
 		}
@@ -1078,7 +1186,7 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			m.workersMu.Lock()
 			wc, ok := m.workers[id]
 			m.workersMu.Unlock()
-			return !ok || len(wc.out) == cap(wc.out)
+			return !ok || len(wc.slots) == cap(wc.slots)
 		})
 		m.routerMu.Unlock()
 		if err != nil {
@@ -1109,10 +1217,15 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		}
 		t.EmitNanos = now.UnixNano()
 		t.Attempt = attempt
-		frame, err := tuple.Marshal(t)
+		// Encode into a pooled buffer; ownership passes to the writer
+		// goroutine on enqueue, which releases it after coalescing.
+		fb := wire.GetBuf(0)
+		frame, err := tuple.AppendMarshal(fb.B[:0], t)
 		if err != nil {
+			fb.Release()
 			return fmt.Errorf("runtime: submit: %w", err)
 		}
+		fb.B = frame
 		// Journal before tracking or enqueueing: once the tuple can reach
 		// a worker, the write-ahead record must already exist, or a crash
 		// here would lose the tuple silently instead of retransmitting it.
@@ -1132,10 +1245,12 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			// tuple it is counted submitted-then-shed so the ledger still
 			// accounts for it.
 			select {
-			case wc.out <- outFrame{typ: wire.FrameTuple, payload: frame}:
+			case wc.slots <- struct{}{}:
+				wc.out <- outFrame{typ: wire.FrameTuple, payload: frame, buf: fb}
 				m.noteDispatched(wc, attempt)
 				return nil
 			default:
+				fb.Release()
 				if _, ours := m.inflight.takeIf(t.ID, id); !ours {
 					// The worker died and its drop path claimed the entry;
 					// the retransmitter owns the tuple now.
@@ -1163,10 +1278,12 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			}
 		}
 		select {
-		case wc.out <- outFrame{typ: wire.FrameTuple, payload: frame}:
+		case wc.slots <- struct{}{}:
+			wc.out <- outFrame{typ: wire.FrameTuple, payload: frame, buf: fb}
 			m.noteDispatched(wc, attempt)
 			return nil
 		case <-wc.gone:
+			fb.Release()
 			// Worker died while we were blocked. If the drop path already
 			// claimed the entry its retransmitter owns the tuple now — it
 			// entered the system, so count this attempt; otherwise
@@ -1181,6 +1298,7 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			}
 			continue
 		case <-m.stop:
+			fb.Release()
 			m.inflight.takeIf(t.ID, id)
 			return ErrStopped
 		}
@@ -1291,6 +1409,9 @@ func (m *Master) checkpointNow() error {
 	}
 	m.journal.mu.Lock()
 	defer m.journal.mu.Unlock()
+	// Wait out any group-commit flush in flight so the file handle is
+	// stable and every returned append is on disk before the snapshot.
+	m.journal.quiesceLocked()
 	gen := m.generation + 1
 	st := m.snapshotState()
 	st.Generation = gen
@@ -1405,18 +1526,28 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 }
 
 // deliver plays results in sequence order, skipping when the reorder
-// buffer overflows.
+// buffer overflows. The common case — an in-order arrival releasing
+// exactly one play — avoids the slice entirely.
 func (m *Master) deliver(r Result) {
-	var plays []Result
+	var (
+		first  Result
+		extra  []Result
+		nplays int
+	)
 	m.sinkMu.Lock()
 	m.arrived++
 	if r.Tuple.SeqNo >= m.nextPlay {
-		m.reorder[r.Tuple.SeqNo] = &pendingResult{res: r}
+		m.reorder[r.Tuple.SeqNo] = r
 	}
 	for {
 		if pr, ok := m.reorder[m.nextPlay]; ok {
 			delete(m.reorder, m.nextPlay)
-			plays = append(plays, pr.res)
+			if nplays == 0 {
+				first = pr
+			} else {
+				extra = append(extra, pr)
+			}
+			nplays++
 			m.played++
 			m.nextPlay++
 			continue
@@ -1435,8 +1566,9 @@ func (m *Master) deliver(r Result) {
 		break
 	}
 	m.sinkMu.Unlock()
-	if m.cfg.OnResult != nil {
-		for _, p := range plays {
+	if m.cfg.OnResult != nil && nplays > 0 {
+		m.cfg.OnResult(first)
+		for _, p := range extra {
 			m.cfg.OnResult(p)
 		}
 	}

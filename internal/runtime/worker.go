@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"math/rand/v2"
 	"net"
+	goruntime "runtime"
 	"sync"
 	"time"
 
@@ -86,16 +87,30 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 type workerSession struct {
 	conn        net.Conn
 	chain       []graph.Processor
+	units       []string // deployed unit IDs, for building pool chains
 	reportEvery time.Duration
 	// epoch is the master incarnation that deployed this session; a change
 	// between sessions means the worker was re-adopted by a restarted
 	// master, not merely reconnected to the same one.
 	epoch uint64
+	// parallelism is the processor-pool width from the deployment;
+	// ackLinger is its result-batching window.
+	parallelism int
+	ackLinger   time.Duration
 
-	queue   chan *tuple.Tuple
-	dead    chan struct{} // closed when the read loop exits
-	writeMu sync.Mutex
-	sawStop bool // FrameStop received: clean shutdown, do not reconnect
+	// queue feeds the processor pool; order carries the same jobs in
+	// arrival order to the send loop, which restores input order on the
+	// upstream link whatever order the pool finishes in. The read loop is
+	// the only sender on both and closes both on exit.
+	queue chan *procJob
+	order chan *procJob
+	dead  chan struct{} // closed when the read loop exits
+	// sendGone is closed when the send loop exits (e.g. a write error),
+	// so a read loop blocked handing a job off doesn't wait on a drain
+	// that will never come.
+	sendGone chan struct{}
+	writeMu  sync.Mutex
+	sawStop  bool // FrameStop received: clean shutdown, do not reconnect
 }
 
 // Worker executes the operator pipeline assigned by the master on locally
@@ -194,13 +209,24 @@ func dialSession(cfg WorkerConfig, lastEpoch uint64) (*workerSession, error) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("runtime: expected start, got %v: %v", typ, err)
 	}
+	par := deploy.Parallelism
+	if par <= 0 {
+		par = goruntime.GOMAXPROCS(0)
+	}
 	return &workerSession{
 		conn:        conn,
 		chain:       chain,
+		units:       deploy.Units,
 		reportEvery: time.Duration(deploy.ReportEveryMillis) * time.Millisecond,
 		epoch:       deploy.Epoch,
-		queue:       make(chan *tuple.Tuple, cfg.QueueCap),
-		dead:        make(chan struct{}),
+		parallelism: par,
+		ackLinger:   time.Duration(deploy.AckLingerMicros) * time.Microsecond,
+		queue:       make(chan *procJob, cfg.QueueCap),
+		// order must hold every admitted-but-unsent job: the queue's worth
+		// plus one per pool slot plus the one mid-handoff in the read loop.
+		order:    make(chan *procJob, cfg.QueueCap+par+1),
+		dead:     make(chan struct{}),
+		sendGone: make(chan struct{}),
 	}, nil
 }
 
@@ -310,7 +336,7 @@ func (w *Worker) stopped() bool {
 // runSession serves one connection until it breaks or stops.
 func (w *Worker) runSession(s *workerSession) {
 	var wg sync.WaitGroup
-	wg.Add(3)
+	wg.Add(4)
 	go func() {
 		defer wg.Done()
 		w.readLoop(s)
@@ -321,6 +347,10 @@ func (w *Worker) runSession(s *workerSession) {
 	}()
 	go func() {
 		defer wg.Done()
+		w.sendLoop(s)
+	}()
+	go func() {
+		defer wg.Done()
 		w.statsLoop(s)
 	}()
 	wg.Wait()
@@ -328,39 +358,102 @@ func (w *Worker) runSession(s *workerSession) {
 }
 
 func (w *Worker) readLoop(s *workerSession) {
-	defer close(s.queue)
 	defer close(s.dead)
+	defer close(s.order)
+	defer close(s.queue)
 	for {
-		typ, payload, err := wire.ReadFrame(s.conn)
+		typ, buf, err := wire.ReadFrameBuf(s.conn)
 		if err != nil {
 			return
 		}
+		var payload []byte
+		if buf != nil {
+			payload = buf.B
+		}
 		switch typ {
 		case wire.FrameTuple:
-			t, err := tuple.Unmarshal(payload)
-			if err != nil {
-				w.cfg.Logger.Warn("swing worker: bad tuple", "err", err)
+			// Zero-copy decode: the tuple's byte fields alias the pooled
+			// frame buffer, which travels with the job and returns to the
+			// pool only after the send loop has encoded the results.
+			t, terr := tuple.UnmarshalShared(payload)
+			if terr != nil {
+				w.cfg.Logger.Warn("swing worker: bad tuple", "err", terr)
+				buf.Release()
 				continue
 			}
+			job := getJob(t, buf)
+			// Queue first, order second: every job the send loop waits on
+			// is then guaranteed to reach a pool goroutine that will
+			// signal its completion.
 			select {
-			case s.queue <- t:
+			case s.queue <- job:
 			case <-w.stop:
 				return
+			case <-s.sendGone:
+				return
 			}
+			select {
+			case s.order <- job:
+			case <-w.stop:
+				return
+			case <-s.sendGone:
+				return
+			}
+			continue // buffer ownership moved to the job
 		case wire.FramePing:
 			// Echo the payload verbatim: the pong is the master's proof of
 			// life for this link, and a worker whose processing queue is
 			// saturated can still answer from the read loop.
 			if w.writeFrame(s, wire.FramePong, payload) != nil {
+				buf.Release()
 				return
 			}
 		case wire.FrameStop:
 			s.sawStop = true
+			buf.Release()
 			return
 		default:
 			// Control frames after start are ignored.
 		}
+		buf.Release()
 	}
+}
+
+// procJob carries one input tuple through the processor pool. done is a
+// one-slot channel its pool goroutine signals on completion; the send
+// loop receives jobs from the session's order channel and waits on each
+// in turn, so results leave in tuple-arrival order however the pool
+// interleaves. Jobs are pooled: the send loop recycles each one after
+// encoding its results.
+type procJob struct {
+	t       *tuple.Tuple
+	buf     *wire.Buf // pooled frame backing t's byte fields
+	outs    []*tuple.Tuple
+	proc    time.Duration
+	dropped bool
+	done    chan struct{}
+}
+
+var jobPool = sync.Pool{New: func() any { return &procJob{done: make(chan struct{}, 1)} }}
+
+func getJob(t *tuple.Tuple, buf *wire.Buf) *procJob {
+	j := jobPool.Get().(*procJob)
+	j.t, j.buf = t, buf
+	return j
+}
+
+// recycle releases the job's frame buffer and returns it to the pool.
+// Only the send loop calls it, after the done token has been consumed,
+// so the channel is guaranteed empty for the next user.
+func (j *procJob) recycle() {
+	j.buf.Release()
+	j.t, j.buf = nil, nil
+	for i := range j.outs {
+		j.outs[i] = nil
+	}
+	j.outs = j.outs[:0]
+	j.proc, j.dropped = 0, false
+	jobPool.Put(j)
 }
 
 // collectEmitter gathers a processor's outputs.
@@ -376,38 +469,67 @@ func (c *collectEmitter) Emit(t *tuple.Tuple) error {
 	return nil
 }
 
+// processLoop runs the session's processor pool: parallelism goroutines,
+// each with its own operator chain (processors may be stateful, so pool
+// members never share one), pulling jobs off the shared queue. Result
+// order is not this loop's problem — the send loop restores it.
 func (w *Worker) processLoop(s *workerSession) {
-	for t := range s.queue {
-		w.processOne(s, t)
+	var wg sync.WaitGroup
+	for i := 0; i < s.parallelism; i++ {
+		chain := s.chain
+		if i > 0 {
+			c, err := buildChain(w.cfg.App, s.units)
+			if err != nil {
+				// The deploy-time build succeeded, so this cannot really
+				// fail; degrade to the chains built so far.
+				w.cfg.Logger.Warn("swing worker: build pool chain", "err", err)
+				break
+			}
+			chain = c
+		}
+		wg.Add(1)
+		go func(chain []graph.Processor) {
+			defer wg.Done()
+			// Per-goroutine scratch, reused across jobs, keeps the hot
+			// path allocation-free.
+			var em collectEmitter
+			var cur []*tuple.Tuple
+			for job := range s.queue {
+				cur = w.runJob(chain, &em, cur, job)
+				job.done <- struct{}{}
+			}
+		}(chain)
 	}
+	wg.Wait()
 }
 
-// processOne runs the tuple through the local operator chain (the
-// vertical pipeline slice) and returns the result with ACK metadata.
-// Every consumed tuple is answered: a processor error sends a drop
-// notice, a filtered-out tuple sends a plain ack — so the master's
+// runJob runs one tuple through an operator chain (the vertical pipeline
+// slice), leaving results and ACK metadata on the job. Every consumed
+// tuple is answered: a processor error marks a drop notice, a
+// filtered-out tuple leaves no outputs (a plain ack) — so the master's
 // in-flight tracker and latency estimate for this worker never go stale
-// on a silent discard.
-func (w *Worker) processOne(s *workerSession, t *tuple.Tuple) {
+// on a silent discard. Returns the (possibly regrown) scratch slice.
+func (w *Worker) runJob(chain []graph.Processor, em *collectEmitter, scratch []*tuple.Tuple, job *procJob) []*tuple.Tuple {
 	begin := time.Now()
-	cur := []*tuple.Tuple{t}
-	for _, p := range s.chain {
-		var em collectEmitter
+	cur := append(scratch[:0], job.t)
+	for _, p := range chain {
+		em.out = em.out[:0]
 		for _, in := range cur {
-			if err := p.ProcessData(&em, in); err != nil {
+			if err := p.ProcessData(em, in); err != nil {
 				w.cfg.Logger.Warn("swing worker: process", "err", err)
 				w.statsMu.Lock()
 				w.dropped++
 				w.statsMu.Unlock()
-				w.sendAckOnly(s, t, time.Since(begin), true)
-				return
+				job.dropped = true
+				job.proc = time.Since(begin)
+				return cur
 			}
 		}
-		cur = em.out
+		cur = append(cur[:0], em.out...)
 		if len(cur) == 0 {
 			// A stage filtered the tuple out: legitimate, but still ack.
-			w.sendAckOnly(s, t, time.Since(begin), false)
-			return
+			job.proc = time.Since(begin)
+			return cur
 		}
 	}
 	proc := time.Since(begin)
@@ -419,45 +541,166 @@ func (w *Worker) processOne(s *workerSession, t *tuple.Tuple) {
 	w.statsMu.Lock()
 	w.processed++
 	w.statsMu.Unlock()
+	job.outs = append(job.outs[:0], cur...)
+	job.proc = proc
+	return cur
+}
 
-	for _, out := range cur {
-		tb, err := tuple.Marshal(out)
-		if err != nil {
-			w.cfg.Logger.Warn("swing worker: marshal result", "err", err)
-			w.statsMu.Lock()
-			w.dropped++
-			w.statsMu.Unlock()
-			w.sendAckOnly(s, t, proc, true)
-			continue
+// Result-batch flush thresholds: a batch flushes when it crosses either,
+// whatever the linger window says, bounding frame size and head-of-line
+// wait behind a huge batch.
+const (
+	ackFlushBytes   = 256 << 10
+	ackFlushEntries = 128
+)
+
+// sendLoop is the upstream writer: it consumes finished jobs in tuple
+// arrival order and packs their results/acks into FrameResultBatch
+// frames. With AckLinger zero a result waits only for successors that
+// are already complete (pure opportunistic batching); with a linger
+// window d it may additionally wait up to d for stragglers, so a
+// result's measured latency is inflated by at most d.
+func (w *Worker) sendLoop(s *workerSession) {
+	defer close(s.sendGone)
+	var (
+		batch   wire.ResultBatch
+		scratch []byte
+		carry   *procJob // pulled from order but not yet complete
+		timer   *time.Timer
+	)
+	for {
+		job := carry
+		carry = nil
+		if job == nil {
+			var ok bool
+			select {
+			case job, ok = <-s.order:
+				if !ok {
+					return
+				}
+			case <-w.stop:
+				return
+			}
 		}
-		payload, err := wire.EncodeResult(w.resultMeta(t, proc), tb)
-		if err != nil {
-			continue
+		// Head-of-line wait is unbounded: nothing may be sent before the
+		// oldest tuple finishes anyway, or order would be lost.
+		select {
+		case <-job.done:
+		case <-w.stop:
+			return
 		}
-		if w.writeFrame(s, wire.FrameResult, payload) != nil {
+		scratch = w.addResults(&batch, scratch, job)
+		var deadline <-chan time.Time
+		if s.ackLinger > 0 {
+			if timer == nil {
+				timer = time.NewTimer(s.ackLinger)
+			} else {
+				timer.Reset(s.ackLinger)
+			}
+			deadline = timer.C
+		}
+	gather:
+		for batch.Size() < ackFlushBytes && batch.Count() < ackFlushEntries {
+			var next *procJob
+			var ok bool
+			select {
+			case next, ok = <-s.order:
+			default:
+				if deadline == nil {
+					break gather
+				}
+				select {
+				case next, ok = <-s.order:
+				case <-deadline:
+					deadline = nil
+					break gather
+				case <-w.stop:
+					return
+				}
+			}
+			if !ok {
+				break gather // read loop closed the order channel
+			}
+			if deadline == nil {
+				select {
+				case <-next.done:
+				default:
+					// Not finished and no linger budget: it becomes the
+					// next batch's head.
+					carry = next
+					break gather
+				}
+			} else {
+				select {
+				case <-next.done:
+				case <-deadline:
+					deadline = nil
+					carry = next
+					break gather
+				case <-w.stop:
+					return
+				}
+			}
+			scratch = w.addResults(&batch, scratch, next)
+		}
+		if timer != nil && deadline != nil {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		if w.flushBatch(s, &batch) != nil {
 			return
 		}
 	}
 }
 
-func (w *Worker) resultMeta(t *tuple.Tuple, proc time.Duration) wire.ResultMeta {
-	return wire.ResultMeta{
-		TupleID:   t.ID,
-		Attempt:   t.Attempt,
-		EmitNanos: t.EmitNanos,
-		ProcNanos: int64(proc),
+// addResults encodes one finished job — its result tuples, or a lone
+// ack/drop notice — into the batch, then recycles the job and releases
+// the frame buffer its input tuple aliased. Returns the reusable marshal
+// scratch buffer.
+func (w *Worker) addResults(batch *wire.ResultBatch, scratch []byte, job *procJob) []byte {
+	meta := wire.ResultMeta{
+		TupleID:   job.t.ID,
+		Attempt:   job.t.Attempt,
+		EmitNanos: job.t.EmitNanos,
+		ProcNanos: int64(job.proc),
+		Dropped:   job.dropped,
 	}
+	if len(job.outs) == 0 {
+		batch.Add(meta, nil)
+	} else {
+		for _, out := range job.outs {
+			b, err := tuple.AppendMarshal(scratch[:0], out)
+			if err != nil {
+				w.cfg.Logger.Warn("swing worker: marshal result", "err", err)
+				w.statsMu.Lock()
+				w.dropped++
+				w.statsMu.Unlock()
+				dm := meta
+				dm.Dropped = true
+				batch.Add(dm, nil)
+				continue
+			}
+			batch.Add(meta, b)
+			scratch = b
+		}
+	}
+	job.recycle()
+	return scratch
 }
 
-// sendAckOnly reports a consumed-but-resultless tuple to the master.
-func (w *Worker) sendAckOnly(s *workerSession, t *tuple.Tuple, proc time.Duration, dropped bool) {
-	meta := w.resultMeta(t, proc)
-	meta.Dropped = dropped
-	payload, err := wire.EncodeResult(meta, nil)
-	if err != nil {
-		return
+// flushBatch writes the accumulated batch as one frame and resets it.
+func (w *Worker) flushBatch(s *workerSession, batch *wire.ResultBatch) error {
+	payload := batch.Payload()
+	if payload == nil {
+		return nil
 	}
-	_ = w.writeFrame(s, wire.FrameResult, payload)
+	err := w.writeFrame(s, wire.FrameResultBatch, payload)
+	batch.Reset()
+	return err
 }
 
 func (w *Worker) writeFrame(s *workerSession, typ wire.FrameType, payload []byte) error {

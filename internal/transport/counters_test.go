@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"syscall"
+	"testing"
+
+	"github.com/swingframework/swing/internal/wire"
+)
+
+// faultyPair dials a wrapped connection to an echo-less server and
+// returns both ends plus the transport for counter assertions.
+func faultyPair(t *testing.T, cfg FaultConfig) (*Faulty, net.Conn, net.Conn) {
+	t.Helper()
+	mem := NewMem()
+	f := WithFaults(mem, cfg)
+	ln, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := f.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	server := <-accepted
+	t.Cleanup(func() { _ = server.Close() })
+	return f, client, server
+}
+
+// TestFaultyWriteCounters: one Write call carrying two coalesced frames
+// must count as 1 write call and 2 frames — the measurement the
+// batching acceptance criterion rides on.
+func TestFaultyWriteCounters(t *testing.T) {
+	f, client, server := faultyPair(t, FaultConfig{})
+
+	// Drain the server side so pipe writes don't block.
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+
+	buf, err := wire.AppendFrame(nil, wire.FrameTuple, []byte("frame-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = wire.AppendFrame(buf, wire.FrameTuple, []byte("frame-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.WriteCalls(); got != 1 {
+		t.Fatalf("WriteCalls = %d, want 1", got)
+	}
+	if got := f.FramesWritten(); got != 2 {
+		t.Fatalf("FramesWritten = %d, want 2", got)
+	}
+
+	// An unbatched frame via WriteFrame adds one call, one frame.
+	if err := wire.WriteFrame(client, wire.FramePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.WriteCalls(); got != 2 {
+		t.Fatalf("WriteCalls = %d, want 2", got)
+	}
+	if got := f.FramesWritten(); got != 3 {
+		t.Fatalf("FramesWritten = %d, want 3", got)
+	}
+}
+
+// TestFaultyCountersCountDropped: dropped frames still count as written
+// — the writer produced them; the fault swallowed them downstream.
+func TestFaultyCountersCountDropped(t *testing.T) {
+	f, client, server := faultyPair(t, FaultConfig{DropEveryNth: 2})
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+	for i := 0; i < 4; i++ {
+		if err := wire.WriteFrame(client, wire.FrameTuple, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.FramesWritten(); got != 4 {
+		t.Fatalf("FramesWritten = %d, want 4 (drops included)", got)
+	}
+	if got := f.WriteCalls(); got != 4 {
+		t.Fatalf("WriteCalls = %d, want 4", got)
+	}
+}
+
+// TestTCPNoDelay: both the dialed and the accepted side of a TCP
+// connection must have TCP_NODELAY set.
+func TestTCPNoDelay(t *testing.T) {
+	ln, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := TCP{}.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	server := <-accepted
+	defer func() { _ = server.Close() }()
+
+	for name, c := range map[string]net.Conn{"dialed": client, "accepted": server} {
+		tc, ok := c.(*net.TCPConn)
+		if !ok {
+			t.Fatalf("%s conn is %T, not *net.TCPConn", name, c)
+		}
+		raw, err := tc.SyscallConn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var val int
+		var geterr error
+		if err := raw.Control(func(fd uintptr) {
+			val, geterr = syscall.GetsockoptInt(int(fd), syscall.IPPROTO_TCP, syscall.TCP_NODELAY)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if geterr != nil {
+			t.Skipf("getsockopt unavailable: %v", geterr)
+		}
+		if val == 0 {
+			t.Errorf("%s connection: TCP_NODELAY not set", name)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,7 +50,20 @@ type Faulty struct {
 	mu          sync.Mutex
 	conns       int64
 	failedDials int
+
+	framesWritten atomic.Int64
+	writeCalls    atomic.Int64
 }
+
+// FramesWritten reports how many whole wire frames have been written
+// through all connections of this transport (dropped frames included —
+// the writer produced them; the fault swallowed them).
+func (f *Faulty) FramesWritten() int64 { return f.framesWritten.Load() }
+
+// WriteCalls reports how many Write calls all connections received.
+// With frame coalescing upstream, FramesWritten / WriteCalls measures
+// the batching factor — how many frames each would-be syscall carries.
+func (f *Faulty) WriteCalls() int64 { return f.writeCalls.Load() }
 
 var _ Transport = (*Faulty)(nil)
 
@@ -97,6 +111,7 @@ func (f *Faulty) wrap(c net.Conn) net.Conn {
 	f.mu.Unlock()
 	return &faultConn{
 		Conn: c,
+		f:    f,
 		cfg:  f.cfg,
 		rng:  rand.New(rand.NewPCG(uint64(f.cfg.Seed), uint64(n)+0x5ea1)),
 	}
@@ -121,6 +136,7 @@ func (l *faultyListener) Accept() (net.Conn, error) {
 // compose to cover both directions of a duplex link.
 type faultConn struct {
 	net.Conn
+	f   *Faulty
 	cfg FaultConfig
 	rng *rand.Rand
 
@@ -141,6 +157,7 @@ const frameHeaderSize = 5
 func (c *faultConn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.f.writeCalls.Add(1)
 	if c.broken {
 		return 0, fmt.Errorf("transport: injected break on %v", c.Conn.LocalAddr())
 	}
@@ -152,6 +169,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		}
 		frame := c.buf[:total]
 		c.frames++
+		c.f.framesWritten.Add(1)
 		if d := c.frameDelay(); d > 0 {
 			time.Sleep(d)
 		}

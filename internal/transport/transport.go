@@ -20,9 +20,26 @@ type Transport interface {
 }
 
 // TCP is the production transport over net.
+//
+// Both dialed and accepted connections get TCP_NODELAY set explicitly.
+// Go's net package happens to default to no-delay, but the runtime's
+// send queues rely on it — they do their own batching (coalescing many
+// frames into one write), and Nagle underneath an application-level
+// batcher would add a second, uncontrolled delay stage on top of the
+// configured linger. Setting it here makes the latency model
+// independent of the net package's defaults.
 type TCP struct{}
 
 var _ Transport = TCP{}
+
+// setNoDelay disables Nagle on TCP connections; other conn types (e.g.
+// a test double) pass through untouched.
+func setNoDelay(c net.Conn) net.Conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return c
+}
 
 // Listen implements Transport.
 func (TCP) Listen(addr string) (net.Listener, error) {
@@ -30,7 +47,21 @@ func (TCP) Listen(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return l, nil
+	return tcpListener{l}, nil
+}
+
+// tcpListener applies the connection options to accepted connections.
+type tcpListener struct {
+	net.Listener
+}
+
+// Accept implements net.Listener.
+func (l tcpListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return setNoDelay(c), nil
 }
 
 // Dial implements Transport.
@@ -39,7 +70,7 @@ func (TCP) Dial(addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return c, nil
+	return setNoDelay(c), nil
 }
 
 // Mem is an in-process transport: listeners register under string

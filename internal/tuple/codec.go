@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Wire format (all integers little-endian):
@@ -55,13 +56,24 @@ func Marshal(t *Tuple) ([]byte, error) {
 	if t == nil {
 		return nil, ErrNilTuple
 	}
+	return AppendMarshal(make([]byte, 0, t.WireSize()), t)
+}
+
+// AppendMarshal appends the tuple's encoding to dst and returns the
+// extended slice, so hot paths can serialize into pooled or reused
+// buffers. On error the returned slice may carry a partial encoding;
+// callers should truncate back to the original length before reuse.
+func AppendMarshal(dst []byte, t *Tuple) ([]byte, error) {
+	if t == nil {
+		return dst, ErrNilTuple
+	}
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if len(t.fields) >= maxFields {
-		return nil, fmt.Errorf("tuple: %d fields exceeds limit", len(t.fields))
+		return dst, fmt.Errorf("tuple: %d fields exceeds limit", len(t.fields))
 	}
-	buf := make([]byte, 0, t.WireSize())
+	buf := dst
 	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
 	buf = binary.LittleEndian.AppendUint64(buf, t.SeqNo)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.EmitNanos))
@@ -69,7 +81,7 @@ func Marshal(t *Tuple) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.fields)))
 	for _, f := range t.fields {
 		if len(f.Name) > maxFieldName {
-			return nil, fmt.Errorf("tuple: field name %q too long", f.Name)
+			return buf, fmt.Errorf("tuple: field name %q too long", f.Name)
 		}
 		buf = append(buf, byte(len(f.Name)))
 		buf = append(buf, f.Name...)
@@ -97,7 +109,7 @@ func Marshal(t *Tuple) ([]byte, error) {
 				m = &Matrix{}
 			}
 			if m.Rows < 0 || m.Cols < 0 || m.Rows*m.Cols != len(m.Data) {
-				return nil, fmt.Errorf("tuple: field %q matrix shape %dx%d does not match %d elements",
+				return buf, fmt.Errorf("tuple: field %q matrix shape %dx%d does not match %d elements",
 					f.Name, m.Rows, m.Cols, len(m.Data))
 			}
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
@@ -106,10 +118,37 @@ func Marshal(t *Tuple) ([]byte, error) {
 				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 			}
 		default:
-			return nil, fmt.Errorf("tuple: field %q has unsupported kind %v", f.Name, f.Value.kind)
+			return buf, fmt.Errorf("tuple: field %q has unsupported kind %v", f.Name, f.Value.kind)
 		}
 	}
 	return buf, nil
+}
+
+// Field names recur on every tuple of a stream (the same few names,
+// millions of tuples), so decoding interns them instead of allocating a
+// fresh string per field. The table is bounded: hostile streams with
+// unbounded distinct names fall back to plain allocation once it fills.
+const internCap = 1024
+
+var (
+	internMu    sync.RWMutex
+	internTable = make(map[string]string)
+)
+
+func internName(b []byte) string {
+	internMu.RLock()
+	s, ok := internTable[string(b)] // compiler avoids allocating the key
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTable) < internCap {
+		internTable[s] = s
+	}
+	internMu.Unlock()
+	return s
 }
 
 type reader struct {
@@ -161,6 +200,20 @@ func (r *reader) u64() (uint64, error) {
 // Unmarshal parses a tuple from data. The returned tuple owns copies of all
 // payloads; data may be reused afterwards.
 func Unmarshal(data []byte) (*Tuple, error) {
+	return unmarshal(data, false)
+}
+
+// UnmarshalShared parses a tuple whose byte-array fields alias data
+// instead of copying it. The caller must keep data alive and unmutated
+// for as long as the tuple (or anything derived from its bytes fields)
+// is in use — e.g. a pooled frame buffer may only be released after the
+// tuple has been fully processed. All other field kinds are owned by
+// the tuple as with Unmarshal.
+func UnmarshalShared(data []byte) (*Tuple, error) {
+	return unmarshal(data, true)
+}
+
+func unmarshal(data []byte, share bool) (*Tuple, error) {
 	r := &reader{buf: data}
 	id, err := r.u64()
 	if err != nil {
@@ -183,7 +236,11 @@ func Unmarshal(data []byte) (*Tuple, error) {
 		return nil, err
 	}
 	t := &Tuple{ID: id, SeqNo: seq, EmitNanos: int64(emit), Attempt: attempt}
-	t.fields = make([]Field, 0, nf)
+	if int(nf) <= len(t.farr) {
+		t.fields = t.farr[:0]
+	} else {
+		t.fields = make([]Field, 0, nf)
+	}
 	for i := 0; i < int(nf); i++ {
 		nameLen, err := r.u8()
 		if err != nil {
@@ -193,7 +250,7 @@ func Unmarshal(data []byte) (*Tuple, error) {
 		if err != nil {
 			return nil, err
 		}
-		name := string(nameBytes)
+		name := internName(nameBytes)
 		kindByte, err := r.u8()
 		if err != nil {
 			return nil, err
@@ -213,9 +270,13 @@ func Unmarshal(data []byte) (*Tuple, error) {
 			if err != nil {
 				return nil, err
 			}
-			b := make([]byte, n)
-			copy(b, raw)
-			v = Bytes(b)
+			if share {
+				v = Bytes(raw)
+			} else {
+				b := make([]byte, n)
+				copy(b, raw)
+				v = Bytes(b)
+			}
 		case KindString:
 			n, err := r.u32()
 			if err != nil {

@@ -1,0 +1,143 @@
+package tuple
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleTuple() *Tuple {
+	t := New(7, 3)
+	t.EmitNanos = 555
+	t.Attempt = 1
+	t.Set("frame", Bytes([]byte{1, 2, 3, 4}))
+	t.Set("camera", String("rear"))
+	t.Set("ts", Int64(99))
+	return t
+}
+
+// TestAppendMarshalMatchesMarshal: the append-based encoder must emit
+// byte-identical output after any prefix.
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	tp := sampleTuple()
+	plain, err := Marshal(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := AppendMarshal([]byte("prefix"), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended[len("prefix"):], plain) {
+		t.Fatal("AppendMarshal output differs from Marshal")
+	}
+	// Reusing the same buffer must not corrupt the second encoding.
+	buf := appended[:0]
+	buf, err = AppendMarshal(buf, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, plain) {
+		t.Fatal("AppendMarshal into reused buffer differs")
+	}
+}
+
+// TestUnmarshalSharedAliases: the zero-copy decoder must alias byte
+// fields into the input buffer, and the regular decoder must not.
+func TestUnmarshalSharedAliases(t *testing.T) {
+	data, err := Marshal(sampleTuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := UnmarshalShared(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Equal(sampleTuple()) {
+		t.Fatal("shared decode mismatch")
+	}
+	sb, err := shared.MustBytes("frame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := owned.MustBytes("frame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate through the shared view: the input buffer must change (they
+	// alias), while the owned decode must be unaffected.
+	before := append([]byte(nil), data...)
+	sb[0] = 0xFF
+	if bytes.Equal(data, before) {
+		t.Fatal("shared bytes do not alias input")
+	}
+	if ob[0] == 0xFF {
+		t.Fatal("owned bytes alias input")
+	}
+}
+
+// TestUnmarshalSharedAllocs pins the decode allocation budget for the
+// worker's hot path: tuple (with inline field storage), interned names,
+// aliased bytes — only the string field's copy and the tuple itself
+// should allocate.
+func TestUnmarshalSharedAllocs(t *testing.T) {
+	data, err := Marshal(sampleTuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the name-intern table outside the measured window.
+	if _, err := UnmarshalShared(data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := UnmarshalShared(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 1 tuple + 1 string-field copy.
+	if allocs > 2 {
+		t.Fatalf("UnmarshalShared allocates %.1f/op, want <= 2", allocs)
+	}
+}
+
+// TestMarshalAllocs: encoding must allocate only the output buffer.
+func TestMarshalAllocs(t *testing.T) {
+	tp := sampleTuple()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Marshal(tp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Marshal allocates %.1f/op, want <= 1", allocs)
+	}
+	// And AppendMarshal into a pre-sized buffer must not allocate at all.
+	buf := make([]byte, 0, tp.WireSize())
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, err := AppendMarshal(buf[:0], tp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMarshal allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestValidateManyFields keeps the map-based duplicate check for large
+// tuples honest (the alloc-free fast path only covers small ones).
+func TestValidateManyFields(t *testing.T) {
+	big := New(1, 1)
+	for i := 0; i < 20; i++ {
+		big.Set(string(rune('a'+i)), Int64(int64(i)))
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	big.fields = append(big.fields, Field{Name: "a", Value: Int64(0)})
+	if err := big.Validate(); err == nil {
+		t.Fatal("duplicate in large tuple accepted")
+	}
+}

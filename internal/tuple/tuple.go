@@ -212,6 +212,13 @@ type Tuple struct {
 	Attempt   uint8
 
 	fields []Field
+	// farr inlines storage for small field lists (the common case for
+	// sensing tuples: a payload plus a couple of annotations), so
+	// decoding a tuple costs one allocation instead of two. fields
+	// aliases farr when it fits; Set's append spills to the heap
+	// transparently when it does not. Tuples must not be copied by
+	// value (use Clone), or fields would alias the original's farr.
+	farr [4]Field
 }
 
 // Errors returned by tuple operations.
@@ -343,6 +350,22 @@ func (t *Tuple) Equal(o *Tuple) bool {
 func (t *Tuple) Validate() error {
 	if t == nil {
 		return ErrNilTuple
+	}
+	// Small tuples (the hot path) take a quadratic scan rather than
+	// allocating a set; Validate runs on every Marshal and Unmarshal.
+	if len(t.fields) <= 16 {
+		for i := range t.fields {
+			f := &t.fields[i]
+			if f.Value.kind == 0 || f.Value.kind > KindFloatMatrix {
+				return fmt.Errorf("tuple: field %q has invalid kind %d", f.Name, f.Value.kind)
+			}
+			for j := 0; j < i; j++ {
+				if t.fields[j].Name == f.Name {
+					return fmt.Errorf("%w: %q", ErrDupField, f.Name)
+				}
+			}
+		}
+		return nil
 	}
 	seen := make(map[string]struct{}, len(t.fields))
 	for _, f := range t.fields {

@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// countingWriter records how many Write calls it received.
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the torn-frame fix: header and payload
+// must reach the connection in one Write call, and the byte layout must
+// stay the historical u32-length | type | payload.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	payload := []byte("coalesce me")
+	var w countingWriter
+	if err := WriteFrame(&w, FrameTuple, payload); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("WriteFrame issued %d writes, want 1", w.writes)
+	}
+	want := []byte{byte(len(payload)), 0, 0, 0, byte(FrameTuple)}
+	want = append(want, payload...)
+	if !bytes.Equal(w.buf.Bytes(), want) {
+		t.Fatalf("frame bytes %x, want %x", w.buf.Bytes(), want)
+	}
+}
+
+// TestAppendFrameMatchesWriteFrame: the append-based encoder used by the
+// coalescing send queues must produce byte-identical frames.
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResult, payload); err != nil {
+		t.Fatal(err)
+	}
+	appended, err := AppendFrame([]byte("prefix"), FrameResult, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended[len("prefix"):], buf.Bytes()) {
+		t.Fatalf("AppendFrame %x != WriteFrame %x", appended[len("prefix"):], buf.Bytes())
+	}
+	if _, err := AppendFrame(nil, FrameTuple, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized append: err = %v", err)
+	}
+}
+
+// TestReadFrameZeroLengthNil: control frames (ping/pong/start/stop)
+// carry no payload and must not allocate one.
+func TestReadFrameZeroLengthNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePong, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != FramePong {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	if payload != nil {
+		t.Fatalf("zero-length frame returned non-nil payload %v", payload)
+	}
+}
+
+// TestReadFrameEmptyAllocs is the allocation regression test for the
+// zero-length path: reading a control frame must not allocate at all.
+func TestReadFrameEmptyAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	r := bytes.NewReader(frame)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		if _, _, err := ReadFrame(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-length ReadFrame allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestReadFrameBufAllocs: the pooled read path must be allocation-free
+// at steady state even for payload-bearing frames.
+func TestReadFrameBufAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameTuple, make([]byte, 6*1024)); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	r := bytes.NewReader(frame)
+	// Prime the pool outside the measured window.
+	r.Reset(frame)
+	if _, b, err := ReadFrameBuf(r); err != nil {
+		t.Fatal(err)
+	} else {
+		b.Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		_, b, err := ReadFrameBuf(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled ReadFrameBuf allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestWriteFrameAllocs: the single-write encoder must be allocation-free
+// at steady state (pooled scratch buffer).
+func TestWriteFrameAllocs(t *testing.T) {
+	payload := make([]byte, 6*1024)
+	if err := WriteFrame(io.Discard, FrameTuple, payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := WriteFrame(io.Discard, FrameTuple, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteFrame allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestReadFrameBufRoundTrip checks payload fidelity and the zero-length
+// nil-Buf contract, including that Release on a nil Buf is safe.
+func TestReadFrameBufRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("pooled payload")
+	if err := WriteFrame(&buf, FrameResult, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameStop, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, b, err := ReadFrameBuf(&buf)
+	if err != nil || typ != FrameResult {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	if !bytes.Equal(b.B, payload) {
+		t.Fatalf("payload %q", b.B)
+	}
+	b.Release()
+	typ, b, err = ReadFrameBuf(&buf)
+	if err != nil || typ != FrameStop {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	if b != nil {
+		t.Fatalf("zero-length frame returned buffer %v", b)
+	}
+	b.Release() // nil-safe by contract
+}
+
+// TestResultBinaryMeta pins the binary fast path: AppendResult sets the
+// high bit on the meta length and DecodeResult restores every field.
+func TestResultBinaryMeta(t *testing.T) {
+	meta := ResultMeta{TupleID: 1 << 40, Attempt: 3, EmitNanos: -7, ProcNanos: 12345, Dropped: true}
+	payload := AppendResult(nil, meta, []byte{9, 8, 7})
+	got, tupleBytes, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta %+v, want %+v", got, meta)
+	}
+	if !bytes.Equal(tupleBytes, []byte{9, 8, 7}) {
+		t.Fatalf("tuple bytes %v", tupleBytes)
+	}
+	if payload[3]&0x80 == 0 {
+		t.Fatal("binary meta marker bit not set")
+	}
+	// Truncated binary meta is rejected, not sliced out of bounds.
+	if _, _, err := DecodeResult(payload[:10]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated binary meta: err = %v", err)
+	}
+}
+
+// TestResultJSONFallback: payloads from the original JSON meta encoding
+// (clear high bit) still decode, so mixed-version captures and fuzz
+// corpora remain valid.
+func TestResultJSONFallback(t *testing.T) {
+	meta := ResultMeta{TupleID: 42, EmitNanos: 100, ProcNanos: 5}
+	mb, err := EncodeJSON(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 0, 4+len(mb)+2)
+	payload = append(payload, byte(len(mb)), 0, 0, 0)
+	payload = append(payload, mb...)
+	payload = append(payload, 0xAA, 0xBB)
+	got, tupleBytes, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("meta %+v, want %+v", got, meta)
+	}
+	if !bytes.Equal(tupleBytes, []byte{0xAA, 0xBB}) {
+		t.Fatalf("tuple bytes %v", tupleBytes)
+	}
+}
+
+// TestResultBatchRoundTrip: N results in, the same N out, in order,
+// through a framed write/read cycle.
+func TestResultBatchRoundTrip(t *testing.T) {
+	var batch ResultBatch
+	if got := batch.Payload(); got != nil {
+		t.Fatalf("empty batch payload %v", got)
+	}
+	want := []ResultMeta{
+		{TupleID: 1, EmitNanos: 10, ProcNanos: 1},
+		{TupleID: 2, EmitNanos: 20, ProcNanos: 2, Dropped: true},
+		{TupleID: 3, Attempt: 2, EmitNanos: 30, ProcNanos: 3},
+	}
+	bodies := [][]byte{[]byte("result-1"), nil, []byte("result-3")}
+	for i, m := range want {
+		batch.Add(m, bodies[i])
+	}
+	if batch.Count() != len(want) {
+		t.Fatalf("count %d", batch.Count())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResultBatch, batch.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != FrameResultBatch {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	var i int
+	err = DecodeResultBatch(payload, func(entry []byte) error {
+		meta, tupleBytes, err := DecodeResult(entry)
+		if err != nil {
+			return err
+		}
+		if meta != want[i] {
+			t.Fatalf("entry %d meta %+v, want %+v", i, meta, want[i])
+		}
+		if !bytes.Equal(tupleBytes, bodies[i]) {
+			t.Fatalf("entry %d tuple bytes %v, want %v", i, tupleBytes, bodies[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("decoded %d entries, want %d", i, len(want))
+	}
+
+	// Reset keeps the buffer but empties the batch.
+	batch.Reset()
+	if batch.Count() != 0 || batch.Payload() != nil {
+		t.Fatal("Reset did not empty the batch")
+	}
+	batch.Add(want[0], nil)
+	if batch.Count() != 1 {
+		t.Fatal("batch unusable after Reset")
+	}
+}
+
+// TestDecodeResultBatchErrors rejects malformed batch payloads instead
+// of panicking or silently truncating.
+func TestDecodeResultBatchErrors(t *testing.T) {
+	nop := func([]byte) error { return nil }
+	if err := DecodeResultBatch([]byte{1, 2}, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload: err = %v", err)
+	}
+	// Claims one entry but has no entry header.
+	if err := DecodeResultBatch([]byte{1, 0, 0, 0}, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("missing entry: err = %v", err)
+	}
+	// Entry length overruns the payload.
+	if err := DecodeResultBatch([]byte{1, 0, 0, 0, 0xff, 0, 0, 0}, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overrun entry: err = %v", err)
+	}
+	// Trailing garbage after the declared entries.
+	var batch ResultBatch
+	batch.Add(ResultMeta{TupleID: 1}, nil)
+	bad := append(append([]byte{}, batch.Payload()...), 0xEE)
+	if err := DecodeResultBatch(bad, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing bytes: err = %v", err)
+	}
+	// Errors from the callback propagate.
+	sentinel := errors.New("stop")
+	if err := DecodeResultBatch(batch.Payload(), func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error: err = %v", err)
+	}
+}
+
+// TestFrameResultBatchType: the new frame type is named and accepted by
+// the reader's type validation.
+func TestFrameResultBatchType(t *testing.T) {
+	if FrameResultBatch.String() != "resultBatch" {
+		t.Fatalf("String() = %q", FrameResultBatch.String())
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResultBatch, []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := ReadFrame(&buf)
+	if err != nil || typ != FrameResultBatch {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	// One past the last known type is still rejected.
+	bad := []byte{0, 0, 0, 0, byte(FrameResultBatch) + 1}
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unknown type: err = %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// BenchmarkWriteFrame measures the per-frame encode+write cost of the
+// framing layer against a no-op writer.
+func BenchmarkWriteFrame(b *testing.B) {
+	payload := make([]byte, 6*1024) // a facerec frame
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io.Discard, FrameTuple, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFrame measures the per-frame decode cost, including the
+// payload buffer the caller receives.
+func BenchmarkReadFrame(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameTuple, make([]byte, 6*1024)); err != nil {
+		b.Fatal(err)
+	}
+	frame := buf.Bytes()
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, err := ReadFrame(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFrameEmpty measures the control-frame path (pings, pongs,
+// start/stop): zero-length payloads should not allocate.
+func BenchmarkReadFrameEmpty(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FramePing, nil); err != nil {
+		b.Fatal(err)
+	}
+	frame := buf.Bytes()
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, err := ReadFrame(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,20 @@
 // carries deployment control, the downstream tuple stream, and the
 // upstream result/ACK stream. TCP's own flow control provides the
 // backpressure that the paper's resource management reacts to.
+//
+// # Buffer ownership
+//
+// The hot-path entry points hand out pooled buffers with explicit
+// release semantics:
+//
+//   - ReadFrameBuf returns the payload inside a *Buf borrowed from the
+//     pool. The caller owns it until it calls Release; after Release the
+//     payload bytes must not be touched (the buffer will be overwritten
+//     by a future frame). Copy anything that outlives the handler.
+//   - GetBuf / (*Buf).Release follow the same rule for callers that
+//     assemble outbound frames with AppendFrame or AppendResult.
+//   - WriteFrame borrows and releases internally; its payload argument
+//     is never retained.
 package wire
 
 import (
@@ -15,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // FrameType distinguishes frame payloads.
@@ -45,6 +60,11 @@ const (
 	FramePing
 	// FramePong is the worker's echo of a FramePing payload.
 	FramePong
+	// FrameResultBatch carries many FrameResult payloads in one frame:
+	// u32 count, then count × (u32 length, result payload). Workers use
+	// it to batch acks/results on a short linger so one upstream write
+	// amortizes over many tuples.
+	FrameResultBatch
 )
 
 // String names the frame type.
@@ -68,6 +88,8 @@ func (t FrameType) String() string {
 		return "ping"
 	case FramePong:
 		return "pong"
+	case FrameResultBatch:
+		return "resultBatch"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -83,45 +105,148 @@ var (
 	ErrBadFrame      = errors.New("wire: malformed frame")
 )
 
-// WriteFrame writes one frame: u32 little-endian payload length, type
-// byte, payload. Callers serialize concurrent writers externally.
-func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
+// Buf is a pooled payload buffer. Get one with GetBuf (or via
+// ReadFrameBuf) and return it with Release when the bytes are no longer
+// needed. B may be re-sliced/appended freely while owned.
+type Buf struct {
+	B []byte
+}
+
+// maxPooledBuf caps the capacity a buffer may have and still return to
+// the pool; a rare 16 MiB frame should not pin 16 MiB per pool slot
+// forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, 4096)} }}
+
+// GetBuf returns a pooled buffer with length n (contents undefined).
+func GetBuf(n int) *Buf {
+	b := bufPool.Get().(*Buf)
+	if cap(b.B) < n {
+		b.B = make([]byte, n)
+	} else {
+		b.B = b.B[:n]
+	}
+	return b
+}
+
+// Release returns the buffer to the pool. Safe on nil. The caller must
+// not use b.B after Release.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	if cap(b.B) > maxPooledBuf {
+		return // let the GC take oversized buffers
+	}
+	bufPool.Put(b)
+}
+
+// AppendFrame appends one encoded frame — u32 little-endian payload
+// length, type byte, payload — to dst and returns the extended slice.
+// The byte layout is identical to WriteFrame's output, so appended
+// frames may be concatenated and flushed in a single write.
+func AppendFrame(dst []byte, typ FrameType, payload []byte) ([]byte, error) {
 	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = byte(typ)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, byte(typ))
+	return append(dst, payload...), nil
+}
+
+// WriteFrame writes one frame: u32 little-endian payload length, type
+// byte, payload. Header and payload are coalesced into a single Write
+// call, so frames are never torn across writes and small frames are not
+// split into two segments. Callers serialize concurrent writers
+// externally.
+func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
+	buf := GetBuf(0)
+	b, err := AppendFrame(buf.B, typ, payload)
+	if err != nil {
+		buf.Release()
+		return err
 	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("write frame payload: %w", err)
-		}
+	buf.B = b
+	_, err = w.Write(b)
+	buf.Release()
+	if err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one frame written by WriteFrame.
+// ReadFrame reads one frame written by WriteFrame. The payload is
+// freshly allocated (nil for zero-length frames) and owned by the
+// caller; hot paths should prefer ReadFrameBuf.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header goes through a pooled buffer rather than a stack array:
+	// a [5]byte sliced into an io.Reader interface escapes, costing one
+	// allocation per frame.
+	hb := GetBuf(5)
+	defer hb.Release()
+	if _, err := io.ReadFull(r, hb.B); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
-	if n > MaxFrameSize {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	n := binary.LittleEndian.Uint32(hb.B[:4])
+	typ, err := checkHeader(hb.B[4], n)
+	if err != nil {
+		return 0, nil, err
 	}
-	typ := FrameType(hdr[4])
-	if typ < FrameHello || typ > FramePong {
-		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[4])
+	if n == 0 {
+		return typ, nil, nil
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("read frame payload: %w", err)
 	}
 	return typ, payload, nil
+}
+
+// ReadFrameBuf reads one frame into a pooled buffer. The returned *Buf
+// (nil for zero-length frames) holds the payload in B; the caller must
+// Release it once the payload has been consumed and must not retain
+// sub-slices of it past the Release.
+func ReadFrameBuf(r io.Reader) (FrameType, *Buf, error) {
+	// One pooled buffer serves both the header read and, grown in
+	// place, the payload read — the whole frame costs zero allocations
+	// at steady state.
+	buf := GetBuf(5)
+	if _, err := io.ReadFull(r, buf.B); err != nil {
+		buf.Release()
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(buf.B[:4])
+	typ, err := checkHeader(buf.B[4], n)
+	if err != nil {
+		buf.Release()
+		return 0, nil, err
+	}
+	if n == 0 {
+		buf.Release()
+		return typ, nil, nil
+	}
+	if cap(buf.B) < int(n) {
+		buf.B = make([]byte, n)
+	} else {
+		buf.B = buf.B[:n]
+	}
+	if _, err := io.ReadFull(r, buf.B); err != nil {
+		buf.Release()
+		return 0, nil, fmt.Errorf("read frame payload: %w", err)
+	}
+	return typ, buf, nil
+}
+
+func checkHeader(rawType byte, n uint32) (FrameType, error) {
+	if n > MaxFrameSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	typ := FrameType(rawType)
+	if typ < FrameHello || typ > FrameResultBatch {
+		return 0, fmt.Errorf("%w: unknown type %d", ErrBadFrame, rawType)
+	}
+	return typ, nil
 }
 
 // Hello is the worker's registration message.
@@ -152,6 +277,16 @@ type Deploy struct {
 	// echo it in their next Hello; a change tells a reconnecting worker it
 	// is being re-adopted by a new incarnation.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Parallelism sets the worker's processor-pool width (how many
+	// tuples it may process concurrently). 0 means the worker picks its
+	// default (GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// AckLingerMicros is the worker's result/ack batching window in
+	// microseconds: completed results may wait up to this long to share
+	// a FrameResultBatch with their successors. 0 disables lingering
+	// (results still batch opportunistically when they are already
+	// queued behind each other).
+	AckLingerMicros int64 `json:"ackLingerMicros,omitempty"`
 }
 
 // ResultMeta prefixes a FrameResult payload (before the tuple bytes).
@@ -217,27 +352,61 @@ func DecodeJSON(data []byte, v any) error {
 	return nil
 }
 
-// EncodeResult builds a FrameResult payload: u32 meta length, JSON meta,
-// tuple bytes.
-func EncodeResult(meta ResultMeta, tupleBytes []byte) ([]byte, error) {
-	mb, err := EncodeJSON(meta)
-	if err != nil {
-		return nil, err
+// Result payload encoding. The payload opens with a u32 meta length; a
+// set high bit marks the fixed-width binary meta written by AppendResult
+// (the hot path, allocation-free), a clear high bit a JSON meta (the
+// original encoding, still accepted on decode). Tuple bytes follow the
+// meta either way.
+const (
+	binaryMetaFlag = 1 << 31
+	binaryMetaSize = 8 + 1 + 8 + 8 + 1 // id, attempt, emit, proc, flags
+)
+
+// AppendResult appends one encoded result payload (binary meta + tuple
+// bytes) to dst and returns the extended slice.
+func AppendResult(dst []byte, meta ResultMeta, tupleBytes []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, binaryMetaFlag|binaryMetaSize)
+	dst = binary.LittleEndian.AppendUint64(dst, meta.TupleID)
+	dst = append(dst, meta.Attempt)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(meta.EmitNanos))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(meta.ProcNanos))
+	var flags byte
+	if meta.Dropped {
+		flags = 1
 	}
-	out := make([]byte, 0, 4+len(mb)+len(tupleBytes))
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(mb)))
-	out = append(out, mb...)
-	out = append(out, tupleBytes...)
-	return out, nil
+	dst = append(dst, flags)
+	return append(dst, tupleBytes...)
 }
 
-// DecodeResult splits a FrameResult payload.
+// EncodeResult builds a FrameResult payload: u32 meta length, meta,
+// tuple bytes.
+func EncodeResult(meta ResultMeta, tupleBytes []byte) ([]byte, error) {
+	out := make([]byte, 0, 4+binaryMetaSize+len(tupleBytes))
+	return AppendResult(out, meta, tupleBytes), nil
+}
+
+// DecodeResult splits a FrameResult payload. The returned tuple bytes
+// alias the input payload.
 func DecodeResult(payload []byte) (ResultMeta, []byte, error) {
 	if len(payload) < 4 {
 		return ResultMeta{}, nil, fmt.Errorf("%w: short result", ErrBadFrame)
 	}
 	n := binary.LittleEndian.Uint32(payload[:4])
-	if int(n) > len(payload)-4 {
+	if n&binaryMetaFlag != 0 {
+		if n&^uint32(binaryMetaFlag) != binaryMetaSize || len(payload) < 4+binaryMetaSize {
+			return ResultMeta{}, nil, fmt.Errorf("%w: bad binary result meta", ErrBadFrame)
+		}
+		b := payload[4:]
+		meta := ResultMeta{
+			TupleID:   binary.LittleEndian.Uint64(b[0:8]),
+			Attempt:   b[8],
+			EmitNanos: int64(binary.LittleEndian.Uint64(b[9:17])),
+			ProcNanos: int64(binary.LittleEndian.Uint64(b[17:25])),
+			Dropped:   b[25]&1 != 0,
+		}
+		return meta, payload[4+binaryMetaSize:], nil
+	}
+	if int64(n) > int64(len(payload)-4) {
 		return ResultMeta{}, nil, fmt.Errorf("%w: result meta length %d", ErrBadFrame, n)
 	}
 	var meta ResultMeta
@@ -245,4 +414,76 @@ func DecodeResult(payload []byte) (ResultMeta, []byte, error) {
 		return ResultMeta{}, nil, err
 	}
 	return meta, payload[4+n:], nil
+}
+
+// ResultBatch accumulates result payloads for one FrameResultBatch
+// frame. The zero value is ready to use; Reset after each flush keeps
+// the underlying buffer for reuse. Layout: u32 count, then count ×
+// (u32 entry length, result payload).
+type ResultBatch struct {
+	buf   []byte
+	count uint32
+}
+
+// Add appends one result to the batch.
+func (b *ResultBatch) Add(meta ResultMeta, tupleBytes []byte) {
+	if len(b.buf) == 0 {
+		b.buf = append(b.buf, 0, 0, 0, 0) // count, patched in Payload
+	}
+	start := len(b.buf)
+	b.buf = append(b.buf, 0, 0, 0, 0) // entry length, patched below
+	b.buf = AppendResult(b.buf, meta, tupleBytes)
+	binary.LittleEndian.PutUint32(b.buf[start:], uint32(len(b.buf)-start-4))
+	b.count++
+}
+
+// Count reports how many results the batch holds.
+func (b *ResultBatch) Count() int { return int(b.count) }
+
+// Size reports the encoded payload size in bytes.
+func (b *ResultBatch) Size() int { return len(b.buf) }
+
+// Payload finalizes the count prefix and returns the frame payload
+// (nil for an empty batch). The slice aliases the batch's buffer and is
+// invalidated by the next Add or Reset.
+func (b *ResultBatch) Payload() []byte {
+	if b.count == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(b.buf[:4], b.count)
+	return b.buf
+}
+
+// Reset empties the batch, keeping the buffer capacity.
+func (b *ResultBatch) Reset() {
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
+// DecodeResultBatch walks a FrameResultBatch payload, invoking fn with
+// each entry's result payload (decode with DecodeResult). Entries alias
+// the input. Decoding stops at the first error from fn.
+func DecodeResultBatch(payload []byte, fn func(entry []byte) error) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("%w: short result batch", ErrBadFrame)
+	}
+	count := binary.LittleEndian.Uint32(payload[:4])
+	rest := payload[4:]
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: result batch truncated at entry %d", ErrBadFrame, i)
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if uint64(n) > uint64(len(rest)-4) {
+			return fmt.Errorf("%w: result batch entry %d length %d", ErrBadFrame, i, n)
+		}
+		if err := fn(rest[4 : 4+n]); err != nil {
+			return err
+		}
+		rest = rest[4+n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after result batch", ErrBadFrame, len(rest))
+	}
+	return nil
 }

@@ -14,6 +14,12 @@ fi
 
 go vet ./...
 go test -race ./...
+# Dataplane allocation budgets are pinned by regression tests
+# (TestWriteFrameAllocs, TestReadFrameBufAllocs, TestReadFrameEmptyAllocs,
+# TestUnmarshalSharedAllocs, TestMarshalAllocs); the race run above covers
+# them, and this smoke run proves every dataplane benchmark still compiles
+# and completes one iteration.
+go test -run=NONE -bench=. -benchtime=1x ./internal/wire ./internal/tuple ./internal/runtime
 # The live runtime's fault-tolerance and liveness paths (retransmit,
 # reconnect, heartbeat eviction, breakers, fault injection) are
 # timing-sensitive; run them a second time under the race detector.
