@@ -43,6 +43,7 @@ type masterOpts struct {
 	breakerCooldown          time.Duration
 	breakerAckTimeout        time.Duration
 	inflightHighWater        int
+	shards                   int
 	parallelism              int
 	linger                   time.Duration
 	statusEvery              time.Duration
@@ -86,6 +87,7 @@ func run(args []string) error {
 		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
 
 		// Dataplane tuning (master; deployed to every worker).
+		shards   = fs.Int("shards", 0, "master: hot-state shard count, rounded up to a power of two and capped at 128 (0 = GOMAXPROCS)")
 		parallel = fs.Int("parallelism", 0, "master: worker processor-pool width deployed to every worker (0 = worker GOMAXPROCS)")
 		linger   = fs.Duration("linger", 0, "master: worker ack/result batching window; a result may wait up to this long to share a frame (0 = opportunistic batching only)")
 
@@ -132,7 +134,7 @@ func run(args []string) error {
 			retryDeadline: *retryDL, maxAttempts: *maxTries,
 			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
 			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
-			inflightHighWater: *inflHW, parallelism: *parallel, linger: *linger,
+			inflightHighWater: *inflHW, shards: *shards, parallelism: *parallel, linger: *linger,
 			statusEvery: *statusEv,
 			journal:     *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
 			transport: faults,
@@ -194,6 +196,7 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		BreakerCooldown:   opt.breakerCooldown,
 		BreakerAckTimeout: opt.breakerAckTimeout,
 		InflightHighWater: opt.inflightHighWater,
+		Shards:            opt.shards,
 		Parallelism:       opt.parallelism,
 		AckLinger:         opt.linger,
 		JournalPath:       opt.journal,

@@ -112,6 +112,14 @@ type Router struct {
 	probeIdx   int
 	lastLambda float64
 	infeasible bool
+
+	// lastTable is the most recently built immutable snapshot (see
+	// snapshot.go); Table consults it to migrate un-consumed probe budget
+	// into the next snapshot. probeArmed marks that Reconfigure opened a
+	// fresh probe window since the last snapshot, which must not be
+	// clipped by the (drained) budget of the previous one.
+	lastTable  *Table
+	probeArmed bool
 }
 
 // Errors returned by Router operations.
@@ -284,6 +292,7 @@ func (r *Router) Reconfigure(lambda float64) {
 	r.rounds++
 	if r.cfg.ProbeEvery > 0 && r.rounds%r.cfg.ProbeEvery == 0 {
 		r.probeLeft = r.cfg.ProbeTuples
+		r.probeArmed = true
 	}
 	r.recompute(lambda)
 }

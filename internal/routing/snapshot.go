@@ -1,0 +1,188 @@
+package routing
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Table is an immutable snapshot of one router's routing table, built by
+// Router.Table and published RCU-style (the runtime swaps an
+// atomic.Pointer[Table] on every reconfigure or membership change). Pick
+// is safe for unlimited concurrent callers without any lock on the
+// weighted-random and round-robin paths: the selection, weights and
+// cumulative-weight slices are frozen at build time, and the only mutable
+// state — the shared probe budget and the round-robin cursor — is atomic.
+// The deterministic SWRR ablation alone takes a small internal mutex
+// (credit accounting is inherently sequential).
+//
+// A Table never observes later estimate updates: the router folds those
+// in (ObserveBatch) and the next published snapshot carries the new
+// weights. Un-consumed probe budget migrates from the live snapshot to
+// its successor via Router.Table, so a mid-window rebuild does not
+// re-arm probing.
+type Table struct {
+	policy        PolicyKind
+	deterministic bool
+	overloaded    bool
+
+	selected []string  // routing targets, frozen
+	weights  []float64 // parallel to selected; sums to 1
+	cum      []float64 // cumulative weights for binary-search draws
+	order    []string  // every downstream, for probe round-robin
+
+	probeLeft atomic.Int64
+	probeIdx  atomic.Uint64
+	rrIdx     atomic.Uint64
+
+	swrrMu      sync.Mutex
+	swrrCredits []float64
+}
+
+// Table builds an immutable snapshot of the current routing table. The
+// caller must serialize Table with the router's other methods (the usual
+// single-writer discipline); the returned snapshot itself is free of that
+// requirement. Probe budget left un-consumed in the previously built
+// snapshot carries into the new one, unless Reconfigure re-armed probing
+// in between — then the fresh window wins.
+func (r *Router) Table() *Table {
+	if r.lastTable != nil && !r.probeArmed {
+		if rem := r.lastTable.probeLeft.Load(); rem < int64(r.probeLeft) {
+			r.probeLeft = int(max(rem, 0))
+		}
+	}
+	r.probeArmed = false
+	t := &Table{
+		policy:        r.cfg.Policy,
+		deterministic: r.cfg.Deterministic,
+		overloaded:    r.infeasible,
+		selected:      append([]string(nil), r.selected...),
+		weights:       append([]float64(nil), r.weights...),
+		cum:           append([]float64(nil), r.cum...),
+		order:         append([]string(nil), r.order...),
+	}
+	if t.deterministic {
+		t.swrrCredits = make([]float64, len(t.selected))
+	}
+	t.probeLeft.Store(int64(r.probeLeft))
+	r.lastTable = t
+	return t
+}
+
+// Empty reports whether the snapshot has no routable downstream.
+func (t *Table) Empty() bool { return len(t.order) == 0 }
+
+// Overloaded mirrors Router.Overloaded at snapshot time.
+func (t *Table) Overloaded() bool { return t.overloaded }
+
+// Size returns the number of downstreams the snapshot routes over.
+func (t *Table) Size() int { return len(t.order) }
+
+// Pick chooses the downstream for one tuple. u must be uniform in [0, 1)
+// (the caller owns randomness so the snapshot stays lock-free); avoid is
+// the congestion hint honored only during probe mode, exactly like
+// Router.RouteAvoiding. Concurrent callers share the probe budget and the
+// round-robin cursor atomically.
+func (t *Table) Pick(u float64, avoid func(id string) bool) (string, error) {
+	if len(t.selected) == 0 {
+		return "", ErrNoDownstream
+	}
+	if t.probeLeft.Load() > 0 {
+		if id, ok := t.pickProbe(avoid); ok {
+			return id, nil
+		}
+	}
+	switch {
+	case t.policy == RR:
+		return t.selected[int((t.rrIdx.Add(1)-1)%uint64(len(t.selected)))], nil
+	case t.deterministic:
+		return t.pickSWRR(), nil
+	default:
+		return t.pickWeighted(u), nil
+	}
+}
+
+// pickProbe claims one probe slot and cycles the full downstream set,
+// skipping avoided entries. A false return means the budget was already
+// drained by concurrent picks — or every downstream is congested, which
+// abandons the window (Store 0) the way Router.RouteAvoiding does.
+func (t *Table) pickProbe(avoid func(id string) bool) (string, bool) {
+	if t.probeLeft.Add(-1) < 0 {
+		// Lost the race for the last slot. The counter may drift below
+		// zero under heavy contention; Pick's Load()>0 gate keeps the
+		// drift bounded and a fresh snapshot resets it.
+		return "", false
+	}
+	for tries := 0; tries < len(t.order); tries++ {
+		id := t.order[int((t.probeIdx.Add(1)-1)%uint64(len(t.order)))]
+		if avoid != nil && avoid(id) {
+			continue
+		}
+		return id, true
+	}
+	t.probeLeft.Store(0)
+	return "", false
+}
+
+// pickWeighted resolves a uniform draw against the cumulative-weight
+// table by binary search — the lock-free fast path under Submit.
+func (t *Table) pickWeighted(u float64) string {
+	lo, hi := 0, len(t.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u < t.cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return t.selected[lo]
+}
+
+// pickSWRR is smooth weighted round-robin over the snapshot's frozen
+// weights (the deterministic ablation); credits are per-snapshot.
+func (t *Table) pickSWRR() string {
+	t.swrrMu.Lock()
+	defer t.swrrMu.Unlock()
+	best := 0
+	for i := range t.selected {
+		t.swrrCredits[i] += t.weights[i]
+		if t.swrrCredits[i] > t.swrrCredits[best] {
+			best = i
+		}
+	}
+	t.swrrCredits[best]--
+	return t.selected[best]
+}
+
+// ObserveBatch folds n accumulated ACKs for one downstream in a single
+// EWMA step, using the batch means: the closed form of n consecutive
+// Observe calls with the same sample,
+//
+//	est' = (1-α)^n·est + (1-(1-α)^n)·mean
+//
+// This is the estimate-update half of the RCU submit path: ACK handlers
+// bank sums and counts in per-connection atomics instead of taking the
+// router lock per tuple, and a periodic flush folds each worker's batch
+// here before the next snapshot is built.
+func (r *Router) ObserveBatch(id string, latency, processing time.Duration, n int64, now time.Duration) error {
+	if n <= 0 {
+		return nil
+	}
+	d, ok := r.downs[id]
+	if !ok {
+		return ErrUnknownDownstream
+	}
+	e := &d.est
+	if e.Samples == 0 {
+		e.Latency, e.Processing = latency, processing
+	} else {
+		decay := math.Pow(1-r.cfg.Alpha, float64(n))
+		e.Latency = time.Duration(decay*float64(e.Latency) + (1-decay)*float64(latency))
+		e.Processing = time.Duration(decay*float64(e.Processing) + (1-decay)*float64(processing))
+	}
+	e.Samples += n
+	e.LastUpdate = now
+	return nil
+}

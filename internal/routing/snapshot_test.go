@@ -1,0 +1,211 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTableEmpty(t *testing.T) {
+	r := newTestRouter(t, LRS)
+	tbl := r.Table()
+	if !tbl.Empty() || tbl.Size() != 0 {
+		t.Fatal("empty router produced non-empty table")
+	}
+	if _, err := tbl.Pick(0.5, nil); !errors.Is(err, ErrNoDownstream) {
+		t.Fatalf("Pick on empty table: %v", err)
+	}
+}
+
+func TestTableRRCyclesEvenly(t *testing.T) {
+	cfg := DefaultConfig(RR)
+	cfg.ProbeEvery = 0
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"B", "C", "D"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := r.Table()
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		id, err := tbl.Pick(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[id]++
+	}
+	for _, id := range []string{"B", "C", "D"} {
+		if counts[id] != 100 {
+			t.Fatalf("table RR counts = %v", counts)
+		}
+	}
+}
+
+// TestTableWeightedMatchesWeights draws through the snapshot's lock-free
+// weighted path and checks the empirical split tracks the frozen weights.
+func TestTableWeightedMatchesWeights(t *testing.T) {
+	cfg := DefaultConfig(LR)
+	cfg.ProbeEvery = 0
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fast", "slow"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(t, r, "fast", 10*time.Millisecond, 5*time.Millisecond)
+	feed(t, r, "slow", 40*time.Millisecond, 20*time.Millisecond)
+	r.Reconfigure(0)
+	tbl := r.Table()
+	tbl.probeLeft.Store(0) // isolate the weighted path
+
+	want := map[string]float64{}
+	for i, id := range tbl.selected {
+		want[id] = tbl.weights[i]
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	const n = 20000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		id, err := tbl.Pick(rng.Float64(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[id]++
+	}
+	for id, w := range want {
+		got := float64(counts[id]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("%s: empirical share %.3f, weight %.3f", id, got, w)
+		}
+	}
+	if counts["fast"] <= counts["slow"] {
+		t.Errorf("fast worker not preferred: %v", counts)
+	}
+}
+
+// TestTableProbeBudgetMigrates rebuilds the snapshot mid-probe-window: the
+// un-consumed budget must carry over rather than re-arm, and a Reconfigure
+// must re-arm a fresh window.
+func TestTableProbeBudgetMigrates(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 1 // every reconfigure arms a probe window
+	cfg.ProbeTuples = 8
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"B", "C"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Reconfigure(0) // arms an 8-tuple probe window
+	tbl := r.Table()
+	if got := tbl.probeLeft.Load(); got != 8 {
+		t.Fatalf("armed budget = %d, want 8", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.Pick(0.5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mid-window rebuild (e.g. a membership change): 3 slots remain.
+	tbl2 := r.Table()
+	if got := tbl2.probeLeft.Load(); got != 3 {
+		t.Fatalf("migrated budget = %d, want 3", got)
+	}
+	// Reconfigure re-arms; the fresh window wins over the stale remainder.
+	r.Reconfigure(0)
+	tbl3 := r.Table()
+	if got := tbl3.probeLeft.Load(); got != 8 {
+		t.Fatalf("re-armed budget = %d, want 8", got)
+	}
+}
+
+// TestTablePickConcurrent hammers one snapshot from many goroutines — the
+// lock-free guarantee the Submit path depends on. Run with -race.
+func TestTablePickConcurrent(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"B", "C", "D", "E"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Reconfigure(0)
+	tbl := r.Table()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 11))
+			for i := 0; i < 2000; i++ {
+				if _, err := tbl.Pick(rng.Float64(), nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestObserveBatchMatchesRepeatedObserve checks the closed-form batched
+// EWMA equals n successive per-sample updates with the batch mean.
+func TestObserveBatchMatchesRepeatedObserve(t *testing.T) {
+	mk := func() *Router {
+		r, err := NewRouter(DefaultConfig(LRS), testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddDownstream("B"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	single, batched := mk(), mk()
+	// Seed both with an initial estimate, then apply 7 samples of the same
+	// value — one at a time vs. one batch.
+	if err := single.ObserveAck("B", 20*time.Millisecond, 10*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.ObserveBatch("B", 20*time.Millisecond, 10*time.Millisecond, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := single.ObserveAck("B", 50*time.Millisecond, 25*time.Millisecond, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.ObserveBatch("B", 50*time.Millisecond, 25*time.Millisecond, n, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	es, eb := single.Estimates()["B"], batched.Estimates()["B"]
+	if es.Samples != eb.Samples {
+		t.Fatalf("samples: single %d, batched %d", es.Samples, eb.Samples)
+	}
+	if d := math.Abs(float64(es.Latency - eb.Latency)); d > float64(10*time.Microsecond) {
+		t.Errorf("latency drift %v: single %v, batched %v", time.Duration(d), es.Latency, eb.Latency)
+	}
+	if d := math.Abs(float64(es.Processing - eb.Processing)); d > float64(10*time.Microsecond) {
+		t.Errorf("processing drift %v: single %v, batched %v", time.Duration(d), es.Processing, eb.Processing)
+	}
+	if err := batched.ObserveBatch("nope", time.Millisecond, time.Millisecond, 1, 0); !errors.Is(err, ErrUnknownDownstream) {
+		t.Errorf("unknown downstream err = %v", err)
+	}
+}

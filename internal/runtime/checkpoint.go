@@ -161,23 +161,42 @@ type recoveredState struct {
 }
 
 // recoverState merges the checkpoint (if any) with the journal's
-// replayable prefix. The journal is replayed only when its generation
-// matches the checkpoint's; an older journal predates the snapshot and is
-// wholly folded in already.
+// replayable prefix. Every segment the previous incarnation wrote is
+// discovered and parsed; a segment is replayed only when its generation
+// reached the checkpoint's — an older segment predates the snapshot and
+// is wholly folded in already (this per-segment gate is what makes a
+// crash mid-rotation safe: rotated segments are empty at the new
+// generation, un-rotated ones are stale and ignored). Replayable
+// segments merge into one global record order by (epoch, seq).
 func recoverState(journalPath, ckptPath string) (*recoveredState, error) {
 	ckpt, err := loadCheckpoint(ckptPath)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := replayJournal(journalPath)
-	if err != nil {
-		return nil, err
+	var (
+		segs      []*segmentReplay
+		truncated bool
+	)
+	for _, p := range listJournalSegments(journalPath) {
+		sr, err := replaySegment(p)
+		if err != nil {
+			return nil, err
+		}
+		if sr == nil {
+			continue
+		}
+		truncated = truncated || sr.truncated
+		if ckpt != nil && sr.generation < ckpt.Generation {
+			continue
+		}
+		segs = append(segs, sr)
 	}
+	rep := mergeSegments(segs)
 	rs := &recoveredState{
 		pending:          make(map[uint64]*inflightEntry),
 		acked:            make(map[uint64]struct{}),
 		estimates:        make(map[string]routing.Estimate),
-		journalTruncated: rep.truncated,
+		journalTruncated: truncated,
 	}
 	if ckpt != nil {
 		rs.prevEpoch = ckpt.Epoch
@@ -203,45 +222,44 @@ func recoverState(journalPath, ckptPath string) (*recoveredState, error) {
 		}
 	}
 
-	replayable := ckpt == nil || rep.generation >= ckpt.Generation
-	if replayable {
-		if rep.epoch > rs.prevEpoch {
-			rs.prevEpoch = rep.epoch
+	// Stale segments were gated out above, so the merged replay applies
+	// unconditionally on top of the checkpoint.
+	if rep.epoch > rs.prevEpoch {
+		rs.prevEpoch = rep.epoch
+	}
+	for id, raw := range rep.submits {
+		if _, dup := rs.pending[id]; dup {
+			continue
 		}
-		for id, raw := range rep.submits {
-			if _, dup := rs.pending[id]; dup {
-				continue
-			}
-			t, err := tuple.Unmarshal(raw)
-			if err != nil {
-				continue
-			}
-			rs.pending[id] = &inflightEntry{t: t}
-			rs.counters.Submitted++
-			if t.SeqNo >= rs.counters.NextSeq {
-				rs.counters.NextSeq = t.SeqNo + 1
-			}
+		t, err := tuple.Unmarshal(raw)
+		if err != nil {
+			continue
 		}
-		for id, attempt := range rep.attempts {
-			if e, ok := rs.pending[id]; ok && attempt > e.attempt {
-				e.attempt = attempt
-			}
+		rs.pending[id] = &inflightEntry{t: t}
+		rs.counters.Submitted++
+		if t.SeqNo >= rs.counters.NextSeq {
+			rs.counters.NextSeq = t.SeqNo + 1
 		}
-		rs.counters.Retransmitted += rep.resends
-		for id := range rep.acked {
-			if _, ok := rs.pending[id]; ok {
-				delete(rs.pending, id)
-				rs.counters.Acked++
-			}
-			rs.acked[id] = struct{}{}
+	}
+	for id, attempt := range rep.attempts {
+		if e, ok := rs.pending[id]; ok && attempt > e.attempt {
+			e.attempt = attempt
 		}
-		for id, overload := range rep.shed {
-			if _, ok := rs.pending[id]; ok {
-				delete(rs.pending, id)
-				rs.counters.Shed++
-				if overload {
-					rs.counters.ShedOverload++
-				}
+	}
+	rs.counters.Retransmitted += rep.resends
+	for id := range rep.acked {
+		if _, ok := rs.pending[id]; ok {
+			delete(rs.pending, id)
+			rs.counters.Acked++
+		}
+		rs.acked[id] = struct{}{}
+	}
+	for id, overload := range rep.shed {
+		if _, ok := rs.pending[id]; ok {
+			delete(rs.pending, id)
+			rs.counters.Shed++
+			if overload {
+				rs.counters.ShedOverload++
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swingframework/swing/internal/tuple"
@@ -23,90 +24,263 @@ type inflightEntry struct {
 	timedOut bool
 }
 
-// inflightTable tracks every tuple between routing and acknowledgment,
-// keyed by tuple ID (unique within a run, per the tuple contract). When a
-// worker connection breaks, takeWorker surrenders its un-acked tuples for
-// retransmission; a result frame acks and releases its entry.
-type inflightTable struct {
-	mu sync.Mutex
-	m  map[uint64]*inflightEntry
-}
+// maxShards caps hot-state fan-out: each shard is a map plus a mutex, and
+// each journal segment an open file, so unbounded -shards values would
+// only waste descriptors past the point of contention relief.
+const maxShards = 128
 
-func newInflightTable() *inflightTable {
-	return &inflightTable{m: make(map[uint64]*inflightEntry)}
-}
-
-// track records a tuple as in flight toward a worker, replacing any stale
-// entry under the same ID.
-func (t *inflightTable) track(id uint64, e *inflightEntry) {
-	t.mu.Lock()
-	t.m[id] = e
-	t.mu.Unlock()
-}
-
-// ack releases the entry for an acknowledged tuple, reporting whether one
-// was being tracked.
-func (t *inflightTable) ack(id uint64) bool {
-	t.mu.Lock()
-	_, ok := t.m[id]
-	if ok {
-		delete(t.m, id)
+// ceilPow2 rounds n up to the next power of two (minimum 1), clamped to
+// maxShards — shard selection is a mask, so the count must be a power of
+// two.
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
 	}
-	t.mu.Unlock()
+	if n > maxShards {
+		return maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// mix64 is the splitmix64 finalizer: tuple IDs are often sequential
+// (frame counters), so shard selection hashes them first to spread
+// neighboring IDs across shards instead of filling one at a time.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ledgerCounters is one shard's slice of the fault-tolerance ledger. The
+// global view is the sum across shards; every mutation happens in the
+// same critical section as the map change it accounts for, so the summed
+// invariant Acked + Shed + InFlight == Submitted holds at every
+// consistently sampled instant (ledgerSnapshot), not just at quiescence.
+type ledgerCounters struct {
+	submitted     int64
+	acked         int64
+	retransmitted int64
+	shed          int64
+	shedOverload  int64
+}
+
+func (l *ledgerCounters) add(o ledgerCounters) {
+	l.submitted += o.submitted
+	l.acked += o.acked
+	l.retransmitted += o.retransmitted
+	l.shed += o.shed
+	l.shedOverload += o.shedOverload
+}
+
+// inflightShard is one lock domain of the table: a slice of the entry map
+// fused with its slice of the ledger. Padding keeps neighboring shards
+// off one cache line under multi-core Submit.
+type inflightShard struct {
+	mu  sync.Mutex
+	m   map[uint64]*inflightEntry
+	led ledgerCounters
+	_   [40]byte
+}
+
+// inflightTable tracks every tuple between routing and acknowledgment,
+// keyed by tuple ID (unique within a run, per the tuple contract), split
+// across power-of-two shards so concurrent Submit and ACK paths contend
+// only when they hash to the same shard. When a worker connection breaks,
+// takeWorker surrenders its un-acked tuples for retransmission; a result
+// frame acks and releases its entry.
+//
+// The ledger lives inside the shards: counter mutations share the
+// critical section of the map mutation they describe. Two transient,
+// bounded exceptions to the sampled invariant are documented at their
+// call sites: takeWorker (a dead worker's backlog is off-table while the
+// retransmitter re-routes it) and the recovered backlog before its
+// checkpointed counters are seeded.
+type inflightTable struct {
+	shards []inflightShard
+	mask   uint64
+	// approx is the racy live-entry total for admission-control checks;
+	// exact counts come from ledgerSnapshot.
+	approx atomic.Int64
+}
+
+func newInflightTable(shards int) *inflightTable {
+	n := ceilPow2(shards)
+	t := &inflightTable{shards: make([]inflightShard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*inflightEntry)
+	}
+	return t
+}
+
+func (t *inflightTable) shard(id uint64) *inflightShard {
+	return &t.shards[mix64(id)&t.mask]
+}
+
+// trackSubmit records a dispatch and counts it into the ledger in one
+// critical section: Submitted for a first attempt, Retransmitted for a
+// re-route. The entry replaces any stale entry under the same ID.
+func (t *inflightTable) trackSubmit(id uint64, e *inflightEntry) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if _, had := s.m[id]; !had {
+		t.approx.Add(1)
+	}
+	s.m[id] = e
+	if e.attempt == 0 {
+		s.led.submitted++
+	} else {
+		s.led.retransmitted++
+	}
+	s.mu.Unlock()
+}
+
+// track inserts an entry without touching the ledger — the recovered
+// backlog, whose counters were restored wholesale from the checkpoint.
+func (t *inflightTable) track(id uint64, e *inflightEntry) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if _, had := s.m[id]; !had {
+		t.approx.Add(1)
+	}
+	s.m[id] = e
+	s.mu.Unlock()
+}
+
+// ack releases the entry for an acknowledged tuple and counts it, in one
+// step, reporting whether one was being tracked.
+func (t *inflightTable) ack(id uint64) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	_, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+		s.led.acked++
+		t.approx.Add(-1)
+	}
+	s.mu.Unlock()
 	return ok
 }
 
-// takeIf removes and returns the entry only if it is still assigned to the
-// given worker. A false return means another path (typically the dead
-// worker's retransmitter) already owns the tuple.
-func (t *inflightTable) takeIf(id uint64, worker string) (*inflightEntry, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.m[id]
+// reclaim removes and returns the entry only if it is still assigned to
+// the given worker, un-counting its dispatch — the Submit path calls it
+// when an enqueue fails and the tuple is about to be re-routed (and
+// re-counted) or abandoned. A false return means another path (typically
+// the dead worker's retransmitter) already owns the tuple, whose original
+// dispatch stays counted.
+func (t *inflightTable) reclaim(id uint64, worker string) (*inflightEntry, bool) {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
 	if !ok || e.worker != worker {
 		return nil, false
 	}
-	delete(t.m, id)
+	delete(s.m, id)
+	if e.attempt == 0 {
+		s.led.submitted--
+	} else {
+		s.led.retransmitted--
+	}
+	t.approx.Add(-1)
 	return e, true
 }
 
+// shedUntracked accounts a tuple that was reclaimed from the table and
+// then abandoned because nowhere could take it: the tuple entered the
+// system (Submitted, first attempts only) and left it (Shed, overload
+// subset) in one balanced step.
+func (t *inflightTable) shedUntracked(id uint64, attempt uint8) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if attempt == 0 {
+		s.led.submitted++
+	}
+	s.led.shed++
+	s.led.shedOverload++
+	s.mu.Unlock()
+}
+
+// shedOrphan counts the shedding of an entry already surrendered by
+// takeWorker (retry deadline or attempt budget exhausted during
+// retransmission).
+func (t *inflightTable) shedOrphan(id uint64) {
+	s := t.shard(id)
+	s.mu.Lock()
+	s.led.shed++
+	s.mu.Unlock()
+}
+
 // takeWorker removes and returns every entry assigned to the worker — the
-// un-acked backlog of a broken connection.
+// un-acked backlog of a broken connection. The ledger is not touched: the
+// backlog is still logically in flight while the retransmitter re-routes
+// it, and each entry re-balances when it is re-tracked (trackSubmit) or
+// abandoned (shedOrphan). Until then a consistent sample may read
+// InFlight low by the backlog size — the one documented transient.
 func (t *inflightTable) takeWorker(worker string) []*inflightEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var out []*inflightEntry
-	for id, e := range t.m {
-		if e.worker == worker {
-			out = append(out, e)
-			delete(t.m, id)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for id, e := range s.m {
+			if e.worker == worker {
+				out = append(out, e)
+				delete(s.m, id)
+				t.approx.Add(-1)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
-// takeOldest removes and returns up to n entries, oldest first by sentAt.
+// shedOldest removes and sheds up to n entries, oldest first by sentAt,
+// counting each victim in the same critical section that removes it.
 // This is the overload-shedding order: a saturated swarm keeps the
-// freshest frames (the ones a live viewer still cares about) and abandons
-// the stalest.
-func (t *inflightTable) takeOldest(n int) []*inflightEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if n <= 0 || len(t.m) == 0 {
+// freshest frames (the ones a live viewer still cares about) and
+// abandons the stalest. Candidates are collected per shard, globally
+// sorted, then re-checked under their shard lock — an entry acked
+// between collection and shedding is simply no longer a victim.
+func (t *inflightTable) shedOldest(n int) []*inflightEntry {
+	if n <= 0 {
 		return nil
 	}
-	all := make([]*inflightEntry, 0, len(t.m))
-	for _, e := range t.m {
-		all = append(all, e)
+	var all []*inflightEntry
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			all = append(all, e)
+		}
+		s.mu.Unlock()
+	}
+	if len(all) == 0 {
+		return nil
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].sentAt.Before(all[j].sentAt) })
-	if n > len(all) {
-		n = len(all)
+	out := make([]*inflightEntry, 0, n)
+	for _, e := range all {
+		if len(out) == n {
+			break
+		}
+		s := t.shard(e.t.ID)
+		s.mu.Lock()
+		if cur, ok := s.m[e.t.ID]; ok && cur == e {
+			delete(s.m, e.t.ID)
+			s.led.shed++
+			s.led.shedOverload++
+			t.approx.Add(-1)
+			out = append(out, e)
+		}
+		s.mu.Unlock()
 	}
-	for _, e := range all[:n] {
-		delete(t.m, e.t.ID)
-	}
-	return all[:n]
+	return out
 }
 
 // sweepTimeouts counts, per worker, entries older than timeout that have
@@ -114,18 +288,21 @@ func (t *inflightTable) takeOldest(n int) []*inflightEntry {
 // worker's breaker exactly once. Entries stay tracked — a late ack or the
 // worker's death still resolves them through the normal paths.
 func (t *inflightTable) sweepTimeouts(now time.Time, timeout time.Duration) map[string]int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var counts map[string]int
-	for _, e := range t.m {
-		if e.timedOut || now.Sub(e.sentAt) < timeout {
-			continue
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			if e.timedOut || now.Sub(e.sentAt) < timeout {
+				continue
+			}
+			e.timedOut = true
+			if counts == nil {
+				counts = make(map[string]int)
+			}
+			counts[e.worker]++
 		}
-		e.timedOut = true
-		if counts == nil {
-			counts = make(map[string]int)
-		}
-		counts[e.worker]++
+		s.mu.Unlock()
 	}
 	return counts
 }
@@ -134,18 +311,110 @@ func (t *inflightTable) sweepTimeouts(now time.Time, timeout time.Duration) map[
 // entries themselves are shared; callers only read immutable fields
 // (tuple bytes, attempt).
 func (t *inflightTable) snapshotEntries() []*inflightEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]*inflightEntry, 0, len(t.m))
-	for _, e := range t.m {
-		out = append(out, e)
+	var out []*inflightEntry
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			out = append(out, e)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
-// size reports the number of tracked tuples.
+// seedLedger installs checkpointed counters (crash recovery). They land
+// wholly in shard 0 — only the cross-shard sum is meaningful.
+func (t *inflightTable) seedLedger(c *checkpointState) {
+	s := &t.shards[0]
+	s.mu.Lock()
+	s.led = ledgerCounters{
+		submitted:     c.Submitted,
+		acked:         c.Acked,
+		retransmitted: c.Retransmitted,
+		shed:          c.Shed,
+		shedOverload:  c.ShedOverload,
+	}
+	s.mu.Unlock()
+}
+
+// ledgerSnapshot sums the per-shard counters and live-entry counts under
+// all shard locks (taken in index order, so concurrent snapshots cannot
+// deadlock): the consistent read behind MasterStats. No tuple lifecycle
+// transition can interleave, so the returned view always balances.
+func (t *inflightTable) ledgerSnapshot() (ledgerCounters, int) {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+	}
+	var led ledgerCounters
+	n := 0
+	for i := range t.shards {
+		led.add(t.shards[i].led)
+		n += len(t.shards[i].m)
+	}
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].mu.Unlock()
+	}
+	return led, n
+}
+
+// size reports the approximate number of tracked tuples — admission
+// control's cheap read. Exact counts come from ledgerSnapshot.
 func (t *inflightTable) size() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.m)
+	return int(t.approx.Load())
+}
+
+// dedupSet is the sharded cross-epoch sink dedup set: tuple IDs the
+// previous incarnation acknowledged, whose straggler results must be
+// dropped rather than replayed. It shares the table's shard-by-hashed-ID
+// layout so lookups on the ACK path never funnel through one lock.
+type dedupSet struct {
+	shards []dedupShard
+	mask   uint64
+}
+
+type dedupShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+	_  [48]byte
+}
+
+func newDedupSet(shards int, ids map[uint64]struct{}) *dedupSet {
+	n := ceilPow2(shards)
+	d := &dedupSet{shards: make([]dedupShard, n), mask: uint64(n - 1)}
+	for i := range d.shards {
+		d.shards[i].m = make(map[uint64]struct{})
+	}
+	for id := range ids {
+		s := &d.shards[mix64(id)&d.mask]
+		s.m[id] = struct{}{}
+	}
+	return d
+}
+
+// has reports whether the ID was acknowledged by a previous incarnation.
+func (d *dedupSet) has(id uint64) bool {
+	if d == nil {
+		return false
+	}
+	s := &d.shards[mix64(id)&d.mask]
+	s.mu.Lock()
+	_, ok := s.m[id]
+	s.mu.Unlock()
+	return ok
+}
+
+// len reports the total number of remembered IDs (tests, logging).
+func (d *dedupSet) len() int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -7,7 +7,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swingframework/swing/internal/tuple"
@@ -29,6 +31,15 @@ import (
 // read or checksum mismatch, then truncates the file at the last good
 // offset. Everything before the tear is trusted; the tear itself is
 // discarded (its tuple stays pending and is retransmitted, never lost).
+//
+// Since the hot-state sharding work the journal is usually one segment of
+// a journalSet (journalset.go): lifecycle records are spread across
+// segments by hashed tuple ID, each segment group-commits independently,
+// and a shared sequence counter stamps every record so recovery can merge
+// segments back into one global order. Format v2 therefore prefixes each
+// lifecycle payload with the u64 sequence; the meta record carries the
+// format so replay still reads v1 files from earlier releases (whose
+// in-file order is their global order).
 
 // journalRecType distinguishes journal records.
 type journalRecType uint8
@@ -112,6 +123,12 @@ func ParseFsyncMode(s string) (FsyncMode, error) {
 // flush, so a record is never split across generations and the file
 // handle never changes under the leader's feet.
 type journal struct {
+	// seq stamps every lifecycle record with its position in the global
+	// append order. A standalone journal owns its counter; segments of a
+	// journalSet share the set's counter, which is what lets recovery
+	// merge concurrently written segments by (epoch, seq).
+	seq *atomic.Uint64
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	f        *os.File
@@ -181,7 +198,7 @@ func openJournal(path string, epoch, generation uint64, mode FsyncMode, every ti
 	if every <= 0 {
 		every = 100 * time.Millisecond
 	}
-	j := &journal{f: f, path: path, mode: mode, every: every, lastSync: time.Now()}
+	j := &journal{seq: new(atomic.Uint64), f: f, path: path, mode: mode, every: every, lastSync: time.Now()}
 	j.cond = sync.NewCond(&j.mu)
 	if err := j.append(recMeta, metaPayload(epoch, generation)); err != nil {
 		_ = f.Close()
@@ -194,17 +211,28 @@ func openJournal(path string, epoch, generation uint64, mode FsyncMode, every ti
 	return j, nil
 }
 
+// journalFormatV2 marks seq-stamped lifecycle records. A 16-byte meta
+// payload (epoch, generation) is implicit format v1 — files written
+// before sequence stamping, replayed in file order.
+const journalFormatV2 = 2
+
 func metaPayload(epoch, generation uint64) []byte {
-	b := make([]byte, 0, 16)
+	b := make([]byte, 0, 24)
 	b = binary.LittleEndian.AppendUint64(b, epoch)
-	return binary.LittleEndian.AppendUint64(b, generation)
+	b = binary.LittleEndian.AppendUint64(b, generation)
+	return binary.LittleEndian.AppendUint64(b, journalFormatV2)
 }
 
-func parseMetaPayload(b []byte) (epoch, generation uint64, err error) {
-	if len(b) != 16 {
-		return 0, 0, fmt.Errorf("runtime: journal meta record has %d bytes, want 16", len(b))
+func parseMetaPayload(b []byte) (epoch, generation, format uint64, err error) {
+	switch len(b) {
+	case 16:
+		return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]), 1, nil
+	case 24:
+		return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:16]),
+			binary.LittleEndian.Uint64(b[16:]), nil
+	default:
+		return 0, 0, 0, fmt.Errorf("runtime: journal meta record has %d bytes, want 16 or 24", len(b))
 	}
-	return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]), nil
 }
 
 // reserveLocked begins a record in the pending buffer: length
@@ -343,15 +371,18 @@ func (j *journal) append(typ journalRecType, payload []byte) error {
 
 // appendSubmit logs a first-attempt dispatch: the full tuple, so recovery
 // can rebuild and retransmit it. The tuple is serialized straight into
-// the pending batch buffer — no intermediate allocation.
+// the pending batch buffer — no intermediate allocation. The sequence is
+// drawn before the segment lock, so within one segment records may land
+// slightly out of sequence order; recovery sorts by seq, not file order.
 func (j *journal) appendSubmit(t *tuple.Tuple) error {
+	seq := j.seq.Add(1)
 	j.mu.Lock()
 	start, err := j.reserveLocked(recSubmit)
 	if err != nil {
 		j.mu.Unlock()
 		return err
 	}
-	p, err := tuple.AppendMarshal(j.pending, t)
+	p, err := tuple.AppendMarshal(binary.LittleEndian.AppendUint64(j.pending, seq), t)
 	if err != nil {
 		j.pending = j.pending[:start]
 		j.mu.Unlock()
@@ -364,20 +395,24 @@ func (j *journal) appendSubmit(t *tuple.Tuple) error {
 
 // appendResend logs a retransmission's new attempt counter.
 func (j *journal) appendResend(id uint64, attempt uint8) error {
-	b := make([]byte, 0, 9)
+	b := make([]byte, 0, 17)
+	b = binary.LittleEndian.AppendUint64(b, j.seq.Add(1))
 	b = binary.LittleEndian.AppendUint64(b, id)
 	return j.append(recResend, append(b, attempt))
 }
 
 // appendAck logs a worker acknowledgment.
 func (j *journal) appendAck(id uint64) error {
-	return j.append(recAck, binary.LittleEndian.AppendUint64(make([]byte, 0, 8), id))
+	b := make([]byte, 0, 16)
+	b = binary.LittleEndian.AppendUint64(b, j.seq.Add(1))
+	return j.append(recAck, binary.LittleEndian.AppendUint64(b, id))
 }
 
 // appendShed logs an abandoned tuple; overload marks admission-control
 // shedding (the ShedOverload ledger subset).
 func (j *journal) appendShed(id uint64, overload bool) error {
-	b := make([]byte, 0, 9)
+	b := make([]byte, 0, 17)
+	b = binary.LittleEndian.AppendUint64(b, j.seq.Add(1))
 	b = binary.LittleEndian.AppendUint64(b, id)
 	if overload {
 		b = append(b, 1)
@@ -459,7 +494,100 @@ func (j *journal) close() error {
 	return cerr
 }
 
-// journalReplay is the parsed content of one journal generation.
+// segRecord is one lifecycle record read back from a segment, with the
+// global order key recovery merges by. payload is the v1-shaped body
+// (seq prefix already stripped for v2 files).
+type segRecord struct {
+	epoch   uint64
+	seq     uint64
+	typ     journalRecType
+	payload []byte
+}
+
+// segmentReplay is the raw parse of one journal segment: its meta header
+// plus every intact lifecycle record, torn tail already truncated.
+type segmentReplay struct {
+	path       string
+	epoch      uint64
+	generation uint64
+	format     uint64
+	recs       []segRecord
+	truncated  bool
+}
+
+// replaySegment reads one segment file, collects its replayable prefix
+// and truncates any torn tail in place. A missing file returns
+// (nil, nil): that segment was never written.
+func replaySegment(path string) (*segmentReplay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: open journal for recovery: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	sr := &segmentReplay{path: path}
+	// Count every good record's bytes so a torn tail truncates exactly at
+	// the last intact boundary.
+	good := int64(0)
+	first := true
+	fileOrder := uint64(0)
+	for {
+		typ, payload, err := readJournalRecord(f)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, errTornRecord) {
+			sr.truncated = true
+			if err := f.Truncate(good); err != nil {
+				return nil, fmt.Errorf("runtime: truncate torn journal tail: %w", err)
+			}
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			if typ != recMeta {
+				// No meta record: not a journal we wrote. Treat as torn from
+				// the start rather than guessing at its contents.
+				sr.truncated = true
+				if err := f.Truncate(0); err != nil {
+					return nil, fmt.Errorf("runtime: truncate foreign journal: %w", err)
+				}
+				return sr, nil
+			}
+			if sr.epoch, sr.generation, sr.format, err = parseMetaPayload(payload); err != nil {
+				return nil, err
+			}
+			first = false
+			good += int64(4 + 1 + len(payload) + 4)
+			continue
+		}
+		good += int64(4 + 1 + len(payload) + 4)
+		if typ == recMeta {
+			// A second meta record never occurs in a well-formed segment;
+			// ignore defensively.
+			continue
+		}
+		fileOrder++
+		seq := fileOrder
+		if sr.format >= journalFormatV2 {
+			if len(payload) < 8 {
+				continue // malformed lifecycle record; skip defensively
+			}
+			seq = binary.LittleEndian.Uint64(payload[:8])
+			payload = payload[8:]
+		}
+		sr.recs = append(sr.recs, segRecord{epoch: sr.epoch, seq: seq, typ: typ, payload: payload})
+	}
+	return sr, nil
+}
+
+// journalReplay is the merged lifecycle view of one journal generation —
+// possibly assembled from several concurrently written segments.
 type journalReplay struct {
 	epoch      uint64
 	generation uint64
@@ -476,88 +604,77 @@ type journalReplay struct {
 	truncated bool
 }
 
-// replayJournal reads the journal at path, replays its replayable prefix
-// and truncates any torn tail in place. A missing file returns an empty
-// replay (nil error): a fresh start.
-func replayJournal(path string) (*journalReplay, error) {
+// mergeSegments folds segment replays into one journalReplay, applying
+// lifecycle records in global (epoch, seq) order — the order the running
+// master emitted them, regardless of which segment each landed in or how
+// group commit interleaved writes within a segment.
+func mergeSegments(segs []*segmentReplay) *journalReplay {
 	rep := &journalReplay{
 		submits:  make(map[uint64][]byte),
 		attempts: make(map[uint64]uint8),
 		acked:    make(map[uint64]struct{}),
 		shed:     make(map[uint64]bool),
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if errors.Is(err, os.ErrNotExist) {
-		return rep, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("runtime: open journal for recovery: %w", err)
-	}
-	defer func() { _ = f.Close() }()
-
-	// Count every good record's bytes so a torn tail truncates exactly at
-	// the last intact boundary.
-	good := int64(0)
-	first := true
-	for {
-		typ, payload, err := readJournalRecord(f)
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if errors.Is(err, errTornRecord) {
-			rep.truncated = true
-			if err := f.Truncate(good); err != nil {
-				return nil, fmt.Errorf("runtime: truncate torn journal tail: %w", err)
-			}
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if first {
-			if typ != recMeta {
-				// No meta record: not a journal we wrote. Treat as torn from
-				// the start rather than guessing at its contents.
-				rep.truncated = true
-				if err := f.Truncate(0); err != nil {
-					return nil, fmt.Errorf("runtime: truncate foreign journal: %w", err)
-				}
-				return rep, nil
-			}
-			if rep.epoch, rep.generation, err = parseMetaPayload(payload); err != nil {
-				return nil, err
-			}
-			first = false
-			good += int64(4 + 1 + len(payload) + 4)
+	var all []segRecord
+	for _, sr := range segs {
+		if sr == nil {
 			continue
 		}
-		switch typ {
+		if sr.epoch > rep.epoch {
+			rep.epoch = sr.epoch
+		}
+		if sr.generation > rep.generation {
+			rep.generation = sr.generation
+		}
+		rep.truncated = rep.truncated || sr.truncated
+		all = append(all, sr.recs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].epoch != all[j].epoch {
+			return all[i].epoch < all[j].epoch
+		}
+		return all[i].seq < all[j].seq
+	})
+	for _, r := range all {
+		switch r.typ {
 		case recSubmit:
-			t, err := tuple.Unmarshal(payload)
+			t, err := tuple.Unmarshal(r.payload)
 			if err == nil {
-				rep.submits[t.ID] = payload
+				rep.submits[t.ID] = r.payload
 			}
 		case recResend:
-			if len(payload) == 9 {
-				id := binary.LittleEndian.Uint64(payload[:8])
-				if payload[8] > rep.attempts[id] {
-					rep.attempts[id] = payload[8]
+			if len(r.payload) == 9 {
+				id := binary.LittleEndian.Uint64(r.payload[:8])
+				if r.payload[8] > rep.attempts[id] {
+					rep.attempts[id] = r.payload[8]
 				}
 				rep.resends++
 			}
 		case recAck:
-			if len(payload) == 8 {
-				rep.acked[binary.LittleEndian.Uint64(payload)] = struct{}{}
+			if len(r.payload) == 8 {
+				rep.acked[binary.LittleEndian.Uint64(r.payload)] = struct{}{}
 			}
 		case recShed:
-			if len(payload) == 9 {
-				rep.shed[binary.LittleEndian.Uint64(payload[:8])] = payload[8] != 0
+			if len(r.payload) == 9 {
+				rep.shed[binary.LittleEndian.Uint64(r.payload[:8])] = r.payload[8] != 0
 			}
-		case recMeta:
-			// A second meta record never occurs in a well-formed journal;
-			// ignore defensively.
 		}
-		good += int64(4 + 1 + len(payload) + 4)
 	}
-	return rep, nil
+	return rep
+}
+
+// replayJournal reads the single journal file at path, replays its
+// replayable prefix and truncates any torn tail in place. A missing file
+// returns an empty replay (nil error): a fresh start. Multi-segment
+// recovery goes through replaySegment + mergeSegments (recoverState),
+// which gates each segment's generation individually.
+func replayJournal(path string) (*journalReplay, error) {
+	sr, err := replaySegment(path)
+	if err != nil {
+		return nil, err
+	}
+	if sr == nil {
+		return mergeSegments(nil), nil
+	}
+	return mergeSegments([]*segmentReplay{sr}), nil
 }

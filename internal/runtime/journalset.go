@@ -1,0 +1,199 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// journalSet is the segmented write-ahead log: one journal file per
+// hot-state shard, each with its own lock and group commit, so journal
+// appends on the Submit and ACK paths contend only when their tuples
+// hash to the same segment. A shared atomic sequence stamps every record
+// (journal format v2), which is what lets recovery merge concurrently
+// written segments back into the global append order by (epoch, seq).
+//
+// Layout on disk: segment 0 keeps the configured journal path — so a
+// one-segment set is byte-compatible with the pre-sharding layout and an
+// old single-file journal recovers under a sharded master — and segment
+// i > 0 lives at "<path>.s<i>". Checkpoint rotation holds every segment
+// lock at once (index order) and rotates them all, so a generation
+// boundary can never split a batch across generations; a crash mid-
+// rotation leaves some segments at the old generation, which recovery
+// gates out individually exactly like the single-file case.
+type journalSet struct {
+	path string
+	segs []*journal
+	mask uint64
+	seq  atomic.Uint64
+}
+
+// segmentPath names segment i of the journal at path.
+func segmentPath(path string, i int) string {
+	if i == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.s%d", path, i)
+}
+
+// listJournalSegments returns the journal segment files that exist on
+// disk for path, base file first, then numeric segments in index order.
+// Discovery is independent of the configured shard count: a master
+// restarted with fewer shards still recovers every segment its previous
+// incarnation wrote.
+func listJournalSegments(path string) []string {
+	var out []string
+	if _, err := os.Stat(path); err == nil {
+		out = append(out, path)
+	}
+	matches, _ := filepath.Glob(path + ".s*")
+	type numbered struct {
+		path string
+		idx  int
+	}
+	var segs []numbered
+	for _, p := range matches {
+		suffix := strings.TrimPrefix(p, path+".s")
+		idx, err := strconv.Atoi(suffix)
+		if err != nil || idx <= 0 {
+			continue // ".tmp" leftovers and other non-segment names
+		}
+		segs = append(segs, numbered{path: p, idx: idx})
+	}
+	for i := 1; i < len(segs); i++ {
+		x := segs[i]
+		j := i - 1
+		for j >= 0 && segs[j].idx > x.idx {
+			segs[j+1] = segs[j]
+			j--
+		}
+		segs[j+1] = x
+	}
+	for _, s := range segs {
+		out = append(out, s.path)
+	}
+	return out
+}
+
+// openJournalSet creates (or truncates) one journal segment per shard and
+// removes stale higher-numbered segment files from a previous incarnation
+// that ran with more shards — their contents are already folded into the
+// checkpoint recovery just wrote, so leaving them would double-replay on
+// the next crash.
+func openJournalSet(path string, shards int, epoch, generation uint64, mode FsyncMode, every time.Duration) (*journalSet, error) {
+	n := ceilPow2(shards)
+	js := &journalSet{path: path, mask: uint64(n - 1)}
+	for i := 0; i < n; i++ {
+		j, err := openJournal(segmentPath(path, i), epoch, generation, mode, every)
+		if err != nil {
+			for _, prev := range js.segs {
+				_ = prev.close()
+			}
+			return nil, err
+		}
+		// Segments share the set's sequence counter; the per-journal one
+		// allocated by openJournal is discarded before any lifecycle append.
+		j.seq = &js.seq
+		js.segs = append(js.segs, j)
+	}
+	for _, p := range listJournalSegments(path) {
+		if suffix := strings.TrimPrefix(p, path+".s"); suffix != p {
+			if idx, err := strconv.Atoi(suffix); err == nil && idx >= n {
+				_ = os.Remove(p)
+			}
+		}
+	}
+	return js, nil
+}
+
+// seg routes a tuple ID to its segment — the same splitmix64 spread the
+// in-flight table uses, so one tuple's records always share a segment.
+func (js *journalSet) seg(id uint64) *journal {
+	return js.segs[mix64(id)&js.mask]
+}
+
+// appendSubmit logs a first-attempt dispatch on the tuple's segment.
+func (js *journalSet) appendSubmit(t *tuple.Tuple) error {
+	return js.seg(t.ID).appendSubmit(t)
+}
+
+// appendResend logs a retransmission's new attempt counter.
+func (js *journalSet) appendResend(id uint64, attempt uint8) error {
+	return js.seg(id).appendResend(id, attempt)
+}
+
+// appendAck logs a worker acknowledgment.
+func (js *journalSet) appendAck(id uint64) error {
+	return js.seg(id).appendAck(id)
+}
+
+// appendShed logs an abandoned tuple.
+func (js *journalSet) appendShed(id uint64, overload bool) error {
+	return js.seg(id).appendShed(id, overload)
+}
+
+// lockAll acquires every segment lock in index order (the deadlock-free
+// total order); unlockAll releases them. Between the two the caller owns
+// the whole log: no append can land and no flush can start.
+func (js *journalSet) lockAll() {
+	for _, j := range js.segs {
+		j.mu.Lock()
+	}
+}
+
+func (js *journalSet) unlockAll() {
+	for i := len(js.segs) - 1; i >= 0; i-- {
+		js.segs[i].mu.Unlock()
+	}
+}
+
+// quiesceAllLocked waits out in-flight group-commit flushes on every
+// segment. The caller holds all segment locks.
+func (js *journalSet) quiesceAllLocked() {
+	for _, j := range js.segs {
+		j.quiesceLocked()
+	}
+}
+
+// rotateAllLocked starts the next generation on every segment. The caller
+// holds all segment locks and has quiesced; a crash partway through
+// leaves a mix of old- and new-generation segments, and recovery gates
+// each segment's generation individually, so the half-rotated state is
+// exactly as safe as a crash between checkpoint write and single-file
+// rotation always was.
+func (js *journalSet) rotateAllLocked(epoch, generation uint64) error {
+	for _, j := range js.segs {
+		if err := j.rotateLocked(epoch, generation); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sync flushes and fsyncs every segment.
+func (js *journalSet) sync() error {
+	var first error
+	for _, j := range js.segs {
+		if err := j.sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// close flushes, syncs and closes every segment. Later appends fail.
+func (js *journalSet) close() error {
+	var first error
+	for _, j := range js.segs {
+		if err := j.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	goruntime "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swingframework/swing/internal/apps"
@@ -133,6 +135,14 @@ type MasterConfig struct {
 	// handshake; excess connects are refused immediately (default 32;
 	// < 0 removes the cap).
 	MaxPendingHandshakes int
+	// Shards is the hot-state fan-out: the in-flight ledger, the
+	// cross-epoch dedup set and the write-ahead journal are each split
+	// into this many independently locked shards/segments, keyed by
+	// hashed tuple ID. Rounded up to a power of two and capped at 128;
+	// zero or negative defaults to GOMAXPROCS at startup. One shard
+	// reproduces the pre-sharding layout (including the single-file
+	// journal).
+	Shards int
 	// Seed drives the router's weighted-random draws (default 1).
 	Seed int64
 	// Logger defaults to slog.Default.
@@ -164,6 +174,10 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards <= 0 {
+		c.Shards = goruntime.GOMAXPROCS(0)
+	}
+	c.Shards = ceilPow2(c.Shards)
 	if c.Heartbeat > 0 {
 		if c.SuspectAfter == 0 {
 			c.SuspectAfter = 3 * c.Heartbeat
@@ -225,6 +239,17 @@ type workerConn struct {
 	slots chan struct{}
 	gone  chan struct{}
 
+	// Estimate batching: the ACK path banks each result's delay samples
+	// here instead of taking the router lock per tuple; flushEstimates
+	// periodically folds every worker's batch into the router in one EWMA
+	// step (routing.Router.ObserveBatch). Sums are banked before ackN so
+	// a flush that observes n samples has their sums in full; the
+	// remaining skew (a sample split across two flushes) only nudges two
+	// consecutive batch means, it never loses a sample.
+	ackN    atomic.Int64
+	ackLat  atomic.Int64 // summed end-to-end latency, nanos
+	ackProc atomic.Int64 // summed worker-reported processing, nanos
+
 	mu         sync.Mutex
 	writeMu    sync.Mutex
 	processed  int64
@@ -256,11 +281,19 @@ type Master struct {
 	cfg MasterConfig
 	ln  net.Listener
 
+	// router state is RCU-published: routerMu serializes the writers
+	// (reconfigure, membership changes, estimate flushes), each of which
+	// republishes table — the immutable snapshot the lock-free Submit
+	// path routes against.
 	routerMu sync.Mutex
 	router   *routing.Router
+	table    atomic.Pointer[routing.Table]
 
+	// workers is a copy-on-write map: readers (Submit, the ACK path, the
+	// monitor) Load it lock-free; workersMu serializes the writers
+	// (admit, drop), which install a fresh copy.
 	workersMu sync.Mutex
-	workers   map[string]*workerConn
+	workers   atomic.Pointer[map[string]*workerConn]
 
 	sinkMu   sync.Mutex
 	reorder  map[uint64]Result
@@ -270,28 +303,30 @@ type Master struct {
 	played   int64
 	arrived  int64
 
+	// inflight carries both the routed-but-unacked entries and the
+	// fault-tolerance ledger, sharded by hashed tuple ID; counters move
+	// in the same shard critical section as the entries they describe.
 	inflight *inflightTable
 
-	subMu         sync.Mutex
-	submitted     int64
-	acked         int64
-	retransmitted int64
-	shed          int64
-	shedOverload  int64
-	workerDropped int64
-	evicted       int64
-	readopted     int64
-	nextSeq       uint64
+	workerDropped atomic.Int64
+	evicted       atomic.Int64
+	readopted     atomic.Int64
+	nextSeq       atomic.Uint64
+
+	// pickSeq drives Submit's weighted-random draws: a shared splitmix64
+	// counter, so concurrent submitters draw without locks or per-caller
+	// rng state.
+	pickSeq atomic.Uint64
 
 	// Crash recovery (immutable after StartMaster returns, except
 	// generation which only the single-threaded checkpointer advances).
 	epoch      uint64
 	generation uint64
-	journal    *journal
+	journal    *journalSet
 	// recoveredAcked is the cross-epoch sink dedup set: tuple IDs the
 	// previous incarnation acknowledged whose straggler results must be
 	// dropped, never replayed to the sink. Read-only after recovery.
-	recoveredAcked map[uint64]struct{}
+	recoveredAcked *dedupSet
 	recovered      int64
 
 	// handshakes caps concurrent join handshakes (nil = uncapped).
@@ -346,14 +381,17 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 		cfg:      cfg,
 		ln:       ln,
 		router:   router,
-		workers:  make(map[string]*workerConn),
 		reorder:  make(map[uint64]Result),
 		rcap:     rcap,
-		inflight: newInflightTable(),
+		inflight: newInflightTable(cfg.Shards),
 		epoch:    1,
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 	}
+	empty := make(map[string]*workerConn)
+	m.workers.Store(&empty)
+	m.table.Store(router.Table())
+	m.pickSeq.Store(uint64(cfg.Seed))
 	if cfg.MaxPendingHandshakes > 0 {
 		m.handshakes = make(chan struct{}, cfg.MaxPendingHandshakes)
 	}
@@ -377,10 +415,70 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 	return m, nil
 }
 
+// workerMap returns the current copy-on-write worker map for lock-free
+// reads. The map itself is immutable; mutations install a fresh copy
+// under workersMu.
+func (m *Master) workerMap() map[string]*workerConn {
+	return *m.workers.Load()
+}
+
+// withRouter runs f with the router locked, then publishes a fresh
+// immutable snapshot for the lock-free Submit path. Every mutation that
+// can change routing (membership, reconfigure, seeding) goes through
+// here so the published table never lags the router.
+func (m *Master) withRouter(f func(r *routing.Router)) {
+	m.routerMu.Lock()
+	f(m.router)
+	t := m.router.Table()
+	m.routerMu.Unlock()
+	m.table.Store(t)
+}
+
+// estimateFlushEvery is the cadence at which banked per-worker ACK
+// samples fold into the router (plus on demand from Stats/Snapshot and
+// before every reconfigure), bounding estimate staleness to well under
+// the 1 s reconfigure period that consumes them.
+const estimateFlushEvery = 50 * time.Millisecond
+
+// flushEstimates folds every worker's banked ACK samples into the router
+// in one batched EWMA step per worker. The router lock is taken only
+// when at least one worker has samples, so an idle master flushes for
+// free. No table republish: routing weights change only on recompute
+// (reconfigure or membership), which republishes through withRouter.
+func (m *Master) flushEstimates(now time.Time) {
+	locked := false
+	for _, wc := range m.workerMap() {
+		n := wc.ackN.Swap(0)
+		if n == 0 {
+			continue
+		}
+		lat := time.Duration(wc.ackLat.Swap(0) / n)
+		proc := time.Duration(wc.ackProc.Swap(0) / n)
+		if !locked {
+			m.routerMu.Lock()
+			locked = true
+		}
+		// Unknown downstream: the worker left between banking and flush;
+		// its parked warm estimate already covers re-joins.
+		_ = m.router.ObserveBatch(wc.id, lat, proc, n, now.Sub(m.start))
+	}
+	if locked {
+		m.routerMu.Unlock()
+	}
+}
+
+// pickU turns the shared splitmix64 counter into a uniform draw in
+// [0, 1) for the snapshot's weighted-random routing — deterministic for
+// a given seed and draw index, and lock-free for concurrent submitters.
+func (m *Master) pickU() float64 {
+	return float64(mix64(m.pickSeq.Add(1))>>11) * (1.0 / (1 << 53))
+}
+
 // initRecovery rebuilds the previous incarnation's state from checkpoint
-// plus journal, persists a fresh checkpoint under the new epoch, and opens
-// a new journal generation. It runs before the listener admits anyone, so
-// re-joining workers always see the final epoch and warm estimates.
+// plus journal segments, persists a fresh checkpoint under the new epoch,
+// and opens a new journal generation. It runs before the listener admits
+// anyone, so re-joining workers always see the final epoch and warm
+// estimates.
 func (m *Master) initRecovery() error {
 	rs, err := recoverState(m.cfg.JournalPath, m.cfg.CheckpointPath)
 	if err != nil {
@@ -388,15 +486,17 @@ func (m *Master) initRecovery() error {
 	}
 	m.epoch = rs.prevEpoch + 1
 	m.generation = rs.generation + 1
-	m.recoveredAcked = rs.acked
+	m.recoveredAcked = newDedupSet(m.cfg.Shards, rs.acked)
 	c := rs.counters
-	m.submitted, m.acked, m.retransmitted = c.Submitted, c.Acked, c.Retransmitted
-	m.shed, m.shedOverload = c.Shed, c.ShedOverload
-	m.workerDropped, m.evicted, m.readopted = c.WorkerDropped, c.Evicted, c.Readopted
+	m.inflight.seedLedger(&c)
+	m.workerDropped.Store(c.WorkerDropped)
+	m.evicted.Store(c.Evicted)
+	m.readopted.Store(c.Readopted)
 	m.arrived, m.played, m.skipped = c.Arrived, c.Played, c.Skipped
-	m.nextPlay, m.nextSeq = c.NextPlay, c.NextSeq
+	m.nextPlay = c.NextPlay
+	m.nextSeq.Store(c.NextSeq)
 	if len(rs.estimates) > 0 {
-		m.router.SeedEstimates(rs.estimates)
+		m.withRouter(func(r *routing.Router) { r.SeedEstimates(rs.estimates) })
 	}
 	if rs.journalTruncated {
 		m.cfg.Logger.Warn("swing master: truncated torn journal tail",
@@ -426,11 +526,11 @@ func (m *Master) initRecovery() error {
 	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
 		return err
 	}
-	j, err := openJournal(m.cfg.JournalPath, m.epoch, m.generation, m.cfg.Fsync, m.cfg.FsyncEvery)
+	js, err := openJournalSet(m.cfg.JournalPath, m.cfg.Shards, m.epoch, m.generation, m.cfg.Fsync, m.cfg.FsyncEvery)
 	if err != nil {
 		return err
 	}
-	m.journal = j
+	m.journal = js
 	if rs.prevEpoch > 0 {
 		m.cfg.Logger.Info("swing master: recovered from crash",
 			"epoch", m.epoch, "backlog", m.recovered,
@@ -449,10 +549,7 @@ func (m *Master) resubmitRecovered(from string) {
 	ticker := time.NewTicker(5 * time.Millisecond)
 	defer ticker.Stop()
 	for {
-		m.workersMu.Lock()
-		n := len(m.workers)
-		m.workersMu.Unlock()
-		if n > 0 || time.Now().After(deadline) {
+		if len(m.workerMap()) > 0 || time.Now().After(deadline) {
 			break
 		}
 		select {
@@ -473,17 +570,19 @@ func (m *Master) Addr() string { return m.ln.Addr().String() }
 
 // Workers returns the connected worker IDs.
 func (m *Master) Workers() []string {
-	m.workersMu.Lock()
-	defer m.workersMu.Unlock()
-	out := make([]string, 0, len(m.workers))
-	for id := range m.workers {
+	ws := m.workerMap()
+	out := make([]string, 0, len(ws))
+	for id := range ws {
 		out = append(out, id)
 	}
 	return out
 }
 
-// Snapshot returns the router's current per-worker view.
+// Snapshot returns the router's current per-worker view, with any banked
+// ACK samples folded in first so callers observe estimates no staler
+// than their own reads.
 func (m *Master) Snapshot() []routing.Info {
+	m.flushEstimates(time.Now())
 	m.routerMu.Lock()
 	defer m.routerMu.Unlock()
 	return m.router.Snapshot()
@@ -559,31 +658,35 @@ type WorkerStatus struct {
 	Reconnects int64
 }
 
-// Stats returns sink counters and the per-worker liveness view.
+// Stats returns the ledger, sink counters and the per-worker liveness
+// view. The ledger fields come from one consistent cross-shard sample
+// (every shard locked at once), so the invariant
+// Acked + Shed + InFlight == Submitted holds in every returned snapshot
+// even while Submit and ACK traffic races on other cores — the one
+// documented exception being a dead worker's backlog mid-retransmit.
+// Banked ACK samples are flushed first, so a caller that observes
+// Acked == n also observes all n samples in the router's estimates.
 func (m *Master) Stats() MasterStats {
-	m.sinkMu.Lock()
-	defer m.sinkMu.Unlock()
-	m.subMu.Lock()
-	defer m.subMu.Unlock()
+	m.flushEstimates(time.Now())
+	led, inflight := m.inflight.ledgerSnapshot()
 	st := MasterStats{
-		Submitted:     m.submitted,
-		Arrived:       m.arrived,
-		Played:        m.played,
-		Skipped:       m.skipped,
-		Acked:         m.acked,
-		Retransmitted: m.retransmitted,
-		Shed:          m.shed,
-		ShedOverload:  m.shedOverload,
-		WorkerDropped: m.workerDropped,
-		Evicted:       m.evicted,
+		Submitted:     led.submitted,
+		Acked:         led.acked,
+		Retransmitted: led.retransmitted,
+		Shed:          led.shed,
+		ShedOverload:  led.shedOverload,
+		WorkerDropped: m.workerDropped.Load(),
+		Evicted:       m.evicted.Load(),
 		Epoch:         m.epoch,
-		Readopted:     m.readopted,
+		Readopted:     m.readopted.Load(),
 		Recovered:     m.recovered,
-		InFlight:      m.inflight.size(),
+		InFlight:      inflight,
 	}
+	m.sinkMu.Lock()
+	st.Arrived, st.Played, st.Skipped = m.arrived, m.played, m.skipped
+	m.sinkMu.Unlock()
 	now := time.Now()
-	m.workersMu.Lock()
-	for _, wc := range m.workers {
+	for _, wc := range m.workerMap() {
 		wc.mu.Lock()
 		ws := WorkerStatus{
 			ID:           wc.id,
@@ -602,7 +705,6 @@ func (m *Master) Stats() MasterStats {
 		wc.mu.Unlock()
 		st.Workers = append(st.Workers, ws)
 	}
-	m.workersMu.Unlock()
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
 	return st
 }
@@ -750,29 +852,31 @@ func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
 	}
 
 	m.workersMu.Lock()
-	if _, dup := m.workers[wc.id]; dup {
+	cur := m.workerMap()
+	if _, dup := cur[wc.id]; dup {
 		m.workersMu.Unlock()
 		m.cfg.Logger.Warn("swing master: duplicate worker id", "worker", wc.id)
 		_ = conn.Close()
 		return nil, false
 	}
-	m.workers[wc.id] = wc
+	next := make(map[string]*workerConn, len(cur)+1)
+	for id, c := range cur {
+		next[id] = c
+	}
+	next[wc.id] = wc
+	m.workers.Store(&next)
 	m.workersMu.Unlock()
 
 	if m.cfg.HelloTimeout > 0 {
 		_ = conn.SetDeadline(time.Time{})
 	}
 
-	m.routerMu.Lock()
-	err = m.router.AddDownstream(wc.id)
-	m.routerMu.Unlock()
+	m.withRouter(func(r *routing.Router) { err = r.AddDownstream(wc.id) })
 	if err != nil {
 		m.cfg.Logger.Warn("swing master: register worker", "worker", wc.id, "err", err)
 	}
 	if readopted {
-		m.subMu.Lock()
-		m.readopted++
-		m.subMu.Unlock()
+		m.readopted.Add(1)
 		m.cfg.Logger.Info("swing master: re-adopted worker from previous incarnation",
 			"worker", wc.id, "workerEpoch", hello.Epoch, "epoch", m.epoch)
 	} else {
@@ -951,13 +1055,7 @@ func (m *Master) monitorLoop() {
 // silence the detector measures — a blocked ping would only stall the
 // monitor.
 func (m *Master) checkWorkers(now time.Time) {
-	m.workersMu.Lock()
-	conns := make([]*workerConn, 0, len(m.workers))
-	for _, wc := range m.workers {
-		conns = append(conns, wc)
-	}
-	m.workersMu.Unlock()
-	for _, wc := range conns {
+	for _, wc := range m.workerMap() {
 		wc.mu.Lock()
 		wc.pingSeq++
 		ping := wire.Ping{Seq: wc.pingSeq, SentNanos: now.UnixNano()}
@@ -982,9 +1080,7 @@ func (m *Master) checkWorkers(now time.Time) {
 		case healthHealthy:
 			m.cfg.Logger.Info("swing master: worker recovered", "worker", wc.id)
 		case healthDead:
-			m.subMu.Lock()
-			m.evicted++
-			m.subMu.Unlock()
+			m.evicted.Add(1)
 			m.cfg.Logger.Warn("swing master: evicting hung worker", "worker", wc.id,
 				"silence", now.Sub(wc.lastHeard))
 			// Closing the connection funnels the eviction through the
@@ -998,9 +1094,7 @@ func (m *Master) checkWorkers(now time.Time) {
 // chargeBreaker records n ack-timeout failures against a worker's
 // breaker, logging open transitions.
 func (m *Master) chargeBreaker(id string, n int, now time.Time) {
-	m.workersMu.Lock()
-	wc, ok := m.workers[id]
-	m.workersMu.Unlock()
+	wc, ok := m.workerMap()[id]
 	if !ok {
 		return // worker already gone; its backlog is being retransmitted
 	}
@@ -1023,21 +1117,28 @@ func (m *Master) chargeBreaker(id string, n int, now time.Time) {
 // at its deadline, never silently lost.
 func (m *Master) dropWorker(wc *workerConn) {
 	m.workersMu.Lock()
-	if m.workers[wc.id] != wc {
+	cur := m.workerMap()
+	if cur[wc.id] != wc {
 		m.workersMu.Unlock()
 		return
 	}
-	delete(m.workers, wc.id)
+	next := make(map[string]*workerConn, len(cur))
+	for id, c := range cur {
+		if c != wc {
+			next[id] = c
+		}
+	}
+	m.workers.Store(&next)
 	m.workersMu.Unlock()
 
 	close(wc.gone)
 	_ = wc.conn.Close()
 
-	m.routerMu.Lock()
-	if m.router.Has(wc.id) {
-		_ = m.router.RemoveDownstream(wc.id)
-	}
-	m.routerMu.Unlock()
+	m.withRouter(func(r *routing.Router) {
+		if r.Has(wc.id) {
+			_ = r.RemoveDownstream(wc.id)
+		}
+	})
 	m.cfg.Logger.Info("swing master: worker left", "worker", wc.id)
 
 	if orphans := m.inflight.takeWorker(wc.id); len(orphans) > 0 {
@@ -1069,9 +1170,7 @@ func (m *Master) retransmitAll(from string, orphans []*inflightEntry) {
 			}
 		}
 		if reason != "" {
-			m.subMu.Lock()
-			m.shed++
-			m.subMu.Unlock()
+			m.inflight.shedOrphan(e.t.ID)
 			m.journalShed(e.t.ID, false)
 			m.cfg.Logger.Info("swing master: shed tuple",
 				"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", from, "reason", reason)
@@ -1083,18 +1182,21 @@ func (m *Master) reconfigureLoop(period time.Duration) {
 	defer m.wg.Done()
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
+	flush := time.NewTicker(estimateFlushEvery)
+	defer flush.Stop()
 	var lastSubmitted int64
 	for {
 		select {
+		case <-flush.C:
+			m.flushEstimates(time.Now())
 		case <-ticker.C:
-			m.subMu.Lock()
-			cur := m.submitted
-			m.subMu.Unlock()
-			lambda := float64(cur-lastSubmitted) / period.Seconds()
-			lastSubmitted = cur
-			m.routerMu.Lock()
-			m.router.Reconfigure(lambda)
-			m.routerMu.Unlock()
+			led, _ := m.inflight.ledgerSnapshot()
+			lambda := float64(led.submitted-lastSubmitted) / period.Seconds()
+			lastSubmitted = led.submitted
+			// Fold the freshest banked samples before recomputing, so the
+			// new table reflects every ACK up to this tick.
+			m.flushEstimates(time.Now())
+			m.withRouter(func(r *routing.Router) { r.Reconfigure(lambda) })
 		case <-m.stop:
 			return
 		}
@@ -1124,17 +1226,10 @@ func (m *Master) admissionShed() {
 	size := m.inflight.size()
 	var victims []*inflightEntry
 	if hw := m.cfg.InflightHighWater; hw > 0 && size >= hw {
-		victims = m.inflight.takeOldest(size - hw + 1)
+		victims = m.inflight.shedOldest(size - hw + 1)
 	} else if size >= m.cfg.OutboxCap && m.routerOverloaded() {
-		victims = m.inflight.takeOldest(1)
+		victims = m.inflight.shedOldest(1)
 	}
-	if len(victims) == 0 {
-		return
-	}
-	m.subMu.Lock()
-	m.shed += int64(len(victims))
-	m.shedOverload += int64(len(victims))
-	m.subMu.Unlock()
 	for _, e := range victims {
 		m.journalShed(e.t.ID, true)
 		m.cfg.Logger.Info("swing master: shed tuple",
@@ -1143,9 +1238,7 @@ func (m *Master) admissionShed() {
 }
 
 func (m *Master) routerOverloaded() bool {
-	m.routerMu.Lock()
-	defer m.routerMu.Unlock()
-	return m.router.Overloaded()
+	return m.table.Load().Overloaded()
 }
 
 // submit is the routing core behind Submit and retransmission. attempt 0
@@ -1158,18 +1251,20 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		// nextSeq is the source-resumption high-water mark: every sequence
 		// number handed to Submit is burned, successful or not, so a
 		// restarted source never reuses one.
-		m.subMu.Lock()
-		if t.SeqNo >= m.nextSeq {
-			m.nextSeq = t.SeqNo + 1
+		for {
+			cur := m.nextSeq.Load()
+			if t.SeqNo < cur || m.nextSeq.CompareAndSwap(cur, t.SeqNo+1) {
+				break
+			}
 		}
-		m.subMu.Unlock()
 		if m.cfg.InflightHighWater > 0 {
 			m.admissionShed()
 		}
 	}
 	// refused collects workers whose breaker rejected this tuple, so
-	// probing re-draws steer around them; RouteAvoiding's weighted mode
-	// ignores avoid by design, hence the bounded-retry loop.
+	// probing re-draws steer around them; the snapshot's weighted mode
+	// ignores avoid by design, hence the bounded-retry loop. Routing runs
+	// against the RCU-published table — no lock on this path.
 	journaled := false
 	var refused map[string]bool
 	for tries := 0; ; tries++ {
@@ -1178,23 +1273,18 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			return ErrStopped
 		default:
 		}
-		m.routerMu.Lock()
-		id, err := m.router.RouteAvoiding(func(id string) bool {
+		workers := m.workerMap()
+		id, err := m.table.Load().Pick(m.pickU(), func(id string) bool {
 			if refused[id] {
 				return true
 			}
-			m.workersMu.Lock()
-			wc, ok := m.workers[id]
-			m.workersMu.Unlock()
+			wc, ok := workers[id]
 			return !ok || len(wc.slots) == cap(wc.slots)
 		})
-		m.routerMu.Unlock()
 		if err != nil {
 			return ErrNoWorkers
 		}
-		m.workersMu.Lock()
-		wc, ok := m.workers[id]
-		m.workersMu.Unlock()
+		wc, ok := workers[id]
 		if !ok {
 			if tries > 8 {
 				return ErrNoWorkers
@@ -1235,8 +1325,11 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		}
 		// Track before enqueueing so the tuple is never in a send queue
 		// without an owner; an ack arriving immediately after the send
-		// always finds the entry.
-		m.inflight.track(t.ID, &inflightEntry{
+		// always finds the entry. trackSubmit counts the attempt in the
+		// owning shard's ledger inside the same critical section as the
+		// insert; a failed enqueue below un-counts via reclaim, so the
+		// ledger never observes a tracked-but-uncounted tuple.
+		m.inflight.trackSubmit(t.ID, &inflightEntry{
 			t: t, worker: id, attempt: attempt, deadline: deadline, sentAt: now,
 		})
 		if m.cfg.InflightHighWater > 0 {
@@ -1247,28 +1340,18 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 			select {
 			case wc.slots <- struct{}{}:
 				wc.out <- outFrame{typ: wire.FrameTuple, payload: frame, buf: fb}
-				m.noteDispatched(wc, attempt)
+				m.noteDispatched(wc)
 				return nil
 			default:
 				fb.Release()
-				if _, ours := m.inflight.takeIf(t.ID, id); !ours {
+				if _, ours := m.inflight.reclaim(t.ID, id); !ours {
 					// The worker died and its drop path claimed the entry;
-					// the retransmitter owns the tuple now.
-					m.subMu.Lock()
-					if attempt == 0 {
-						m.submitted++
-					}
-					m.subMu.Unlock()
+					// the retransmitter owns the tuple now and the attempt
+					// stays counted.
 					return nil
 				}
 				if tries > 8 {
-					m.subMu.Lock()
-					if attempt == 0 {
-						m.submitted++
-					}
-					m.shed++
-					m.shedOverload++
-					m.subMu.Unlock()
+					m.inflight.shedUntracked(t.ID, attempt)
 					m.journalShed(t.ID, true)
 					m.cfg.Logger.Info("swing master: shed tuple",
 						"tuple", t.ID, "seq", t.SeqNo, "reason", "all queues full")
@@ -1280,44 +1363,33 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		select {
 		case wc.slots <- struct{}{}:
 			wc.out <- outFrame{typ: wire.FrameTuple, payload: frame, buf: fb}
-			m.noteDispatched(wc, attempt)
+			m.noteDispatched(wc)
 			return nil
 		case <-wc.gone:
 			fb.Release()
 			// Worker died while we were blocked. If the drop path already
 			// claimed the entry its retransmitter owns the tuple now — it
-			// entered the system, so count this attempt; otherwise
-			// reclaim it and re-route ourselves.
-			if _, ours := m.inflight.takeIf(t.ID, id); !ours {
-				m.subMu.Lock()
-				if attempt == 0 {
-					m.submitted++
-				}
-				m.subMu.Unlock()
+			// entered the system, so the attempt stays counted; otherwise
+			// reclaim it (un-counting) and re-route ourselves.
+			if _, ours := m.inflight.reclaim(t.ID, id); !ours {
 				return nil
 			}
 			continue
 		case <-m.stop:
 			fb.Release()
-			m.inflight.takeIf(t.ID, id)
+			m.inflight.reclaim(t.ID, id)
 			return ErrStopped
 		}
 	}
 }
 
-// noteDispatched counts a successful enqueue and claims the breaker's
-// half-open probe slot when one is pending.
-func (m *Master) noteDispatched(wc *workerConn, attempt uint8) {
+// noteDispatched claims the breaker's half-open probe slot when one is
+// pending. The ledger counting that used to live here moved into
+// inflightTable.trackSubmit, fused with the shard insert.
+func (m *Master) noteDispatched(wc *workerConn) {
 	wc.mu.Lock()
 	wc.br.noteDispatch()
 	wc.mu.Unlock()
-	m.subMu.Lock()
-	if attempt == 0 {
-		m.submitted++
-	} else {
-		m.retransmitted++
-	}
-	m.subMu.Unlock()
 }
 
 // journalDispatch logs a dispatch to the write-ahead journal: the full
@@ -1366,15 +1438,18 @@ func (m *Master) snapshotState() *checkpointState {
 		Epoch:      m.epoch,
 		Generation: m.generation,
 	}
-	m.subMu.Lock()
-	st.Submitted, st.Acked, st.Retransmitted = m.submitted, m.acked, m.retransmitted
-	st.Shed, st.ShedOverload = m.shed, m.shedOverload
-	st.WorkerDropped, st.Evicted, st.Readopted = m.workerDropped, m.evicted, m.readopted
-	st.NextSeq = m.nextSeq
-	m.subMu.Unlock()
+	led, _ := m.inflight.ledgerSnapshot()
+	st.Submitted, st.Acked, st.Retransmitted = led.submitted, led.acked, led.retransmitted
+	st.Shed, st.ShedOverload = led.shed, led.shedOverload
+	st.WorkerDropped = m.workerDropped.Load()
+	st.Evicted, st.Readopted = m.evicted.Load(), m.readopted.Load()
+	st.NextSeq = m.nextSeq.Load()
 	m.sinkMu.Lock()
 	st.Arrived, st.Played, st.Skipped, st.NextPlay = m.arrived, m.played, m.skipped, m.nextPlay
 	m.sinkMu.Unlock()
+	// Flush banked ack samples so the persisted estimates include every
+	// acknowledged tuple's latency, then read under routerMu.
+	m.flushEstimates(time.Now())
 	m.routerMu.Lock()
 	for id, est := range m.router.Estimates() {
 		st.Estimates = append(st.Estimates, ckptEstimate{
@@ -1407,18 +1482,19 @@ func (m *Master) checkpointNow() error {
 	if m.journal == nil {
 		return nil
 	}
-	m.journal.mu.Lock()
-	defer m.journal.mu.Unlock()
-	// Wait out any group-commit flush in flight so the file handle is
-	// stable and every returned append is on disk before the snapshot.
-	m.journal.quiesceLocked()
+	m.journal.lockAll()
+	defer m.journal.unlockAll()
+	// Wait out any group-commit flush in flight on every segment so the
+	// file handles are stable and every returned append is on disk before
+	// the snapshot.
+	m.journal.quiesceAllLocked()
 	gen := m.generation + 1
 	st := m.snapshotState()
 	st.Generation = gen
 	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
 		return err
 	}
-	if err := m.journal.rotateLocked(m.epoch, gen); err != nil {
+	if err := m.journal.rotateAllLocked(m.epoch, gen); err != nil {
 		return err
 	}
 	m.generation = gen
@@ -1450,9 +1526,7 @@ func (m *Master) Epoch() uint64 { return m.epoch }
 // master's frame source should resume from here so recovered and new
 // tuples never share a sequence slot in the reorder buffer.
 func (m *Master) NextSeq() uint64 {
-	m.subMu.Lock()
-	defer m.subMu.Unlock()
-	return m.nextSeq
+	return m.nextSeq.Load()
 }
 
 // handleResult is the sink path: release the in-flight entry, fold the
@@ -1465,25 +1539,31 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	if err != nil {
 		return
 	}
-	if _, ghost := m.recoveredAcked[meta.TupleID]; ghost {
+	if m.recoveredAcked.has(meta.TupleID) {
 		// Straggler from a previous incarnation: the old master already
 		// acked (and possibly played) this tuple before it crashed.
 		// Dropping the duplicate keeps the sink at-most-once across epochs.
 		return
 	}
+	now := time.Now()
+	latency := now.Sub(time.Unix(0, meta.EmitNanos))
+	if latency < 0 {
+		latency = 0
+	}
+	// Bank the latency sample before the ledger ack: anyone who observes
+	// Acked == n through Stats (which flushes banked samples first) is then
+	// guaranteed the router estimates already include all n samples.
+	wc.ackLat.Add(int64(latency))
+	wc.ackProc.Add(meta.ProcNanos)
+	wc.ackN.Add(1)
 	if m.inflight.ack(meta.TupleID) {
-		m.subMu.Lock()
-		m.acked++
-		m.subMu.Unlock()
 		// Journal the ack before the result can reach the sink: a crash
 		// between the two drops the frame (at-most-once) rather than
 		// replaying an already-played frame after restart.
 		m.journalAck(meta.TupleID)
 	}
 	if meta.Dropped {
-		m.subMu.Lock()
-		m.workerDropped++
-		m.subMu.Unlock()
+		m.workerDropped.Add(1)
 		// A processor-error drop is a breaker failure: the worker is
 		// reachable but not producing results.
 		wc.mu.Lock()
@@ -1506,15 +1586,6 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 				"reason", "probe succeeded")
 		}
 	}
-	now := time.Now()
-	latency := now.Sub(time.Unix(0, meta.EmitNanos))
-	if latency < 0 {
-		latency = 0
-	}
-	m.routerMu.Lock()
-	_ = m.router.ObserveAck(wc.id, latency, time.Duration(meta.ProcNanos), now.Sub(m.start))
-	m.routerMu.Unlock()
-
 	if len(tb) == 0 {
 		return // ack-only: dropped or filtered out downstream
 	}
@@ -1581,13 +1652,7 @@ func (m *Master) Close() error {
 	m.once.Do(func() {
 		close(m.stop)
 		_ = m.ln.Close()
-		m.workersMu.Lock()
-		conns := make([]*workerConn, 0, len(m.workers))
-		for _, wc := range m.workers {
-			conns = append(conns, wc)
-		}
-		m.workersMu.Unlock()
-		for _, wc := range conns {
+		for _, wc := range m.workerMap() {
 			wc.writeMu.Lock()
 			_ = wire.WriteFrame(wc.conn, wire.FrameStop, nil)
 			wc.writeMu.Unlock()
@@ -1612,13 +1677,7 @@ func (m *Master) crash() {
 	m.once.Do(func() {
 		close(m.stop)
 		_ = m.ln.Close()
-		m.workersMu.Lock()
-		conns := make([]*workerConn, 0, len(m.workers))
-		for _, wc := range m.workers {
-			conns = append(conns, wc)
-		}
-		m.workersMu.Unlock()
-		for _, wc := range conns {
+		for _, wc := range m.workerMap() {
 			_ = wc.conn.Close()
 		}
 		m.wg.Wait()

@@ -272,7 +272,10 @@ func startRecoverableMaster(t *testing.T, mem *transport.Mem, jpath string, col 
 		CheckpointEvery: -1,
 		Fsync:           FsyncNever,
 		RetryDeadline:   5 * time.Second,
-		Logger:          quietLogger(),
+		// Several shards so every crash/recovery scenario in this file
+		// exercises the segmented journal layout, not just segment 0.
+		Shards: 4,
+		Logger: quietLogger(),
 	}
 	if col != nil {
 		cfg.OnResult = col.add
@@ -633,6 +636,7 @@ func TestMasterKillSoak(t *testing.T) {
 			Fsync:           FsyncInterval,
 			FsyncEvery:      20 * time.Millisecond,
 			RetryDeadline:   2 * time.Second,
+			Shards:          4,
 			OnResult:        record,
 			Logger:          quietLogger(),
 		})

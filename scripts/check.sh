@@ -20,6 +20,12 @@ go test -race ./...
 # them, and this smoke run proves every dataplane benchmark still compiles
 # and completes one iteration.
 go test -run=NONE -bench=. -benchtime=1x ./internal/wire ./internal/tuple ./internal/runtime
+# Many-worker throughput smoke under the race detector, scaled down (64
+# workers, 4 submitters, 200 tuples) so the sharded hot state — in-flight
+# shards, RCU routing snapshot, segmented journal — is exercised under
+# real concurrency on every check run without benchmark-scale cost.
+SWING_BENCH_WORKERS=64 SWING_BENCH_SUBMITTERS=4 \
+    go test -race -run=NONE -bench=ManyWorkerThroughput -benchtime=200x ./internal/runtime
 # The live runtime's fault-tolerance and liveness paths (retransmit,
 # reconnect, heartbeat eviction, breakers, fault injection) are
 # timing-sensitive; run them a second time under the race detector.
