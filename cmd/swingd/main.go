@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,10 +48,12 @@ type masterOpts struct {
 	parallelism              int
 	linger                   time.Duration
 	statusEvery              time.Duration
+	statusAddr               string
 	journal                  string
 	checkpointEvery          time.Duration
 	fsync                    string
 	transport                swing.Transport
+	shaped                   *swing.ShapedTransport
 }
 
 // workerOpts collects the worker-role flags.
@@ -85,6 +88,12 @@ func run(args []string) error {
 		brAckTO   = fs.Duration("breaker-ack-timeout", 0, "master: unacked-tuple age counted as a breaker failure (0 = drops alone drive breakers)")
 		inflHW    = fs.Int("inflight-high-water", 0, "master: in-flight tuples beyond which Submit sheds oldest-first instead of blocking (0 = block on backpressure)")
 		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
+		statusAdr = fs.String("status-addr", "", "master: HTTP observability endpoint address serving /statusz, /status.json and /events (empty = off; \":0\" picks a free port)")
+
+		// Live network emulation (master; shapes the downlink of every
+		// accepted worker connection).
+		shapeSpec = fs.String("shape", "", "master: link-shaping scenario: wifi-degrade[:leg], mobility[:leg], flash-crowd[:leg], or walk:<rssi>@<until>,... (empty = off)")
+		shapeSeed = fs.Int64("shape-seed", 1, "master: PRNG seed for shaping jitter and loss draws")
 
 		// Dataplane tuning (master; deployed to every worker).
 		shards   = fs.Int("shards", 0, "master: hot-state shard count, rounded up to a power of two and capped at 128 (0 = GOMAXPROCS)")
@@ -128,17 +137,30 @@ func run(args []string) error {
 	})
 	switch *role {
 	case "master":
-		return runMaster(app, masterOpts{
+		opt := masterOpts{
 			listen: *listen, policy: *policyN, announce: *announce,
 			fps: *fps, duration: *duration,
 			retryDeadline: *retryDL, maxAttempts: *maxTries,
 			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
 			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
 			inflightHighWater: *inflHW, shards: *shards, parallelism: *parallel, linger: *linger,
-			statusEvery: *statusEv,
-			journal:     *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
+			statusEvery: *statusEv, statusAddr: *statusAdr,
+			journal: *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
 			transport: faults,
-		})
+		}
+		if *shapeSpec != "" {
+			scn, err := swing.ParseScenario(*shapeSpec)
+			if err != nil {
+				return err
+			}
+			inner := opt.transport
+			if inner == nil {
+				inner = swing.TCPTransport{}
+			}
+			opt.shaped = swing.WithShaping(inner, scn, *shapeSeed)
+			opt.transport = opt.shaped
+		}
+		return runMaster(app, opt)
 	case "worker":
 		return runWorker(app, workerOpts{
 			id: *id, master: *master, discover: *discover, speed: *speed,
@@ -187,6 +209,7 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		Policy:            policy,
 		ListenAddr:        opt.listen,
 		Transport:         opt.transport,
+		StatusAddr:        opt.statusAddr,
 		RetryDeadline:     opt.retryDeadline,
 		MaxAttempts:       opt.maxAttempts,
 		Heartbeat:         opt.heartbeat,
@@ -220,6 +243,18 @@ func runMaster(app *swing.App, opt masterOpts) error {
 			opt.journal, m.Epoch(), m.NextSeq())
 	}
 	fmt.Println("master listening on", m.Addr())
+	if addr := m.StatusAddr(); addr != "" {
+		fmt.Printf("status endpoint on http://%s/statusz\n", addr)
+	}
+	if opt.shaped != nil {
+		// The shaping report is the scenario's inspectable artifact: what
+		// it actually did to each link, printed on exit.
+		defer func() {
+			if b, err := json.Marshal(opt.shaped.Report()); err == nil {
+				fmt.Printf("shaping report: %s\n", b)
+			}
+		}()
+	}
 
 	if opt.announce != "" {
 		ann, err := swing.Announce(opt.announce,
@@ -259,7 +294,7 @@ func runMaster(app *swing.App, opt masterOpts) error {
 				submitted++
 			}
 		case <-statusTick:
-			printStatus(m.Stats())
+			printStatus(m.StatusSnapshot())
 		case <-deadline:
 			st := m.Stats()
 			fmt.Printf("done: submitted=%d dropped=%d arrived=%d played=%d skipped=%d\n",
@@ -274,15 +309,17 @@ func runMaster(app *swing.App, opt masterOpts) error {
 	}
 }
 
-// printStatus logs the periodic master status line: the ledger counters
-// plus each worker's failure-detector, breaker and self-reported state.
-func printStatus(st swing.MasterStats) {
-	fmt.Printf("status: submitted=%d acked=%d shed=%d (overload %d) inFlight=%d evicted=%d\n",
-		st.Submitted, st.Acked, st.Shed, st.ShedOverload, st.InFlight, st.Evicted)
-	for _, ws := range st.Workers {
-		fmt.Printf("  worker %s: health=%s silence=%s breaker=%s opens=%d queue=%d processed=%d dropped=%d reconnects=%d\n",
-			ws.ID, ws.Health, ws.Silence.Round(time.Millisecond), ws.Breaker,
-			ws.BreakerOpens, ws.QueueLen, ws.Processed, ws.Dropped, ws.Reconnects)
+// printStatus logs the periodic master status line. It renders the same
+// StatusSnapshot the HTTP endpoint serves — one snapshot path, so the log
+// line and /statusz can never disagree.
+func printStatus(snap swing.StatusSnapshot) {
+	l := snap.Ledger
+	fmt.Printf("status: submitted=%d acked=%d shed=%d (overload %d) inFlight=%d retransmitting=%d evicted=%d balanced=%v\n",
+		l.Submitted, l.Acked, l.Shed, l.ShedOverload, l.InFlight, l.Retransmitting, l.Evicted, l.Balanced)
+	for _, ws := range snap.Workers {
+		fmt.Printf("  worker %s: health=%s silence=%dms breaker=%s opens=%d queue=%d weight=%.2f latency=%.1fms processed=%d dropped=%d reconnects=%d\n",
+			ws.ID, ws.Health, ws.SilenceMillis, ws.Breaker, ws.BreakerOpens,
+			ws.QueueLen, ws.Weight, ws.LatencyMillis, ws.Processed, ws.Dropped, ws.Reconnects)
 	}
 }
 

@@ -36,6 +36,19 @@ type Table struct {
 	probeIdx  atomic.Uint64
 	rrIdx     atomic.Uint64
 
+	// next points at the successor snapshot that inherited this one's
+	// un-consumed probe budget (set by Router.Table before the budget is
+	// claimed). Window abandonment follows the chain so that "every
+	// downstream is congested" kills the logical probe window wherever its
+	// remaining budget currently lives, instead of resurrecting a drained
+	// counter a concurrent rebuild already migrated. Snapshots whose budget
+	// came from a fresh Reconfigure arm are deliberately not linked.
+	// abandoned latches once the window is given up; it is monotonic, so
+	// a migration racing with abandonment can never revive the window by
+	// overwriting probeLeft.
+	next      atomic.Pointer[Table]
+	abandoned atomic.Bool
+
 	swrrMu      sync.Mutex
 	swrrCredits []float64
 }
@@ -47,12 +60,6 @@ type Table struct {
 // snapshot carries into the new one, unless Reconfigure re-armed probing
 // in between — then the fresh window wins.
 func (r *Router) Table() *Table {
-	if r.lastTable != nil && !r.probeArmed {
-		if rem := r.lastTable.probeLeft.Load(); rem < int64(r.probeLeft) {
-			r.probeLeft = int(max(rem, 0))
-		}
-	}
-	r.probeArmed = false
 	t := &Table{
 		policy:        r.cfg.Policy,
 		deterministic: r.cfg.Deterministic,
@@ -65,6 +72,24 @@ func (r *Router) Table() *Table {
 	if t.deterministic {
 		t.swrrCredits = make([]float64, len(t.selected))
 	}
+	if r.lastTable != nil && !r.probeArmed {
+		// Migrate the previous snapshot's un-consumed budget. Link the
+		// successor first, then atomically claim the remainder with Swap:
+		// an abandonment racing on the old snapshot either zeroes the
+		// budget before the Swap (we migrate 0) or walks the chain into
+		// this snapshot after it (abandonProbes re-loads next after its
+		// stores, so a walk that misses the link happened entirely before
+		// the Swap and already drained the budget we would have claimed).
+		// Either way the budget is spent at most once, and the abandoned
+		// latch below makes the kill stick even if the Store under it
+		// lands after a chained zeroing.
+		r.lastTable.next.Store(t)
+		rem := max(r.lastTable.probeLeft.Swap(0), 0)
+		if rem < int64(r.probeLeft) {
+			r.probeLeft = int(rem)
+		}
+	}
+	r.probeArmed = false
 	t.probeLeft.Store(int64(r.probeLeft))
 	r.lastTable = t
 	return t
@@ -106,13 +131,20 @@ func (t *Table) Pick(u float64, avoid func(id string) bool) (string, error) {
 // pickProbe claims one probe slot and cycles the full downstream set,
 // skipping avoided entries. A false return means the budget was already
 // drained by concurrent picks — or every downstream is congested, which
-// abandons the window (Store 0) the way Router.RouteAvoiding does.
+// abandons the window the way Router.RouteAvoiding does.
 func (t *Table) pickProbe(avoid func(id string) bool) (string, bool) {
-	if t.probeLeft.Add(-1) < 0 {
-		// Lost the race for the last slot. The counter may drift below
-		// zero under heavy contention; Pick's Load()>0 gate keeps the
-		// drift bounded and a fresh snapshot resets it.
-		return "", false
+	// CAS-decrement: the counter can never go below zero, so the total
+	// number of successful claims is bounded by the armed budget even
+	// under arbitrary contention (a blind Add(-1) after a Load()>0 gate
+	// lets losers drive it negative).
+	for {
+		left := t.probeLeft.Load()
+		if left <= 0 || t.abandoned.Load() {
+			return "", false
+		}
+		if t.probeLeft.CompareAndSwap(left, left-1) {
+			break
+		}
 	}
 	for tries := 0; tries < len(t.order); tries++ {
 		id := t.order[int((t.probeIdx.Add(1)-1)%uint64(len(t.order)))]
@@ -121,8 +153,31 @@ func (t *Table) pickProbe(avoid func(id string) bool) (string, bool) {
 		}
 		return id, true
 	}
-	t.probeLeft.Store(0)
+	t.abandonProbes()
 	return "", false
+}
+
+// abandonProbes ends the probe window on this snapshot and on every
+// successor that inherited its budget. The abandoned latch is set before
+// the counter is zeroed and next is re-loaded only after both stores, so
+// a migration racing with the walk either finds the budget already
+// drained or is reached through the chain — a window abandoned under one
+// snapshot stays abandoned across rebuilds. Fresh windows armed by
+// Reconfigure live in unlinked snapshots and are unaffected.
+func (t *Table) abandonProbes() {
+	for tb := t; tb != nil; tb = tb.next.Load() {
+		tb.abandoned.Store(true)
+		tb.probeLeft.Store(0)
+	}
+}
+
+// ProbeLeft reports the probe budget remaining in this snapshot; it is
+// never negative and reads zero once the window is drained or abandoned.
+func (t *Table) ProbeLeft() int64 {
+	if t.abandoned.Load() {
+		return 0
+	}
+	return max(t.probeLeft.Load(), 0)
 }
 
 // pickWeighted resolves a uniform draw against the cumulative-weight
@@ -175,10 +230,19 @@ func (r *Router) ObserveBatch(id string, latency, processing time.Duration, n in
 		return ErrUnknownDownstream
 	}
 	e := &d.est
+	rem := n
 	if e.Samples == 0 {
+		// Seed exactly as Estimate.Observe's first-sample path does — the
+		// first banked sample becomes the estimate — then fold the
+		// remaining n−1 through the closed form below. Structurally
+		// mirroring the per-sample path keeps ObserveBatch(n) identical to
+		// n consecutive Observe calls from a cold estimator, so banked-ACK
+		// flushing cannot skew warm-up estimates.
 		e.Latency, e.Processing = latency, processing
-	} else {
-		decay := math.Pow(1-r.cfg.Alpha, float64(n))
+		rem--
+	}
+	if rem > 0 {
+		decay := math.Pow(1-r.cfg.Alpha, float64(rem))
 		e.Latency = time.Duration(decay*float64(e.Latency) + (1-decay)*float64(latency))
 		e.Processing = time.Duration(decay*float64(e.Processing) + (1-decay)*float64(processing))
 	}

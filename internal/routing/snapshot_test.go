@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -207,5 +208,182 @@ func TestObserveBatchMatchesRepeatedObserve(t *testing.T) {
 	}
 	if err := batched.ObserveBatch("nope", time.Millisecond, time.Millisecond, 1, 0); !errors.Is(err, ErrUnknownDownstream) {
 		t.Errorf("unknown downstream err = %v", err)
+	}
+}
+
+// TestTableProbeBudgetNeverNegative hammers pickProbe from many goroutines
+// against one armed window while a sampler watches the counter: the total
+// number of successful probe claims must equal the armed budget exactly,
+// and the CAS-decrement loop must never let the counter go below zero
+// (the old blind Add(-1) let losers drive it arbitrarily negative).
+func TestTableProbeBudgetNeverNegative(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 1
+	cfg.ProbeTuples = 64
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"B", "C", "D", "E"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Reconfigure(0)
+	tbl := r.Table()
+
+	done := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if got := tbl.probeLeft.Load(); got < 0 {
+				t.Errorf("probe budget went negative: %d", got)
+				return
+			}
+		}
+	}()
+
+	var claims atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, ok := tbl.pickProbe(nil); ok {
+					claims.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	sampler.Wait()
+	if got := claims.Load(); got != 64 {
+		t.Fatalf("probe claims = %d, want exactly the armed budget 64", got)
+	}
+	if got := tbl.probeLeft.Load(); got != 0 {
+		t.Fatalf("drained budget = %d, want 0", got)
+	}
+	if got := tbl.ProbeLeft(); got != 0 {
+		t.Fatalf("ProbeLeft() = %d, want 0", got)
+	}
+}
+
+// TestTableAbandonSurvivesRebuild abandons a probe window (every
+// downstream congested) while the avoid callback itself triggers a
+// snapshot rebuild that migrates the remaining budget — the historical
+// resurrection bug: Store(0) on the old snapshot landed after the budget
+// had already moved, so the "abandoned" window lived on in the successor.
+// Abandonment must follow the migration chain; a window re-armed by
+// Reconfigure must stay immune to stale abandonments.
+func TestTableAbandonSurvivesRebuild(t *testing.T) {
+	cfg := DefaultConfig(LRS)
+	cfg.ProbeEvery = 1
+	cfg.ProbeTuples = 8
+	r, err := NewRouter(cfg, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"B", "C"} {
+		if err := r.AddDownstream(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Reconfigure(0)
+	t1 := r.Table()
+
+	var t2 *Table
+	avoidAll := func(id string) bool {
+		if t2 == nil {
+			t2 = r.Table() // mid-scan rebuild migrates the window
+		}
+		return true
+	}
+	// The pick claims a slot, finds every downstream congested, and
+	// abandons the window; it must still route via the policy path.
+	if _, err := t1.Pick(0.5, avoidAll); err != nil {
+		t.Fatal(err)
+	}
+	if t2 == nil {
+		t.Fatal("avoid callback never ran: probe path not taken")
+	}
+	if got := t2.ProbeLeft(); got != 0 {
+		t.Fatalf("abandoned window resurrected in successor: budget %d, want 0", got)
+	}
+	if _, ok := t2.pickProbe(nil); ok {
+		t.Fatal("successor handed out a probe from an abandoned window")
+	}
+
+	// Reconfigure arms a fresh window in an unlinked snapshot: stale
+	// abandonments of the dead chain must not reach it.
+	r.Reconfigure(0)
+	t3 := r.Table()
+	if got := t3.ProbeLeft(); got != 8 {
+		t.Fatalf("re-armed budget = %d, want 8", got)
+	}
+	t1.abandonProbes()
+	if got := t3.ProbeLeft(); got != 8 {
+		t.Fatalf("stale abandonment clipped a fresh window: budget %d, want 8", got)
+	}
+}
+
+// TestObserveBatchFreshSeedEquivalence pins the cold-start contract: for a
+// fresh estimator (Samples == 0), ObserveBatch(n) must land exactly where
+// n consecutive Observe calls with the batch mean land — first sample
+// seeds, the rest fold through the EWMA — for n ∈ {1, 2, 10}, including a
+// warm follow-up batch at a different value.
+func TestObserveBatchFreshSeedEquivalence(t *testing.T) {
+	mk := func() *Router {
+		r, err := NewRouter(DefaultConfig(LRS), testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddDownstream("B"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	check := func(n int64, single, batched *Router) {
+		t.Helper()
+		es, eb := single.Estimates()["B"], batched.Estimates()["B"]
+		if es.Samples != eb.Samples {
+			t.Fatalf("n=%d: samples single %d, batched %d", n, es.Samples, eb.Samples)
+		}
+		if d := math.Abs(float64(es.Latency - eb.Latency)); d > float64(time.Microsecond) {
+			t.Errorf("n=%d: latency drift %v (single %v, batched %v)", n, time.Duration(d), es.Latency, eb.Latency)
+		}
+		if d := math.Abs(float64(es.Processing - eb.Processing)); d > float64(time.Microsecond) {
+			t.Errorf("n=%d: processing drift %v (single %v, batched %v)", n, time.Duration(d), es.Processing, eb.Processing)
+		}
+	}
+	for _, n := range []int64{1, 2, 10} {
+		single, batched := mk(), mk()
+		for i := int64(0); i < n; i++ {
+			if err := single.ObserveAck("B", 30*time.Millisecond, 12*time.Millisecond, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := batched.ObserveBatch("B", 30*time.Millisecond, 12*time.Millisecond, n, 0); err != nil {
+			t.Fatal(err)
+		}
+		check(n, single, batched)
+		// Warm continuation: a second batch at a new value must also track.
+		for i := int64(0); i < n; i++ {
+			if err := single.ObserveAck("B", 55*time.Millisecond, 21*time.Millisecond, time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := batched.ObserveBatch("B", 55*time.Millisecond, 21*time.Millisecond, n, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		check(n, single, batched)
 	}
 }

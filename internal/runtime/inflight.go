@@ -61,14 +61,26 @@ func mix64(x uint64) uint64 {
 // ledgerCounters is one shard's slice of the fault-tolerance ledger. The
 // global view is the sum across shards; every mutation happens in the
 // same critical section as the map change it accounts for, so the summed
-// invariant Acked + Shed + InFlight == Submitted holds at every
-// consistently sampled instant (ledgerSnapshot), not just at quiescence.
+// invariant Acked + Shed + InFlight + Orphaned == Submitted holds at
+// every consistently sampled instant (ledgerSnapshot), not just at
+// quiescence.
 type ledgerCounters struct {
 	submitted     int64
 	acked         int64
 	retransmitted int64
 	shed          int64
 	shedOverload  int64
+	// orphaned counts entries taken off the table by takeWorker and not
+	// yet re-dispatched (trackSubmit) or abandoned (shedOrphan/
+	// shedUntracked): a dead worker's backlog in the retransmitter's
+	// hands. Unlike the cumulative columns it is instantaneous, and it
+	// closes the sampled invariant exactly:
+	//
+	//	acked + shed + inflight + orphaned == submitted
+	//
+	// on every ledgerSnapshot, including mid-retransmit — what used to be
+	// the one documented transient.
+	orphaned int64
 }
 
 func (l *ledgerCounters) add(o ledgerCounters) {
@@ -77,6 +89,7 @@ func (l *ledgerCounters) add(o ledgerCounters) {
 	l.retransmitted += o.retransmitted
 	l.shed += o.shed
 	l.shedOverload += o.shedOverload
+	l.orphaned += o.orphaned
 }
 
 // inflightShard is one lock domain of the table: a slice of the entry map
@@ -97,11 +110,12 @@ type inflightShard struct {
 // frame acks and releases its entry.
 //
 // The ledger lives inside the shards: counter mutations share the
-// critical section of the map mutation they describe. Two transient,
-// bounded exceptions to the sampled invariant are documented at their
-// call sites: takeWorker (a dead worker's backlog is off-table while the
-// retransmitter re-routes it) and the recovered backlog before its
-// checkpointed counters are seeded.
+// critical section of the map mutation they describe. A dead worker's
+// off-table backlog is carried by the orphaned column (takeWorker), so
+// the sampled invariant acked + shed + inflight + orphaned == submitted
+// is exact even mid-retransmit; the one remaining seam is the recovered
+// backlog before its checkpointed counters are seeded, which happens
+// before the listener opens.
 type inflightTable struct {
 	shards []inflightShard
 	mask   uint64
@@ -136,7 +150,10 @@ func (t *inflightTable) trackSubmit(id uint64, e *inflightEntry) {
 	if e.attempt == 0 {
 		s.led.submitted++
 	} else {
+		// A re-route consumes the orphan takeWorker (or a reclaim) handed
+		// to the retransmitter.
 		s.led.retransmitted++
+		s.led.orphaned--
 	}
 	s.mu.Unlock()
 }
@@ -186,7 +203,10 @@ func (t *inflightTable) reclaim(id uint64, worker string) (*inflightEntry, bool)
 	if e.attempt == 0 {
 		s.led.submitted--
 	} else {
+		// The re-route is undone: the entry is an orphan again, back in
+		// the caller's hands until re-tracked or abandoned.
 		s.led.retransmitted--
+		s.led.orphaned++
 	}
 	t.approx.Add(-1)
 	return e, true
@@ -201,6 +221,10 @@ func (t *inflightTable) shedUntracked(id uint64, attempt uint8) {
 	s.mu.Lock()
 	if attempt == 0 {
 		s.led.submitted++
+	} else {
+		// A reclaimed retransmission was an orphan in hand; shedding
+		// resolves it.
+		s.led.orphaned--
 	}
 	s.led.shed++
 	s.led.shedOverload++
@@ -214,15 +238,16 @@ func (t *inflightTable) shedOrphan(id uint64) {
 	s := t.shard(id)
 	s.mu.Lock()
 	s.led.shed++
+	s.led.orphaned--
 	s.mu.Unlock()
 }
 
 // takeWorker removes and returns every entry assigned to the worker — the
-// un-acked backlog of a broken connection. The ledger is not touched: the
-// backlog is still logically in flight while the retransmitter re-routes
-// it, and each entry re-balances when it is re-tracked (trackSubmit) or
-// abandoned (shedOrphan). Until then a consistent sample may read
-// InFlight low by the backlog size — the one documented transient.
+// un-acked backlog of a broken connection. Each taken entry moves from
+// the live count into the orphaned column in the same critical section,
+// so a consistent sample still balances while the retransmitter re-routes
+// the backlog; each entry leaves the column when it is re-tracked
+// (trackSubmit) or abandoned (shedOrphan).
 func (t *inflightTable) takeWorker(worker string) []*inflightEntry {
 	var out []*inflightEntry
 	for i := range t.shards {
@@ -232,6 +257,7 @@ func (t *inflightTable) takeWorker(worker string) []*inflightEntry {
 			if e.worker == worker {
 				out = append(out, e)
 				delete(s.m, id)
+				s.led.orphaned++
 				t.approx.Add(-1)
 			}
 		}

@@ -145,6 +145,11 @@ type journal struct {
 	flushing   bool   // a leader is writing outside the lock
 	broken     error  // first flush failure; the log is unusable after
 	brokenSeq  uint64 // first record sequence the failed flush covered
+
+	// Observability depth counters (guarded by mu): records and bytes
+	// appended this incarnation, cumulative across generation rotations.
+	nrecords int64
+	nbytes   int64
 }
 
 // encodeJournalRecord frames one record.
@@ -254,6 +259,17 @@ func (j *journal) sealLocked(start int) {
 	binary.LittleEndian.PutUint32(j.pending[start:start+4], uint32(n))
 	sum := crc32.Update(0, journalCRC, j.pending[start+4:])
 	j.pending = binary.LittleEndian.AppendUint32(j.pending, sum)
+	j.nrecords++
+	j.nbytes += int64(len(j.pending) - start)
+}
+
+// depth reports the segment's observability counters: records and bytes
+// appended this incarnation, and the bytes currently buffered awaiting
+// group commit.
+func (j *journal) depth() (records, bytes, pending int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nrecords, j.nbytes, int64(len(j.pending))
 }
 
 // maxBatchRetain caps how large a recycled batch buffer may stay; a

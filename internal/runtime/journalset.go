@@ -176,6 +176,20 @@ func (js *journalSet) rotateAllLocked(epoch, generation uint64) error {
 	return nil
 }
 
+// depths collects each segment's observability counters for the status
+// endpoint: per-segment appended records and bytes, plus the summed
+// group-commit backlog across segments.
+func (js *journalSet) depths() (records, bytes []int64, pending int64) {
+	records = make([]int64, len(js.segs))
+	bytes = make([]int64, len(js.segs))
+	for i, j := range js.segs {
+		var p int64
+		records[i], bytes[i], p = j.depth()
+		pending += p
+	}
+	return records, bytes, pending
+}
+
 // sync flushes and fsyncs every segment.
 func (js *journalSet) sync() error {
 	var first error

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/obs"
 	"github.com/swingframework/swing/internal/routing"
 	"github.com/swingframework/swing/internal/transport"
 	"github.com/swingframework/swing/internal/tuple"
@@ -143,6 +144,15 @@ type MasterConfig struct {
 	// reproduces the pre-sharding layout (including the single-file
 	// journal).
 	Shards int
+	// StatusAddr enables the observability plane: an HTTP listener at
+	// this address (host:port; ":0" picks a free port, see StatusAddr())
+	// serving /statusz (HTML dashboard; ?format=json for the same data as
+	// JSON), /status.json, and /events — the ring-buffered event log of
+	// evictions, breaker trips, shed bursts and epoch changes. The
+	// endpoint and the periodic status log line render the same
+	// StatusSnapshot, so they can never disagree. Empty disables the
+	// listener (events are still recorded).
+	StatusAddr string
 	// Seed drives the router's weighted-random draws (default 1).
 	Seed int64
 	// Logger defaults to slog.Default.
@@ -319,9 +329,11 @@ type Master struct {
 	pickSeq atomic.Uint64
 
 	// Crash recovery (immutable after StartMaster returns, except
-	// generation which only the single-threaded checkpointer advances).
+	// generation, which only the single-threaded checkpointer advances —
+	// atomically, so status sampling can read it without the journal
+	// locks).
 	epoch      uint64
-	generation uint64
+	generation atomic.Uint64
 	journal    *journalSet
 	// recoveredAcked is the cross-epoch sink dedup set: tuple IDs the
 	// previous incarnation acknowledged whose straggler results must be
@@ -331,6 +343,11 @@ type Master struct {
 
 	// handshakes caps concurrent join handshakes (nil = uncapped).
 	handshakes chan struct{}
+
+	// events is the ring-buffered observability log (always allocated);
+	// statusSrv is the HTTP endpoint, nil unless StatusAddr is set.
+	events    *obs.EventLog
+	statusSrv *obs.Server
 
 	start time.Time
 	stop  chan struct{}
@@ -385,6 +402,7 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 		rcap:     rcap,
 		inflight: newInflightTable(cfg.Shards),
 		epoch:    1,
+		events:   obs.NewEventLog(256),
 		start:    time.Now(),
 		stop:     make(chan struct{}),
 	}
@@ -400,6 +418,17 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 			_ = ln.Close()
 			return nil, err
 		}
+	}
+	if cfg.StatusAddr != "" {
+		srv, err := obs.Serve(cfg.StatusAddr, m.StatusSnapshot, m.events)
+		if err != nil {
+			_ = ln.Close()
+			if m.journal != nil {
+				_ = m.journal.close()
+			}
+			return nil, err
+		}
+		m.statusSrv = srv
 	}
 	m.wg.Add(2)
 	go m.acceptLoop()
@@ -485,7 +514,7 @@ func (m *Master) initRecovery() error {
 		return err
 	}
 	m.epoch = rs.prevEpoch + 1
-	m.generation = rs.generation + 1
+	m.generation.Store(rs.generation + 1)
 	m.recoveredAcked = newDedupSet(m.cfg.Shards, rs.acked)
 	c := rs.counters
 	m.inflight.seedLedger(&c)
@@ -526,12 +555,14 @@ func (m *Master) initRecovery() error {
 	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
 		return err
 	}
-	js, err := openJournalSet(m.cfg.JournalPath, m.cfg.Shards, m.epoch, m.generation, m.cfg.Fsync, m.cfg.FsyncEvery)
+	js, err := openJournalSet(m.cfg.JournalPath, m.cfg.Shards, m.epoch, m.generation.Load(), m.cfg.Fsync, m.cfg.FsyncEvery)
 	if err != nil {
 		return err
 	}
 	m.journal = js
 	if rs.prevEpoch > 0 {
+		m.events.Record(obs.EventEpoch, "",
+			fmt.Sprintf("recovered from epoch %d", rs.prevEpoch), m.recovered)
 		m.cfg.Logger.Info("swing master: recovered from crash",
 			"epoch", m.epoch, "backlog", m.recovered,
 			"submitted", c.Submitted, "acked", c.Acked,
@@ -614,6 +645,11 @@ type MasterStats struct {
 	// control: the in-flight high-water mark or a saturated swarm
 	// (Λ > Σμ) shed the tuple oldest-first instead of blocking Submit.
 	ShedOverload int64
+	// Retransmitting counts tuples a dead worker orphaned that the
+	// retransmit path has claimed but not yet re-routed or shed. They are
+	// outside InFlight, and the exact ledger identity is
+	// Acked + Shed + InFlight + Retransmitting == Submitted.
+	Retransmitting int64
 	// WorkerDropped counts tuples workers discarded on processor errors.
 	WorkerDropped int64
 	// Evicted counts hung workers the failure detector removed: their
@@ -670,17 +706,18 @@ func (m *Master) Stats() MasterStats {
 	m.flushEstimates(time.Now())
 	led, inflight := m.inflight.ledgerSnapshot()
 	st := MasterStats{
-		Submitted:     led.submitted,
-		Acked:         led.acked,
-		Retransmitted: led.retransmitted,
-		Shed:          led.shed,
-		ShedOverload:  led.shedOverload,
-		WorkerDropped: m.workerDropped.Load(),
-		Evicted:       m.evicted.Load(),
-		Epoch:         m.epoch,
-		Readopted:     m.readopted.Load(),
-		Recovered:     m.recovered,
-		InFlight:      inflight,
+		Submitted:      led.submitted,
+		Acked:          led.acked,
+		Retransmitted:  led.retransmitted,
+		Shed:           led.shed,
+		ShedOverload:   led.shedOverload,
+		Retransmitting: led.orphaned,
+		WorkerDropped:  m.workerDropped.Load(),
+		Evicted:        m.evicted.Load(),
+		Epoch:          m.epoch,
+		Readopted:      m.readopted.Load(),
+		Recovered:      m.recovered,
+		InFlight:       inflight,
 	}
 	m.sinkMu.Lock()
 	st.Arrived, st.Played, st.Skipped = m.arrived, m.played, m.skipped
@@ -877,9 +914,12 @@ func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
 	}
 	if readopted {
 		m.readopted.Add(1)
+		m.events.Record(obs.EventReadopted, wc.id,
+			fmt.Sprintf("from epoch %d", hello.Epoch), 0)
 		m.cfg.Logger.Info("swing master: re-adopted worker from previous incarnation",
 			"worker", wc.id, "workerEpoch", hello.Epoch, "epoch", m.epoch)
 	} else {
+		m.events.Record(obs.EventWorkerJoin, wc.id, "", 0)
 		m.cfg.Logger.Info("swing master: worker joined", "worker", wc.id)
 	}
 	return wc, true
@@ -1060,7 +1100,8 @@ func (m *Master) checkWorkers(now time.Time) {
 		wc.pingSeq++
 		ping := wire.Ping{Seq: wc.pingSeq, SentNanos: now.UnixNano()}
 		prev := wc.health
-		next := nextHealth(prev, now.Sub(wc.lastHeard), m.cfg.SuspectAfter, m.cfg.DeadAfter)
+		silence := now.Sub(wc.lastHeard)
+		next := nextHealth(prev, silence, m.cfg.SuspectAfter, m.cfg.DeadAfter)
 		wc.health = next
 		wc.mu.Unlock()
 		if pb, err := wire.EncodeJSON(ping); err == nil {
@@ -1075,14 +1116,17 @@ func (m *Master) checkWorkers(now time.Time) {
 		}
 		switch next {
 		case healthSuspect:
+			m.events.Record(obs.EventSuspect, wc.id, "silence "+silence.String(), 0)
 			m.cfg.Logger.Warn("swing master: worker suspect", "worker", wc.id,
-				"silence", now.Sub(wc.lastHeard))
+				"silence", silence)
 		case healthHealthy:
+			m.events.Record(obs.EventRecovered, wc.id, "", 0)
 			m.cfg.Logger.Info("swing master: worker recovered", "worker", wc.id)
 		case healthDead:
 			m.evicted.Add(1)
+			m.events.Record(obs.EventEvicted, wc.id, "silence "+silence.String(), 0)
 			m.cfg.Logger.Warn("swing master: evicting hung worker", "worker", wc.id,
-				"silence", now.Sub(wc.lastHeard))
+				"silence", silence)
 			// Closing the connection funnels the eviction through the
 			// same dropWorker path as a broken link: the routing table
 			// sheds the worker and its backlog retransmits to survivors.
@@ -1106,6 +1150,7 @@ func (m *Master) chargeBreaker(id string, n int, now time.Time) {
 	next := wc.br.state
 	wc.mu.Unlock()
 	if prev != breakerOpen && next == breakerOpen {
+		m.events.Record(obs.EventBreakerOpen, id, "ack timeouts", int64(n))
 		m.cfg.Logger.Warn("swing master: breaker opened", "worker", id,
 			"timeouts", n, "ackTimeout", m.cfg.BreakerAckTimeout)
 	}
@@ -1139,6 +1184,7 @@ func (m *Master) dropWorker(wc *workerConn) {
 			_ = r.RemoveDownstream(wc.id)
 		}
 	})
+	m.events.Record(obs.EventWorkerLeft, wc.id, "", 0)
 	m.cfg.Logger.Info("swing master: worker left", "worker", wc.id)
 
 	if orphans := m.inflight.takeWorker(wc.id); len(orphans) > 0 {
@@ -1157,6 +1203,7 @@ func (m *Master) dropWorker(wc *workerConn) {
 // take it — is shed and accounted, the streaming analogue of the reorder
 // buffer skipping a stale frame.
 func (m *Master) retransmitAll(from string, orphans []*inflightEntry) {
+	var resent, shed int64
 	for _, e := range orphans {
 		var reason string
 		switch {
@@ -1167,14 +1214,23 @@ func (m *Master) retransmitAll(from string, orphans []*inflightEntry) {
 		default:
 			if err := m.submit(e.t, e.attempt+1, e.deadline); err != nil {
 				reason = err.Error()
+			} else {
+				resent++
 			}
 		}
 		if reason != "" {
+			shed++
 			m.inflight.shedOrphan(e.t.ID)
 			m.journalShed(e.t.ID, false)
 			m.cfg.Logger.Info("swing master: shed tuple",
 				"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", from, "reason", reason)
 		}
+	}
+	if resent > 0 {
+		m.events.Record(obs.EventRetransmit, from, "backlog re-routed", resent)
+	}
+	if shed > 0 {
+		m.events.Record(obs.EventShed, from, "retry budget exhausted", shed)
 	}
 }
 
@@ -1235,6 +1291,9 @@ func (m *Master) admissionShed() {
 		m.cfg.Logger.Info("swing master: shed tuple",
 			"tuple", e.t.ID, "seq", e.t.SeqNo, "worker", e.worker, "reason", "overload")
 	}
+	if len(victims) > 0 {
+		m.events.Record(obs.EventShed, "", "overload", int64(len(victims)))
+	}
 }
 
 func (m *Master) routerOverloaded() bool {
@@ -1293,8 +1352,12 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		}
 		now := time.Now()
 		wc.mu.Lock()
+		wasOpen := wc.br.state == breakerOpen
 		admitted := wc.br.allow(now)
 		wc.mu.Unlock()
+		if admitted && wasOpen {
+			m.events.Record(obs.EventBreakerProbe, id, "half-open probe admitted", 0)
+		}
 		if !admitted {
 			if refused == nil {
 				refused = make(map[string]bool)
@@ -1353,6 +1416,7 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 				if tries > 8 {
 					m.inflight.shedUntracked(t.ID, attempt)
 					m.journalShed(t.ID, true)
+					m.events.Record(obs.EventShed, id, "all queues full", 1)
 					m.cfg.Logger.Info("swing master: shed tuple",
 						"tuple", t.ID, "seq", t.SeqNo, "reason", "all queues full")
 					return nil
@@ -1436,7 +1500,7 @@ func (m *Master) snapshotState() *checkpointState {
 	st := &checkpointState{
 		Version:    checkpointVersion,
 		Epoch:      m.epoch,
-		Generation: m.generation,
+		Generation: m.generation.Load(),
 	}
 	led, _ := m.inflight.ledgerSnapshot()
 	st.Submitted, st.Acked, st.Retransmitted = led.submitted, led.acked, led.retransmitted
@@ -1488,7 +1552,7 @@ func (m *Master) checkpointNow() error {
 	// file handles are stable and every returned append is on disk before
 	// the snapshot.
 	m.journal.quiesceAllLocked()
-	gen := m.generation + 1
+	gen := m.generation.Load() + 1
 	st := m.snapshotState()
 	st.Generation = gen
 	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
@@ -1497,7 +1561,7 @@ func (m *Master) checkpointNow() error {
 	if err := m.journal.rotateAllLocked(m.epoch, gen); err != nil {
 		return err
 	}
-	m.generation = gen
+	m.generation.Store(gen)
 	return nil
 }
 
@@ -1572,6 +1636,7 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 		next := wc.br.state
 		wc.mu.Unlock()
 		if prev != breakerOpen && next == breakerOpen {
+			m.events.Record(obs.EventBreakerOpen, wc.id, "processor drops", 0)
 			m.cfg.Logger.Warn("swing master: breaker opened", "worker", wc.id,
 				"reason", "processor drops")
 		}
@@ -1582,6 +1647,7 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 		closed := prev == breakerHalfOpen
 		wc.mu.Unlock()
 		if closed {
+			m.events.Record(obs.EventBreakerClose, wc.id, "probe succeeded", 0)
 			m.cfg.Logger.Info("swing master: breaker closed", "worker", wc.id,
 				"reason", "probe succeeded")
 		}
@@ -1652,6 +1718,9 @@ func (m *Master) Close() error {
 	m.once.Do(func() {
 		close(m.stop)
 		_ = m.ln.Close()
+		if m.statusSrv != nil {
+			_ = m.statusSrv.Close()
+		}
 		for _, wc := range m.workerMap() {
 			wc.writeMu.Lock()
 			_ = wire.WriteFrame(wc.conn, wire.FrameStop, nil)
@@ -1677,6 +1746,9 @@ func (m *Master) crash() {
 	m.once.Do(func() {
 		close(m.stop)
 		_ = m.ln.Close()
+		if m.statusSrv != nil {
+			_ = m.statusSrv.Close()
+		}
 		for _, wc := range m.workerMap() {
 			_ = wc.conn.Close()
 		}

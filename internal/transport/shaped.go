@@ -1,0 +1,398 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/swingframework/swing/internal/netem"
+)
+
+// Shape is the instantaneous condition of one link direction: the
+// effective goodput the link sustains, a fixed one-way delay, a log-normal
+// jitter on each frame's transmission time, and a per-frame loss
+// probability. The zero Shape passes traffic through untouched.
+type Shape struct {
+	// RateBps is the effective application-level goodput in bits/s; each
+	// frame is held for size*8/RateBps of transmission time before it is
+	// forwarded. Zero or negative disables rate shaping.
+	RateBps float64
+	// Delay is the fixed one-way propagation/stack latency per frame.
+	Delay time.Duration
+	// JitterSigma multiplies each frame's transmission time by a draw from
+	// a unit-median log-normal, exp(sigma·z): contention and link-layer
+	// retransmission variance. Zero disables jitter.
+	JitterSigma float64
+	// Loss is the probability a frame is silently discarded (the writer
+	// still sees success, like a lost datagram). Clamped to [0, 1].
+	Loss float64
+}
+
+// ShapeFromRSSI derives a link Shape from netem's calibrated 802.11n
+// model: the RSSI→goodput curve, the fixed propagation delay, and the
+// standard airtime jitter. Loss stays zero — the rate curve already folds
+// frame loss into collapsed goodput; explicit Loss is for scenarios that
+// want visible gaps on top (e.g. a flash crowd's collisions).
+func ShapeFromRSSI(r netem.RSSI) Shape {
+	return Shape{
+		RateBps:     netem.EffectiveRate(r),
+		Delay:       netem.PropagationDelay,
+		JitterSigma: netem.TxJitterSigma,
+	}
+}
+
+// Scenario scripts the shape of every link over experiment time. Links
+// are numbered in connection order on the shaped transport (for a shaped
+// master, accept order — the order workers joined); since is measured
+// from the transport's first use, so all links share one clock.
+type Scenario interface {
+	Name() string
+	ShapeAt(link int, since time.Duration) Shape
+}
+
+// scenarioFunc adapts a closure into a Scenario.
+type scenarioFunc struct {
+	name string
+	fn   func(link int, since time.Duration) Shape
+}
+
+func (s scenarioFunc) Name() string { return s.name }
+func (s scenarioFunc) ShapeAt(link int, since time.Duration) Shape {
+	return s.fn(link, since)
+}
+
+// defaultLeg is the per-phase duration of the named scenario packs when
+// the spec does not override it ("wifi-degrade:500ms" style).
+const defaultLeg = 5 * time.Second
+
+// WiFiDegrade is the weak-spot pack: link 0 starts at a strong signal,
+// drops to fair after one leg, and to bad after two — the paper's user
+// walking from beside the AP into the far room — while every other link
+// holds a strong signal. Under LRS the routing weight mass should visibly
+// shift off link 0 as its latency estimate inflates.
+func WiFiDegrade(leg time.Duration) Scenario {
+	if leg <= 0 {
+		leg = defaultLeg
+	}
+	walk, _ := netem.NewWalk([]netem.Epoch{
+		{Until: leg, RSSI: netem.RSSIGood},
+		{Until: 2 * leg, RSSI: netem.RSSIFair},
+		{Until: 3 * leg, RSSI: netem.RSSIBad},
+	})
+	return scenarioFunc{
+		name: "wifi-degrade",
+		fn: func(link int, since time.Duration) Shape {
+			if link == 0 {
+				return ShapeFromRSSI(walk.RSSIAt(since))
+			}
+			return ShapeFromRSSI(netem.RSSIGood)
+		},
+	}
+}
+
+// MobilityTrace is the walking-user pack: every link cycles good → fair →
+// bad with a per-link phase offset of one leg, so at any instant the
+// swarm has a mix of signal qualities and the best worker keeps changing
+// (paper §VI-C Figure 10).
+func MobilityTrace(leg time.Duration) Scenario {
+	if leg <= 0 {
+		leg = defaultLeg
+	}
+	cycle := []netem.RSSI{netem.RSSIGood, netem.RSSIFair, netem.RSSIBad}
+	return scenarioFunc{
+		name: "mobility",
+		fn: func(link int, since time.Duration) Shape {
+			phase := (int(since/leg) + link) % len(cycle)
+			return ShapeFromRSSI(cycle[phase])
+		},
+	}
+}
+
+// FlashCrowd is the contention pack: all links are strong, but during the
+// second leg every link simultaneously collapses to a fair signal with 5%
+// visible frame loss — a burst of co-channel traffic — then recovers.
+func FlashCrowd(leg time.Duration) Scenario {
+	if leg <= 0 {
+		leg = defaultLeg
+	}
+	return scenarioFunc{
+		name: "flash-crowd",
+		fn: func(link int, since time.Duration) Shape {
+			if since >= leg && since < 2*leg {
+				s := ShapeFromRSSI(netem.RSSIFair)
+				s.Loss = 0.05
+				return s
+			}
+			return ShapeFromRSSI(netem.RSSIGood)
+		},
+	}
+}
+
+// ParseScenario resolves a -shape flag spec into a Scenario:
+//
+//	wifi-degrade[:leg]    link 0 good→fair→bad, others good
+//	mobility[:leg]        all links cycle phase-shifted good/fair/bad
+//	flash-crowd[:leg]     everyone collapses for the middle leg
+//	walk:<rssi>@<until>,...   custom RSSI trace on link 0, others good
+//
+// leg is a Go duration (default 5s) scaling how long each phase lasts;
+// walk's until values are durations from experiment start and rssi values
+// are dBm (e.g. "walk:-28@5s,-80@10s").
+func ParseScenario(spec string) (Scenario, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "wifi-degrade", "mobility", "flash-crowd":
+		leg := defaultLeg
+		if arg != "" {
+			d, err := time.ParseDuration(arg)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("transport: bad scenario leg %q", arg)
+			}
+			leg = d
+		}
+		switch name {
+		case "wifi-degrade":
+			return WiFiDegrade(leg), nil
+		case "mobility":
+			return MobilityTrace(leg), nil
+		default:
+			return FlashCrowd(leg), nil
+		}
+	case "walk":
+		if arg == "" {
+			return nil, fmt.Errorf("transport: walk scenario needs epochs")
+		}
+		var epochs []netem.Epoch
+		for _, part := range strings.Split(arg, ",") {
+			rs, us, ok := strings.Cut(part, "@")
+			if !ok {
+				return nil, fmt.Errorf("transport: bad walk epoch %q", part)
+			}
+			rssi, err := strconv.ParseFloat(rs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("transport: bad walk RSSI %q", rs)
+			}
+			until, err := time.ParseDuration(us)
+			if err != nil {
+				return nil, fmt.Errorf("transport: bad walk time %q", us)
+			}
+			epochs = append(epochs, netem.Epoch{Until: until, RSSI: netem.RSSI(rssi)})
+		}
+		walk, err := netem.NewWalk(epochs)
+		if err != nil {
+			return nil, err
+		}
+		return scenarioFunc{
+			name: "walk",
+			fn: func(link int, since time.Duration) Shape {
+				if link == 0 {
+					return ShapeFromRSSI(walk.RSSIAt(since))
+				}
+				return ShapeFromRSSI(netem.RSSIGood)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown scenario %q", spec)
+	}
+}
+
+// Shaped wraps an inner Transport and applies a Scenario's per-link
+// rate/delay/jitter/loss to every connection it creates, dialed or
+// accepted — the live-runtime counterpart of the simulator's netem model.
+// Shaping acts on the write side of whole wire frames (same framing
+// interpretation as Faulty), so wrapping the master's transport shapes
+// its downlink tuple traffic per worker link; ACK traffic returns
+// unshaped, which keeps the measured effect attributable to one
+// direction.
+type Shaped struct {
+	inner Transport
+	scn   Scenario
+	seed  int64
+
+	mu    sync.Mutex
+	conns []*shapedConn
+	// start is experiment time zero: the first connection's creation, so
+	// scripted scenarios begin when traffic can first flow, not when the
+	// transport object was built.
+	start time.Time
+}
+
+var _ Transport = (*Shaped)(nil)
+
+// WithShaping wraps a transport with scenario-driven link shaping. The
+// seed drives every link's jitter and loss draws; each link derives its
+// own PRNG stream in connection order, so a given (scenario, seed,
+// join-order) triple replays identically.
+func WithShaping(inner Transport, scn Scenario, seed int64) *Shaped {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Shaped{inner: inner, scn: scn, seed: seed}
+}
+
+// Listen implements Transport; accepted connections are shaped.
+func (s *Shaped) Listen(addr string) (net.Listener, error) {
+	ln, err := s.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &shapedListener{Listener: ln, s: s}, nil
+}
+
+// Dial implements Transport; the dialed connection is shaped.
+func (s *Shaped) Dial(addr string) (net.Conn, error) {
+	c, err := s.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(c), nil
+}
+
+// wrap assigns the connection the next link index and its PRNG stream.
+func (s *Shaped) wrap(c net.Conn) net.Conn {
+	s.mu.Lock()
+	if len(s.conns) == 0 {
+		s.start = time.Now()
+	}
+	link := len(s.conns)
+	sc := &shapedConn{
+		Conn: c,
+		s:    s,
+		link: link,
+		rng:  rand.New(rand.NewPCG(uint64(s.seed), uint64(link)+0x5ead)),
+	}
+	s.conns = append(s.conns, sc)
+	s.mu.Unlock()
+	return sc
+}
+
+// LinkReport is one link's shaping totals.
+type LinkReport struct {
+	Link    int   `json:"link"`
+	Frames  int64 `json:"frames"`
+	Dropped int64 `json:"dropped"`
+	Bytes   int64 `json:"bytes"`
+	// DelayMillis is the total shaping delay injected on this link.
+	DelayMillis float64 `json:"delay_millis"`
+}
+
+// ShapingReport is the transport's inspectable artifact: what the
+// scenario actually did to each link, suitable for archiving next to a
+// soak log.
+type ShapingReport struct {
+	Scenario string       `json:"scenario"`
+	Seed     int64        `json:"seed"`
+	Links    []LinkReport `json:"links"`
+}
+
+// Report snapshots per-link shaping totals in link (connection) order.
+func (s *Shaped) Report() ShapingReport {
+	s.mu.Lock()
+	conns := make([]*shapedConn, len(s.conns))
+	copy(conns, s.conns)
+	s.mu.Unlock()
+	r := ShapingReport{Scenario: s.scn.Name(), Seed: s.seed}
+	for _, c := range conns {
+		r.Links = append(r.Links, LinkReport{
+			Link:        c.link,
+			Frames:      c.frames.Load(),
+			Dropped:     c.dropped.Load(),
+			Bytes:       c.bytes.Load(),
+			DelayMillis: float64(c.delayNanos.Load()) / 1e6,
+		})
+	}
+	return r
+}
+
+type shapedListener struct {
+	net.Listener
+	s *Shaped
+}
+
+// Accept implements net.Listener.
+func (l *shapedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.s.wrap(c), nil
+}
+
+// shapedConn applies the scenario's shape to whole frames on the write
+// side; reads pass through untouched.
+type shapedConn struct {
+	net.Conn
+	s    *Shaped
+	link int
+	rng  *rand.Rand
+
+	mu  sync.Mutex
+	buf []byte // bytes of the frame currently being assembled
+
+	frames     atomic.Int64
+	dropped    atomic.Int64
+	bytes      atomic.Int64
+	delayNanos atomic.Int64
+}
+
+// Write implements net.Conn. Bytes buffer until a whole frame is
+// assembled; each frame is then held for the shape's propagation delay
+// plus its jittered transmission time, possibly dropped, and forwarded.
+// Holding the frame inside Write is what turns shaping into the TCP-style
+// backpressure the router reacts to: a slow link's writer drains slowly,
+// its send queue fills, and Submit steers around it.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, p...)
+	for len(c.buf) >= frameHeaderSize {
+		total := frameHeaderSize + int(binary.LittleEndian.Uint32(c.buf[:4]))
+		if len(c.buf) < total {
+			break
+		}
+		frame := c.buf[:total]
+		shape := c.s.scn.ShapeAt(c.link, time.Since(c.s.startTime()))
+		c.frames.Add(1)
+		c.bytes.Add(int64(total))
+		if d := c.frameDelay(total, shape); d > 0 {
+			c.delayNanos.Add(int64(d))
+			time.Sleep(d)
+		}
+		if shape.Loss > 0 && c.rng.Float64() < shape.Loss {
+			c.dropped.Add(1)
+		} else if _, err := c.Conn.Write(frame); err != nil {
+			return 0, err
+		}
+		c.buf = c.buf[total:]
+	}
+	// Like Faulty, a dropped frame's bytes are accounted to the caller:
+	// loss models what happens beyond the writer's visibility.
+	return len(p), nil
+}
+
+// frameDelay computes one frame's shaping delay: fixed propagation plus
+// size/rate transmission time scaled by log-normal jitter.
+func (c *shapedConn) frameDelay(size int, shape Shape) time.Duration {
+	d := shape.Delay
+	if shape.RateBps > 0 {
+		tx := float64(size*8) / shape.RateBps * float64(time.Second)
+		if shape.JitterSigma > 0 {
+			tx *= math.Exp(shape.JitterSigma * c.rng.NormFloat64())
+		}
+		d += time.Duration(tx)
+	}
+	return d
+}
+
+func (s *Shaped) startTime() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/netem"
+)
+
+// constScenario shapes every link the same way forever.
+type constScenario struct{ shape Shape }
+
+func (c constScenario) Name() string                     { return "const" }
+func (c constScenario) ShapeAt(int, time.Duration) Shape { return c.shape }
+
+// testFrame builds one wire-framed message: u32 LE payload length, type
+// byte, payload.
+func testFrame(typ byte, payload []byte) []byte {
+	b := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	b[4] = typ
+	copy(b[frameHeaderSize:], payload)
+	return b
+}
+
+func TestShapedDelaysWholeFrames(t *testing.T) {
+	mem := NewMem()
+	ln, err := mem.Listen("shaped-delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Shape only the dialer's writes: 5 ms fixed delay, fast rate, no
+	// jitter or loss, so the elapsed time is deterministic to assert on.
+	sh := WithShaping(mem, constScenario{Shape{RateBps: 80e6, Delay: 5 * time.Millisecond}}, 7)
+
+	const frames, payload = 3, 100
+	total := frames * (frameHeaderSize + payload)
+	got := make(chan []byte, 1)
+	go func() {
+		server, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer server.Close()
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(server, buf); err == nil {
+			got <- buf
+		}
+	}()
+
+	c, err := sh.Dial("shaped-delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := testFrame(2, make([]byte, payload))
+	begin := time.Now()
+	// Split one frame across two writes to exercise reassembly.
+	if _, err := c.Write(f[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(f[3:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < frames; i++ {
+		if _, err := c.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(begin)
+	if want := frames * 5 * time.Millisecond; elapsed < want {
+		t.Fatalf("elapsed %v, want at least %v of shaping delay", elapsed, want)
+	}
+	select {
+	case buf := <-got:
+		if len(buf) != total {
+			t.Fatalf("received %d bytes, want %d", len(buf), total)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver timed out")
+	}
+	r := sh.Report()
+	if len(r.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(r.Links))
+	}
+	l := r.Links[0]
+	if l.Frames != frames || l.Dropped != 0 || l.Bytes != int64(total) {
+		t.Fatalf("link report %+v", l)
+	}
+	if l.DelayMillis < 15 {
+		t.Fatalf("injected delay %.1fms, want >= 15ms", l.DelayMillis)
+	}
+	if r.Scenario != "const" || r.Seed != 7 {
+		t.Fatalf("report header %+v", r)
+	}
+}
+
+func TestShapedLossDropsFrames(t *testing.T) {
+	mem := NewMem()
+	ln, err := mem.Listen("shaped-loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	sh := WithShaping(mem, constScenario{Shape{Loss: 1.0}}, 1)
+	c, err := sh.Dial("shaped-loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer func() {
+		if s := <-accepted; s != nil {
+			s.Close()
+		}
+	}()
+	f := testFrame(2, []byte("doomed"))
+	// Total loss: no bytes ever reach the pipe, so writes cannot block on
+	// the unread reader — the frames are swallowed by the shape.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := sh.Report().Links[0]
+	if l.Frames != 2 || l.Dropped != 2 {
+		t.Fatalf("link report %+v, want 2 frames all dropped", l)
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, spec := range []string{
+		"wifi-degrade", "wifi-degrade:500ms", "mobility", "mobility:1s",
+		"flash-crowd", "walk:-28@5s,-80@10s",
+	} {
+		scn, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", spec, err)
+		}
+		// Every pack must yield a usable shape for any link at any time.
+		s := scn.ShapeAt(3, 42*time.Second)
+		if s.RateBps <= 0 {
+			t.Fatalf("ParseScenario(%q): zero rate shape %+v", spec, s)
+		}
+	}
+	for _, spec := range []string{
+		"", "nope", "wifi-degrade:xyz", "wifi-degrade:-1s",
+		"walk:", "walk:-28", "walk:x@5s", "walk:-28@zzz", "walk:-28@5s,-80@5s",
+	} {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Fatalf("ParseScenario(%q): expected error", spec)
+		}
+	}
+}
+
+func TestWiFiDegradeShiftsRate(t *testing.T) {
+	scn := WiFiDegrade(time.Second)
+	early := scn.ShapeAt(0, 0)
+	late := scn.ShapeAt(0, 10*time.Second)
+	if late.RateBps >= early.RateBps {
+		t.Fatalf("link 0 rate did not degrade: early %.0f late %.0f", early.RateBps, late.RateBps)
+	}
+	peer := scn.ShapeAt(1, 10*time.Second)
+	if peer.RateBps != ShapeFromRSSI(netem.RSSIGood).RateBps {
+		t.Fatalf("link 1 should stay strong, got %.0f bps", peer.RateBps)
+	}
+}

@@ -30,6 +30,44 @@ SWING_BENCH_WORKERS=64 SWING_BENCH_SUBMITTERS=4 \
 # reconnect, heartbeat eviction, breakers, fault injection) are
 # timing-sensitive; run them a second time under the race detector.
 go test -race -count=1 ./internal/runtime/... ./internal/transport/...
+# Shaped-transport + observability smoke: frame-granular link shaping,
+# scenario-pack parsing, and the /statusz endpoint's ledger invariant,
+# re-run explicitly under the race detector.
+go test -race -count=1 -run 'TestShaped|TestStatusEndpoint|TestParseScenario' \
+    ./internal/transport/ ./internal/runtime/
+# Live /statusz curl smoke: boot a real swingd master with a status
+# endpoint and a shaped transport, fetch the JSON from the URL the
+# process announces, and check the ledger reports balanced. Falls back
+# to wget when curl is absent.
+smoketmp="$(mktemp -d)"
+trap 'rm -rf "$smoketmp"' EXIT
+go build -o "$smoketmp/swingd" ./cmd/swingd
+"$smoketmp/swingd" -role master -app facerec -listen 127.0.0.1:0 \
+    -status-addr 127.0.0.1:0 -shape wifi-degrade:300ms \
+    -fps 30 -duration 3s >"$smoketmp/swingd.log" 2>&1 &
+smokepid=$!
+url=""
+i=0
+while [ "$i" -lt 50 ]; do
+    url="$(sed -n 's#^status endpoint on \(http://[^ ]*\)$#\1#p' "$smoketmp/swingd.log")"
+    [ -n "$url" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "swingd never announced its status endpoint" >&2
+    cat "$smoketmp/swingd.log" >&2
+    exit 1
+fi
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS "$url?format=json" >"$smoketmp/status.json"
+else
+    wget -qO "$smoketmp/status.json" "$url?format=json"
+fi
+grep -q '"balanced": true' "$smoketmp/status.json"
+wait "$smokepid"
+grep -q '^shaping report: ' "$smoketmp/swingd.log"
+echo "statusz smoke: ok ($url)"
 # Short fuzz smoke over the two on-disk/on-wire codecs: the frame codec
 # that fronts every connection and the journal record codec that recovery
 # replays from whatever a crash left behind. The checked-in seed corpus

@@ -9,8 +9,13 @@
 #      intervals and restarted from its write-ahead journal and periodic
 #      checkpoints while reconnecting workers stream on; every incarnation
 #      must re-adopt the swarm and drain the recovered backlog.
+#   3. TestShapedSoak — the wifi-degradation scenario pack shapes one
+#      worker's link on the real transport while the status endpoint is
+#      polled throughout; LRS must shift probability mass off the degraded
+#      link, and the endpoint's final JSON is archived next to the soak
+#      log (SOAK_OUT, default /tmp/swing-soak).
 #
-# Both assert the fault-tolerance ledger invariant
+# All assert the fault-tolerance ledger invariant
 # (Acked + Shed + InFlight == Submitted) at quiescence — cumulative across
 # master incarnations in the kill soak — plus at-most-once delivery per
 # tuple and that every goroutine drains after shutdown (no leaks). All
@@ -20,6 +25,20 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SOAK_SECONDS="${SOAK_SECONDS:-60}"
+SOAK_OUT="${SOAK_OUT:-/tmp/swing-soak}"
+mkdir -p "$SOAK_OUT"
 SWING_SOAK=1 SWING_SOAK_SECONDS="$SOAK_SECONDS" \
     go test -race -run 'TestChaosSoak|TestMasterKillSoak' -v \
     -timeout "$((2 * SOAK_SECONDS + 240))s" ./internal/runtime/
+# No pipefail in POSIX sh: capture the log first, then fail explicitly,
+# so a broken soak is never masked by tee.
+shaped_ok=1
+SWING_SOAK=1 SWING_SOAK_SECONDS="$SOAK_SECONDS" \
+    SWING_SOAK_STATUS="$SOAK_OUT/shaped-status.json" \
+    go test -race -run 'TestShapedSoak' -v \
+    -timeout "$((2 * SOAK_SECONDS + 240))s" ./internal/runtime/ \
+    >"$SOAK_OUT/shaped-soak.log" 2>&1 || shaped_ok=0
+cat "$SOAK_OUT/shaped-soak.log"
+[ "$shaped_ok" -eq 1 ]
+echo "shaped soak: log at $SOAK_OUT/shaped-soak.log," \
+    "final status JSON at $SOAK_OUT/shaped-status.json"

@@ -34,6 +34,7 @@ import (
 	"github.com/swingframework/swing/internal/experiments"
 	"github.com/swingframework/swing/internal/graph"
 	"github.com/swingframework/swing/internal/netem"
+	"github.com/swingframework/swing/internal/obs"
 	"github.com/swingframework/swing/internal/routing"
 	"github.com/swingframework/swing/internal/runtime"
 	"github.com/swingframework/swing/internal/transport"
@@ -342,6 +343,58 @@ type FaultConfig = transport.FaultConfig
 func WithFaults(inner Transport, cfg FaultConfig) Transport {
 	return transport.WithFaults(inner, cfg)
 }
+
+// ---- Live network emulation (link shaping) ----
+
+// Shape is the instantaneous condition of one shaped link direction:
+// effective goodput, fixed delay, log-normal transmission jitter and
+// frame-loss probability.
+type Shape = transport.Shape
+
+// Scenario scripts every link's Shape over experiment time; links are
+// numbered in connection order on the shaped transport.
+type Scenario = transport.Scenario
+
+// ShapedTransport applies a Scenario's per-link conditions to every
+// connection it creates — the live-runtime counterpart of the simulator's
+// calibrated wireless model. Its Report method returns the per-link
+// shaping totals as an inspectable artifact.
+type ShapedTransport = transport.Shaped
+
+// ShapingReport is a ShapedTransport's per-link accounting: frames,
+// bytes, drops and injected delay per link.
+type ShapingReport = transport.ShapingReport
+
+// ShapeFromRSSI derives a link Shape from the calibrated 802.11n model:
+// the RSSI→goodput curve, propagation delay and airtime jitter.
+func ShapeFromRSSI(r RSSI) Shape { return transport.ShapeFromRSSI(r) }
+
+// ParseScenario resolves a shaping scenario spec: the named packs
+// "wifi-degrade[:leg]", "mobility[:leg]" and "flash-crowd[:leg]", or a
+// custom trace "walk:<rssi>@<until>,..." applied to link 0 (the swingd
+// -shape flag).
+func ParseScenario(spec string) (Scenario, error) { return transport.ParseScenario(spec) }
+
+// WithShaping wraps a transport with scenario-driven link shaping; seed
+// drives every link's jitter and loss draws deterministically.
+func WithShaping(inner Transport, scn Scenario, seed int64) *ShapedTransport {
+	return transport.WithShaping(inner, scn, seed)
+}
+
+// ---- Master observability ----
+
+// StatusSnapshot is one consistent sample of a live master's observable
+// state: the exact fault-tolerance ledger (balanced on every sample), the
+// sink, routing weights and probe budget, per-worker health and breaker
+// state, and journal depths. Master.StatusSnapshot returns it; with
+// MasterConfig.StatusAddr set, the master serves the same value over HTTP
+// at /statusz (HTML; ?format=json for JSON) and /status.json.
+type StatusSnapshot = obs.Snapshot
+
+// StatusEvent is one entry of the master's ring-buffered event log
+// (joins, leaves, evictions, breaker transitions, shed bursts, epoch
+// changes), served at /events and returned by Master.Events.
+type StatusEvent = obs.Event
 
 // Announcement is a master discovery beacon.
 type Announcement = discovery.Announcement
