@@ -52,6 +52,9 @@ type masterOpts struct {
 	journal                  string
 	checkpointEvery          time.Duration
 	fsync                    string
+	replicateAddr            string
+	standby                  bool
+	takeoverAfter            time.Duration
 	transport                swing.Transport
 	shaped                   *swing.ShapedTransport
 }
@@ -104,13 +107,18 @@ func run(args []string) error {
 		journalP = fs.String("journal", "", "master: write-ahead journal path enabling crash recovery (empty = off); a restart with the same path resumes the previous incarnation")
 		ckptEv   = fs.Duration("checkpoint-every", 10*time.Second, "master: checkpoint + journal compaction period (<0 = recovery/close checkpoints only)")
 		fsyncM   = fs.String("fsync", "interval", "master: journal fsync policy: always, interval or never")
+
+		// Hot-standby failover (master).
+		replAddr = fs.String("replicate-addr", "", "master: hot-standby replication address — the replication listen address on a primary; with -standby, the primary's replication address to dial (empty = off)")
+		standbyF = fs.Bool("standby", false, "master: run as a hot standby instead of a primary: mirror the journal streamed from -replicate-addr and promote when the primary goes silent (requires -journal)")
+		takeover = fs.Duration("takeover-after", 2*time.Second, "standby: primary silence before the standby promotes itself")
 		id       = fs.String("id", "", "worker: device id")
 		master   = fs.String("master", "", "worker: master address (empty = discover via UDP)")
 		discover = fs.String("discover", fmt.Sprintf(":%d", swing.DiscoveryPort), "worker: UDP discovery listen address")
 		speed    = fs.Float64("speed", 1, "worker: artificial slowdown factor (>= 1)")
 		rejoin   = fs.Bool("reconnect", false, "worker: rejoin the master with backoff after a broken link")
 		rejoinBO = fs.Duration("reconnect-backoff", 50*time.Millisecond, "worker: initial reconnect delay (doubles per failure)")
-		rejoinN  = fs.Int("reconnect-attempts", 0, "worker: consecutive failed rejoins before giving up (0 = forever)")
+		rejoinN  = fs.Int("reconnect-attempts", 0, "worker: cumulative failed rejoins before giving up; the budget refills after a session survives 30s (0 = forever)")
 
 		// Fault injection (for resilience drills; off by default).
 		faultSeed      = fs.Int64("fault-seed", 1, "fault injection: PRNG seed for deterministic replay")
@@ -146,6 +154,7 @@ func run(args []string) error {
 			inflightHighWater: *inflHW, shards: *shards, parallelism: *parallel, linger: *linger,
 			statusEvery: *statusEv, statusAddr: *statusAdr,
 			journal: *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
+			replicateAddr: *replAddr, standby: *standbyF, takeoverAfter: *takeover,
 			transport: faults,
 		}
 		if *shapeSpec != "" {
@@ -204,7 +213,7 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		return err
 	}
 	delivered := 0
-	m, err := swing.StartMaster(swing.MasterConfig{
+	cfg := swing.MasterConfig{
 		App:               app,
 		Policy:            policy,
 		ListenAddr:        opt.listen,
@@ -233,10 +242,69 @@ func runMaster(app *swing.App, opt masterOpts) error {
 					r.Tuple.SeqNo, result, r.Worker, r.Latency.Round(time.Millisecond))
 			}
 		},
+	}
+	if opt.standby {
+		return runStandby(app, opt, cfg)
+	}
+	cfg.ReplicateAddr = opt.replicateAddr
+	m, err := swing.StartMaster(cfg)
+	if err != nil {
+		return err
+	}
+	if opt.replicateAddr != "" {
+		fmt.Println("replication listener on", opt.replicateAddr)
+	}
+	return serveMaster(app, opt, m)
+}
+
+// runStandby mirrors a primary until it dies, then serves the swarm as
+// the promoted master. The promoted master announces under its bumped
+// epoch, so workers rediscovering the swarm home onto it and ignore
+// stale beacons from the dead incarnation.
+func runStandby(app *swing.App, opt masterOpts, cfg swing.MasterConfig) error {
+	if opt.replicateAddr == "" {
+		return fmt.Errorf("-standby needs -replicate-addr (the primary's replication address)")
+	}
+	if opt.journal == "" {
+		return fmt.Errorf("-standby needs -journal (the mirror lives there)")
+	}
+	// The promoted master does not re-open a replication listener: on a
+	// one-host drill it would collide with the dead primary's address.
+	cfg.ReplicateAddr = ""
+	sb, err := swing.StartStandby(swing.StandbyConfig{
+		PrimaryAddr:   opt.replicateAddr,
+		TakeoverAfter: opt.takeoverAfter,
+		Master:        cfg,
 	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("standby mirroring primary at %s (takeover after %s of silence)\n",
+		opt.replicateAddr, opt.takeoverAfter)
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-interrupted:
+		fmt.Println("interrupted")
+		return sb.Close()
+	case <-sb.Promoted():
+	}
+	signal.Stop(interrupted)
+	defer func() { _ = sb.Close() }()
+	if err := sb.Err(); err != nil {
+		return err
+	}
+	m := sb.Master()
+	fmt.Printf("standby promoted to primary: epoch %d\n", m.Epoch())
+	return serveMaster(app, opt, m)
+}
+
+// serveMaster drives a started master: discovery announcements, the
+// frame source, the periodic status line, and the exit summary. The
+// promoted-standby path joins here with the swarm's journal already
+// recovered, so the source resumes exactly like a crash-restart.
+func serveMaster(app *swing.App, opt masterOpts, m *swing.Master) error {
 	defer func() { _ = m.Close() }()
 	if opt.journal != "" && m.Epoch() > 1 {
 		fmt.Printf("master recovered from %s: epoch %d, resuming stream at frame %d\n",
@@ -328,6 +396,7 @@ func runWorker(app *swing.App, opt workerOpts) error {
 		return fmt.Errorf("worker needs -id")
 	}
 	masterAddr := opt.master
+	rediscover := ""
 	if masterAddr == "" {
 		fmt.Println("discovering master on", opt.discover, "...")
 		ann, err := swing.Discover(opt.discover, app.Name(), 30*time.Second)
@@ -336,6 +405,11 @@ func runWorker(app *swing.App, opt workerOpts) error {
 		}
 		masterAddr = ann.Addr
 		fmt.Println("found master at", masterAddr)
+		// A worker that found its master by discovery keeps rediscovering
+		// on reconnect failures, so a promoted standby announcing under a
+		// bumped epoch is found instead of redialing the dead primary
+		// forever. An explicit -master stays pinned to that address.
+		rediscover = opt.discover
 	}
 	w, err := swing.StartWorker(swing.WorkerConfig{
 		DeviceID:          opt.id,
@@ -346,6 +420,7 @@ func runWorker(app *swing.App, opt workerOpts) error {
 		Reconnect:         opt.reconnect,
 		ReconnectBackoff:  opt.reconnectBackoff,
 		ReconnectAttempts: opt.reconnectAttempts,
+		DiscoverAddr:      rediscover,
 	})
 	if err != nil {
 		return err

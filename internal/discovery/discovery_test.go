@@ -161,6 +161,33 @@ func TestParseEpochForms(t *testing.T) {
 	}
 }
 
+func TestListenSinceLegacyBeacons(t *testing.T) {
+	port := freeUDPPort(t)
+	target := fmt.Sprintf("127.0.0.1:%d", port)
+	listenAddr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	// A pre-epoch master announces in the 3-field form (no epoch). A
+	// worker that has never joined an incarnation (minEpoch 0) may adopt
+	// it; one that served epoch 1 or later must not — an epoch-less
+	// beacon cannot prove it is newer than what the worker already had.
+	legacy, err := NewAnnouncer(target, Announcement{App: "facerec", Addr: "10.0.0.3:3"}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = legacy.Close() }()
+
+	if _, err := ListenSince(listenAddr, "facerec", 1, 400*time.Millisecond); err == nil {
+		t.Fatal("epoch-less beacon accepted at minEpoch 1")
+	}
+	got, err := ListenSince(listenAddr, "facerec", 0, 5*time.Second)
+	if err != nil {
+		t.Fatalf("ListenSince at minEpoch 0: %v", err)
+	}
+	if got.Addr != "10.0.0.3:3" || got.Epoch != 0 {
+		t.Fatalf("got %+v, want the legacy beacon", got)
+	}
+}
+
 func TestListenSinceFiltersStaleEpochs(t *testing.T) {
 	port := freeUDPPort(t)
 	target := fmt.Sprintf("127.0.0.1:%d", port)

@@ -32,6 +32,9 @@ type Snapshot struct {
 	Routing Routing  `json:"routing"`
 	Workers []Worker `json:"workers"`
 	Journal *Journal `json:"journal,omitempty"`
+	// Replication is the hot-standby view: present only on a journaling
+	// master with a replication listener.
+	Replication *Replication `json:"replication,omitempty"`
 
 	// EventsTotal counts every event ever appended to the log, including
 	// those the ring has since overwritten.
@@ -123,6 +126,33 @@ type Journal struct {
 	SegmentBytes   []int64 `json:"segment_bytes,omitempty"`
 }
 
+// Replication is the primary side of hot-standby journal streaming: its
+// role, flush watermark, and each attached standby's acknowledged
+// watermark. Watermarks count flushed journal batches (the replication
+// tap index), not individual records: lag 0 means every batch the
+// primary has flushed is confirmed applied in the standby's mirror.
+type Replication struct {
+	// Role is "primary" when at least one standby is attached, "solo"
+	// when the replication listener is up but nothing is tailing.
+	Role string `json:"role"`
+	// Seq is the primary's current flush-batch watermark.
+	Seq uint64 `json:"seq"`
+	// Standbys lists attached replication subscribers.
+	Standbys []Standby `json:"standbys,omitempty"`
+}
+
+// Standby is one attached replication subscriber as the primary sees it.
+type Standby struct {
+	ID string `json:"id"`
+	// AckedSeq is the standby's last acknowledged applied watermark.
+	AckedSeq uint64 `json:"acked_seq"`
+	// Lag is Seq − AckedSeq at sample time: how many flushed batches the
+	// standby has not yet confirmed applying.
+	Lag uint64 `json:"lag"`
+	// SilenceMillis is how long since the standby's last ack frame.
+	SilenceMillis int64 `json:"silence_millis"`
+}
+
 // Event kinds appended by the runtime.
 const (
 	EventWorkerJoin   = "worker-join"
@@ -137,6 +167,12 @@ const (
 	EventShed         = "shed"
 	EventRetransmit   = "retransmit"
 	EventEpoch        = "epoch"
+	// Failover events: a standby attaching to / detaching from the
+	// primary's replication stream, and a standby promoting itself to
+	// primary after the takeover timer fired.
+	EventStandbyAttach = "standby-attach"
+	EventStandbyDetach = "standby-detach"
+	EventPromoted      = "promoted"
 )
 
 // Event is one entry of the ring-buffered event log.

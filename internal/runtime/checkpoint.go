@@ -84,6 +84,13 @@ func saveCheckpoint(path string, st *checkpointState) error {
 	if err != nil {
 		return fmt.Errorf("runtime: encode checkpoint: %w", err)
 	}
+	return saveCheckpointBytes(path, body)
+}
+
+// saveCheckpointBytes installs a pre-marshaled checkpoint body with the
+// same atomic temp-fsync-rename protocol. The replication standby uses it
+// to mirror the primary's checkpoint image byte-for-byte.
+func saveCheckpointBytes(path string, body []byte) error {
 	buf := make([]byte, 0, 4+len(body)+4)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
 	buf = append(buf, body...)

@@ -150,6 +150,14 @@ type journal struct {
 	// appended this incarnation, cumulative across generation rotations.
 	nrecords int64
 	nbytes   int64
+
+	// tap, when set (guarded by mu), observes every batch of record
+	// bytes that reached the file, in file order, immediately after a
+	// successful write and with mu held. Replication streams these bytes
+	// to a standby verbatim. The callback must copy what it keeps (the
+	// batch buffer is recycled) and must not block or re-enter the
+	// journal — it may only hand the bytes off.
+	tap func(b []byte)
 }
 
 // encodeJournalRecord frames one record.
@@ -331,6 +339,9 @@ func (j *journal) commitAndUnlock() error {
 				j.broken = err
 				j.brokenSeq = j.flushedSeq + 1
 			}
+			if err == nil && j.tap != nil && len(batch) > 0 {
+				j.tap(batch)
+			}
 			j.flushedSeq = last
 			if cap(batch) <= maxBatchRetain {
 				j.spare = batch[:0]
@@ -360,6 +371,9 @@ func (j *journal) flushPendingLocked() error {
 		return nil
 	}
 	_, err := j.f.Write(j.pending)
+	if err == nil && j.tap != nil {
+		j.tap(j.pending)
+	}
 	j.pending = j.pending[:0]
 	if err != nil {
 		j.broken = fmt.Errorf("runtime: journal append: %w", err)

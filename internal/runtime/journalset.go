@@ -153,6 +153,24 @@ func (js *journalSet) unlockAll() {
 	}
 }
 
+// setTapLocked installs (or, with nil, removes) the flush tap on every
+// segment: tap(seg, bytes) fires with that segment's lock held each time
+// a batch of record bytes reaches the segment file, in file order. The
+// caller holds all segment locks and has quiesced, so no batch is in
+// flight across the installation — the tap observes every byte flushed
+// after it and none before. The tap must copy what it keeps and must not
+// block or take locks that appenders hold.
+func (js *journalSet) setTapLocked(tap func(seg int, b []byte)) {
+	for i, j := range js.segs {
+		if tap == nil {
+			j.tap = nil
+			continue
+		}
+		seg := i
+		j.tap = func(b []byte) { tap(seg, b) }
+	}
+}
+
 // quiesceAllLocked waits out in-flight group-commit flushes on every
 // segment. The caller holds all segment locks.
 func (js *journalSet) quiesceAllLocked() {

@@ -14,6 +14,7 @@ package runtime
 
 import (
 	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -127,6 +128,17 @@ type MasterConfig struct {
 	Fsync FsyncMode
 	// FsyncEvery is the FsyncInterval flush period (default 100 ms).
 	FsyncEvery time.Duration
+	// ReplicateAddr enables hot-standby replication: a listener at this
+	// address accepts standby masters that tail the write-ahead journal
+	// live (checkpoint base image + streamed record batches). Requires
+	// JournalPath — replication streams the journal, so there must be
+	// one. Empty disables the replication plane.
+	ReplicateAddr string
+	// ReplicatePingEvery is the primary→standby liveness probe period on
+	// the replication link (default 100 ms). The standby arms its
+	// takeover timer on ping silence, so this must be well under the
+	// standby's TakeoverAfter.
+	ReplicatePingEvery time.Duration
 	// HelloTimeout bounds the join handshake: a connection that has not
 	// completed hello/deploy/start within it is closed, so a half-open
 	// TCP connect cannot pin a registration goroutine (default 5 s;
@@ -209,6 +221,9 @@ func (c MasterConfig) withDefaults() MasterConfig {
 		if c.FsyncEvery == 0 {
 			c.FsyncEvery = 100 * time.Millisecond
 		}
+	}
+	if c.ReplicateAddr != "" && c.ReplicatePingEvery == 0 {
+		c.ReplicatePingEvery = 100 * time.Millisecond
 	}
 	if c.HelloTimeout == 0 {
 		c.HelloTimeout = 5 * time.Second
@@ -341,6 +356,10 @@ type Master struct {
 	recoveredAcked *dedupSet
 	recovered      int64
 
+	// rep is the hot-standby replication plane, nil unless ReplicateAddr
+	// is configured.
+	rep *replicator
+
 	// handshakes caps concurrent join handshakes (nil = uncapped).
 	handshakes chan struct{}
 
@@ -366,6 +385,10 @@ var (
 	// ErrReconnectExhausted is a worker's terminal failure: its reconnect
 	// attempt budget ran out without rejoining the master.
 	ErrReconnectExhausted = errors.New("runtime: reconnect attempts exhausted")
+	// ErrStaleMaster reports a worker's epoch fence firing: the dialed
+	// master is an older incarnation than the one that last deployed the
+	// worker — a zombie primary outlived by its promoted standby.
+	ErrStaleMaster = errors.New("runtime: master incarnation older than last joined epoch")
 )
 
 // StartMaster launches the master: it listens for workers and is
@@ -419,10 +442,26 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 			return nil, err
 		}
 	}
+	if cfg.ReplicateAddr != "" {
+		if m.journal == nil {
+			_ = ln.Close()
+			return nil, errors.New("runtime: ReplicateAddr requires JournalPath (replication streams the journal)")
+		}
+		rep, err := startReplicator(m)
+		if err != nil {
+			_ = ln.Close()
+			_ = m.journal.close()
+			return nil, err
+		}
+		m.rep = rep
+	}
 	if cfg.StatusAddr != "" {
 		srv, err := obs.Serve(cfg.StatusAddr, m.StatusSnapshot, m.events)
 		if err != nil {
 			_ = ln.Close()
+			if m.rep != nil {
+				m.rep.close()
+			}
 			if m.journal != nil {
 				_ = m.journal.close()
 			}
@@ -1473,13 +1512,17 @@ func (m *Master) journalDispatch(t *tuple.Tuple, attempt uint8) {
 }
 
 // journalAck logs a worker acknowledgment (no-op without a journal).
-func (m *Master) journalAck(id uint64) {
+// It reports whether the ack record was durably appended — the signal
+// the sink path uses to decide whether semi-sync replication applies.
+func (m *Master) journalAck(id uint64) bool {
 	if m.journal == nil {
-		return
+		return false
 	}
 	if err := m.journal.appendAck(id); err != nil {
 		m.cfg.Logger.Warn("swing master: journal append", "err", err)
+		return false
 	}
+	return true
 }
 
 // journalShed logs an abandoned tuple (no-op without a journal).
@@ -1543,6 +1586,17 @@ func (m *Master) snapshotState() *checkpointState {
 // no lifecycle event lands in the old generation after the snapshot —
 // such an event would be double-counted on recovery.
 func (m *Master) checkpointNow() error {
+	return m.checkpointAnd(nil)
+}
+
+// checkpointAnd is checkpointNow with a hook: fn (if non-nil) runs while
+// every journal segment lock is still held, after the rotation succeeded,
+// with the new generation and the persisted checkpoint body. The
+// replicator attaches standbys through it — rotation empties every
+// segment, so a subscriber registered inside this window sees the
+// checkpoint image plus exactly the record bytes flushed after it, with
+// nothing missing and nothing doubled.
+func (m *Master) checkpointAnd(fn func(epoch, generation uint64, body []byte)) error {
 	if m.journal == nil {
 		return nil
 	}
@@ -1555,13 +1609,20 @@ func (m *Master) checkpointNow() error {
 	gen := m.generation.Load() + 1
 	st := m.snapshotState()
 	st.Generation = gen
-	if err := saveCheckpoint(m.cfg.CheckpointPath, st); err != nil {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("runtime: encode checkpoint: %w", err)
+	}
+	if err := saveCheckpointBytes(m.cfg.CheckpointPath, body); err != nil {
 		return err
 	}
 	if err := m.journal.rotateAllLocked(m.epoch, gen); err != nil {
 		return err
 	}
 	m.generation.Store(gen)
+	if fn != nil {
+		fn(m.epoch, gen, body)
+	}
 	return nil
 }
 
@@ -1623,8 +1684,13 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	if m.inflight.ack(meta.TupleID) {
 		// Journal the ack before the result can reach the sink: a crash
 		// between the two drops the frame (at-most-once) rather than
-		// replaying an already-played frame after restart.
-		m.journalAck(meta.TupleID)
+		// replaying an already-played frame after restart. With a standby
+		// attached, also hold the result until the ack record is in every
+		// mirror — otherwise a failover could lose the ack and the promoted
+		// master would redeliver a frame this incarnation already played.
+		if m.journalAck(meta.TupleID) && m.rep != nil {
+			m.rep.waitFlushed()
+		}
 	}
 	if meta.Dropped {
 		m.workerDropped.Add(1)
@@ -1728,6 +1794,9 @@ func (m *Master) Close() error {
 			_ = wc.conn.Close()
 		}
 		m.wg.Wait()
+		if m.rep != nil {
+			m.rep.close()
+		}
 		if m.journal != nil {
 			if err := m.checkpointNow(); err != nil {
 				m.cfg.Logger.Warn("swing master: final checkpoint", "err", err)
@@ -1753,6 +1822,11 @@ func (m *Master) crash() {
 			_ = wc.conn.Close()
 		}
 		m.wg.Wait()
+		if m.rep != nil {
+			// A real SIGKILL severs the replication link too; the standby
+			// notices the silence and arms its takeover timer.
+			m.rep.close()
+		}
 		if m.journal != nil {
 			// Close without checkpointing; the already-written bytes
 			// survive the same way they would a SIGKILL.

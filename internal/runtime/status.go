@@ -110,6 +110,9 @@ func (m *Master) StatusSnapshot() obs.Snapshot {
 		}
 		snap.Journal = j
 	}
+	if m.rep != nil {
+		snap.Replication = m.rep.status(now)
+	}
 	return snap
 }
 

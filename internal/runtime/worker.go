@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/discovery"
 	"github.com/swingframework/swing/internal/graph"
 	"github.com/swingframework/swing/internal/transport"
 	"github.com/swingframework/swing/internal/tuple"
@@ -46,10 +47,29 @@ type WorkerConfig struct {
 	// doubles per failed attempt up to ReconnectMaxBackoff (default 5 s).
 	ReconnectBackoff    time.Duration
 	ReconnectMaxBackoff time.Duration
-	// ReconnectAttempts bounds consecutive failed rejoin attempts before
-	// the worker gives up (0 = retry forever). A successful rejoin resets
-	// the count.
+	// ReconnectAttempts bounds cumulative failed rejoin attempts before
+	// the worker gives up (0 = retry forever). The budget is NOT refilled
+	// by merely re-establishing a session — a link that flaps every few
+	// hundred milliseconds would otherwise retry forever on a budget meant
+	// to bound it — only by staying connected for ReconnectResetAfter.
 	ReconnectAttempts int
+	// ReconnectResetAfter is how long a session must survive before the
+	// failed-attempt budget refills (default 30 s). A worker that rejoins
+	// and immediately loses the link again keeps drawing down the same
+	// budget; one that holds a session this long has demonstrably
+	// recovered and starts fresh on the next outage.
+	ReconnectResetAfter time.Duration
+	// DiscoverAddr, when set, is a UDP listen address (e.g. ":17716") for
+	// master rediscovery: after each failed reconnect dial the worker
+	// listens here for a beacon from a NEWER master incarnation
+	// (epoch > the one it was joined to) and retargets MasterAddr to it.
+	// This is the worker half of standby failover — a promoted standby
+	// announces under a bumped epoch at a possibly different address, and
+	// workers home onto it instead of redialing the dead primary forever.
+	// Empty disables rediscovery (reconnects always redial MasterAddr).
+	DiscoverAddr string
+	// DiscoverWindow bounds each rediscovery listen (default 1 s).
+	DiscoverWindow time.Duration
 	// Seed drives the backoff jitter (default 1), keeping reconnection
 	// schedules reproducible in tests.
 	Seed int64
@@ -72,6 +92,12 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.ReconnectMaxBackoff == 0 {
 		c.ReconnectMaxBackoff = 5 * time.Second
+	}
+	if c.ReconnectResetAfter == 0 {
+		c.ReconnectResetAfter = 30 * time.Second
+	}
+	if c.DiscoverWindow == 0 {
+		c.DiscoverWindow = time.Second
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -128,6 +154,12 @@ type Worker struct {
 	reconnects int64
 	lastEpoch  uint64 // master incarnation of the current session
 	termErr    error  // terminal failure (e.g. reconnect budget exhausted)
+
+	// attemptsUsed is the cumulative failed-reconnect count charged
+	// against ReconnectAttempts. Owned by the run goroutine: incremented
+	// per failed dial, zeroed only after a session survives
+	// ReconnectResetAfter.
+	attemptsUsed int
 
 	start time.Time
 	stop  chan struct{}
@@ -199,6 +231,17 @@ func dialSession(cfg WorkerConfig, lastEpoch uint64) (*workerSession, error) {
 		_ = conn.Close()
 		return nil, err
 	}
+	if deploy.Epoch != 0 && deploy.Epoch < lastEpoch {
+		// Worker-side epoch fence: this master is an older incarnation than
+		// the one that last deployed us — a zombie primary that survived its
+		// own failover. Joining it would fork the swarm: tuples it dispatches
+		// were either already recovered by the promoted master or will never
+		// reach the real sink. Refuse and let reconnect/rediscovery find the
+		// live incarnation.
+		_ = conn.Close()
+		return nil, fmt.Errorf("%w: deploy epoch %d < last epoch %d",
+			ErrStaleMaster, deploy.Epoch, lastEpoch)
+	}
 	chain, err := buildChain(cfg.App, deploy.Units)
 	if err != nil {
 		_ = conn.Close()
@@ -256,7 +299,14 @@ func (w *Worker) run(s *workerSession) {
 	defer close(w.done)
 	rng := rand.New(rand.NewPCG(uint64(w.cfg.Seed), 0x3417))
 	for {
+		sessionStart := time.Now()
 		w.runSession(s)
+		if time.Since(sessionStart) >= w.cfg.ReconnectResetAfter {
+			// The session held long enough to count as a real recovery;
+			// refill the failed-attempt budget. A session that died young is
+			// still the same outage as far as the budget is concerned.
+			w.attemptsUsed = 0
+		}
 		if w.stopped() || s.sawStop || !w.cfg.Reconnect {
 			return
 		}
@@ -271,11 +321,14 @@ func (w *Worker) run(s *workerSession) {
 // reconnect redials until a session is established, the attempt budget
 // runs out, or the worker is closed. Backoff doubles per failure, capped
 // at ReconnectMaxBackoff, with ±50% seeded jitter to avoid thundering
-// herds when a swarm's workers all lost the same master.
+// herds when a swarm's workers all lost the same master. The budget is
+// cumulative across outages (see ReconnectAttempts): only dial failures
+// draw it down, and only a session that survived ReconnectResetAfter
+// refills it.
 func (w *Worker) reconnect(rng *rand.Rand) (*workerSession, bool) {
 	backoff := w.cfg.ReconnectBackoff
 	for attempt := 1; ; attempt++ {
-		if w.cfg.ReconnectAttempts > 0 && attempt > w.cfg.ReconnectAttempts {
+		if w.cfg.ReconnectAttempts > 0 && w.attemptsUsed >= w.cfg.ReconnectAttempts {
 			w.cfg.Logger.Warn("swing worker: reconnect attempts exhausted",
 				"device", w.cfg.DeviceID, "attempts", w.cfg.ReconnectAttempts)
 			// Giving up is a terminal failure, not a clean shutdown: record
@@ -316,12 +369,34 @@ func (w *Worker) reconnect(rng *rand.Rand) (*workerSession, bool) {
 			}
 			return s, true
 		}
+		w.attemptsUsed++
 		w.cfg.Logger.Warn("swing worker: reconnect failed",
 			"device", w.cfg.DeviceID, "attempt", attempt, "err", err, "backoff", backoff)
+		w.rediscover()
 		if backoff *= 2; backoff > w.cfg.ReconnectMaxBackoff {
 			backoff = w.cfg.ReconnectMaxBackoff
 		}
 	}
+}
+
+// rediscover listens (briefly) for a beacon from a newer master
+// incarnation and retargets MasterAddr onto it. Called between failed
+// reconnect dials: if the master the worker knew is gone for good, a
+// promoted standby announcing under a bumped epoch is the only way
+// forward, while stale beacons from the dead incarnation — or a zombie
+// partitioned away from its own demotion — are filtered by epoch.
+func (w *Worker) rediscover() {
+	if w.cfg.DiscoverAddr == "" || w.stopped() {
+		return
+	}
+	ann, err := discovery.ListenSince(w.cfg.DiscoverAddr, w.cfg.App.Name(),
+		w.MasterEpoch()+1, w.cfg.DiscoverWindow)
+	if err != nil || ann.Addr == w.cfg.MasterAddr {
+		return
+	}
+	w.cfg.Logger.Info("swing worker: rediscovered master",
+		"device", w.cfg.DeviceID, "addr", ann.Addr, "epoch", ann.Epoch)
+	w.cfg.MasterAddr = ann.Addr
 }
 
 func (w *Worker) stopped() bool {

@@ -325,6 +325,19 @@ func (l *shapedListener) Accept() (net.Conn, error) {
 	return l.s.wrap(c), nil
 }
 
+// Heartbeat frame types, mirrored from the wire package (transport
+// deliberately does not import wire — see Faulty). Liveness probes ride
+// the same shaped links as data, but they are exempt from the loss draw:
+// dropping a ping or pong silently on a lossy link starves the master's
+// failure detector of proof-of-life until a healthy-but-unlucky worker
+// is suspected and evicted. Real 802.11 retransmits such tiny frames
+// almost for free; what loss models here — sustained goodput collapse —
+// is already captured by rate/delay/jitter, which heartbeats still pay.
+const (
+	framePing = 8
+	framePong = 9
+)
+
 // shapedConn applies the scenario's shape to whole frames on the write
 // side; reads pass through untouched.
 type shapedConn struct {
@@ -365,7 +378,8 @@ func (c *shapedConn) Write(p []byte) (int, error) {
 			c.delayNanos.Add(int64(d))
 			time.Sleep(d)
 		}
-		if shape.Loss > 0 && c.rng.Float64() < shape.Loss {
+		heartbeat := frame[4] == framePing || frame[4] == framePong
+		if !heartbeat && shape.Loss > 0 && c.rng.Float64() < shape.Loss {
 			c.dropped.Add(1)
 		} else if _, err := c.Conn.Write(frame); err != nil {
 			return 0, err

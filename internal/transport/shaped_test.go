@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/swingframework/swing/internal/netem"
+	"github.com/swingframework/swing/internal/wire"
 )
 
 // constScenario shapes every link the same way forever.
@@ -135,6 +136,73 @@ func TestShapedLossDropsFrames(t *testing.T) {
 	l := sh.Report().Links[0]
 	if l.Frames != 2 || l.Dropped != 2 {
 		t.Fatalf("link report %+v, want 2 frames all dropped", l)
+	}
+}
+
+// TestHeartbeatFrameTypesMatchWire pins the locally mirrored ping/pong
+// frame type bytes to the wire package's constants: the transport layer
+// deliberately does not import wire, so a renumbering there must fail
+// here rather than silently re-subjecting heartbeats to the loss draw.
+func TestHeartbeatFrameTypesMatchWire(t *testing.T) {
+	if framePing != byte(wire.FramePing) || framePong != byte(wire.FramePong) {
+		t.Fatalf("heartbeat frame types ping=%d pong=%d drifted from wire %d/%d",
+			framePing, framePong, wire.FramePing, wire.FramePong)
+	}
+}
+
+func TestShapedLossExemptsHeartbeats(t *testing.T) {
+	mem := NewMem()
+	ln, err := mem.Listen("shaped-hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Under total loss, data frames vanish but ping/pong still get
+	// through: heartbeats ride the link's control plane, and dropping
+	// them would starve the failure detector rather than model goodput
+	// collapse (see DESIGN.md §15).
+	const hbCount = 3
+	got := make(chan []byte, 1)
+	go func() {
+		server, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer server.Close()
+		buf := make([]byte, hbCount*frameHeaderSize)
+		if _, err := io.ReadFull(server, buf); err == nil {
+			got <- buf
+		}
+	}()
+
+	sh := WithShaping(mem, constScenario{Shape{Loss: 1.0}}, 1)
+	c, err := sh.Dial("shaped-hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Write(testFrame(2, []byte("doomed"))); err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []byte{framePing, framePong, framePing} {
+		if _, err := c.Write(testFrame(typ, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case buf := <-got:
+		for i := 0; i < hbCount; i++ {
+			if typ := buf[i*frameHeaderSize+4]; typ != framePing && typ != framePong {
+				t.Fatalf("heartbeat %d arrived as frame type %d", i, typ)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeats never arrived: loss must not drop ping/pong")
+	}
+	l := sh.Report().Links[0]
+	if l.Frames != hbCount+1 || l.Dropped != 1 {
+		t.Fatalf("link report %+v, want %d frames with only the data frame dropped", l, hbCount+1)
 	}
 }
 

@@ -322,7 +322,7 @@ func TestFrameResultBatchType(t *testing.T) {
 		t.Fatalf("typ=%v err=%v", typ, err)
 	}
 	// One past the last known type is still rejected.
-	bad := []byte{0, 0, 0, 0, byte(FrameResultBatch) + 1}
+	bad := []byte{0, 0, 0, 0, byte(FrameRepPing) + 1}
 	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("unknown type: err = %v", err)
 	}

@@ -65,6 +65,25 @@ const (
 	// it to batch acks/results on a short linger so one upstream write
 	// amortizes over many tuples.
 	FrameResultBatch
+	// FrameRepHello opens a replication session: the standby identifies
+	// itself to the primary (JSON RepHello). The primary answers with a
+	// FrameRepCheckpoint snapshot, then streams FrameRepRecords.
+	FrameRepHello
+	// FrameRepCheckpoint carries a full checkpoint image (the same JSON
+	// the master persists on disk) plus its (epoch, generation) header so
+	// the standby can reset its mirror to a known-consistent base.
+	FrameRepCheckpoint
+	// FrameRepRecords carries a batch of raw journal record bytes for one
+	// segment, exactly as flushed to the primary's disk, plus the journal
+	// sequence watermark after the batch.
+	FrameRepRecords
+	// FrameRepAck is the standby's applied-watermark report; the primary
+	// derives replication lag from it.
+	FrameRepAck
+	// FrameRepPing is the primary's liveness probe on the replication
+	// link, carrying its current journal sequence; the standby answers
+	// with a FrameRepAck and uses ping silence to arm takeover.
+	FrameRepPing
 )
 
 // String names the frame type.
@@ -90,6 +109,16 @@ func (t FrameType) String() string {
 		return "pong"
 	case FrameResultBatch:
 		return "resultBatch"
+	case FrameRepHello:
+		return "repHello"
+	case FrameRepCheckpoint:
+		return "repCheckpoint"
+	case FrameRepRecords:
+		return "repRecords"
+	case FrameRepAck:
+		return "repAck"
+	case FrameRepPing:
+		return "repPing"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -243,7 +272,7 @@ func checkHeader(rawType byte, n uint32) (FrameType, error) {
 		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	typ := FrameType(rawType)
-	if typ < FrameHello || typ > FrameResultBatch {
+	if typ < FrameHello || typ > FrameRepPing {
 		return 0, fmt.Errorf("%w: unknown type %d", ErrBadFrame, rawType)
 	}
 	return typ, nil

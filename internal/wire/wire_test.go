@@ -92,7 +92,7 @@ func TestFrameTruncated(t *testing.T) {
 }
 
 func TestFrameTypeString(t *testing.T) {
-	for ft := FrameHello; ft <= FramePong; ft++ {
+	for ft := FrameHello; ft <= FrameRepPing; ft++ {
 		if strings.Contains(ft.String(), "frame(") {
 			t.Errorf("type %d unnamed", ft)
 		}

@@ -35,6 +35,12 @@ go test -race -count=1 ./internal/runtime/... ./internal/transport/...
 # re-run explicitly under the race detector.
 go test -race -count=1 -run 'TestShaped|TestStatusEndpoint|TestParseScenario' \
     ./internal/transport/ ./internal/runtime/
+# Failover smoke under the race detector: hot-standby replication,
+# epoch-fenced promotion with eight re-adopting workers, both halves of
+# the zombie fence, and the reconnect-budget policy.
+go test -race -count=1 \
+    -run 'TestStandbyReplicationStream|TestStandbyFailoverPromotion|TestZombiePrimaryFenced|TestWorkerReconnectBudget' \
+    ./internal/runtime/
 # Live /statusz curl smoke: boot a real swingd master with a status
 # endpoint and a shaped transport, fetch the JSON from the URL the
 # process announces, and check the ledger reports balanced. Falls back
@@ -68,11 +74,14 @@ grep -q '"balanced": true' "$smoketmp/status.json"
 wait "$smokepid"
 grep -q '^shaping report: ' "$smoketmp/swingd.log"
 echo "statusz smoke: ok ($url)"
-# Short fuzz smoke over the two on-disk/on-wire codecs: the frame codec
-# that fronts every connection and the journal record codec that recovery
-# replays from whatever a crash left behind. The checked-in seed corpus
-# always runs; FUZZ_SECONDS (default 5) of coverage-guided input rides on
-# top. One -fuzz target per invocation is a `go test` restriction.
+# Short fuzz smoke over the on-disk/on-wire codecs: the frame codec that
+# fronts every connection, the journal record codec that recovery replays
+# from whatever a crash left behind, and the replication payload codecs a
+# standby decodes from a live (possibly hostile) stream. The checked-in
+# seed corpus always runs; FUZZ_SECONDS (default 5) of coverage-guided
+# input rides on top. One -fuzz target per invocation is a `go test`
+# restriction.
 FUZZ_SECONDS="${FUZZ_SECONDS:-5}"
 go test -run '^$' -fuzz 'FuzzFrameCodec' -fuzztime "${FUZZ_SECONDS}s" ./internal/wire/
+go test -run '^$' -fuzz 'FuzzRepCodec' -fuzztime "${FUZZ_SECONDS}s" ./internal/wire/
 go test -run '^$' -fuzz 'FuzzJournalRecord' -fuzztime "${FUZZ_SECONDS}s" ./internal/runtime/

@@ -9,7 +9,11 @@
 #      intervals and restarted from its write-ahead journal and periodic
 #      checkpoints while reconnecting workers stream on; every incarnation
 #      must re-adopt the swarm and drain the recovered backlog.
-#   3. TestShapedSoak — the wifi-degradation scenario pack shapes one
+#   3. TestFailoverSoak — a chain of hot-standby failovers: each primary
+#      is killed mid-load and its standby promotes under a bumped epoch,
+#      with eight reconnecting workers re-adopting every hop; the ledger
+#      must balance and the sink stay at-most-once across the chain.
+#   4. TestShapedSoak — the wifi-degradation scenario pack shapes one
 #      worker's link on the real transport while the status endpoint is
 #      polled throughout; LRS must shift probability mass off the degraded
 #      link, and the endpoint's final JSON is archived next to the soak
@@ -28,7 +32,7 @@ SOAK_SECONDS="${SOAK_SECONDS:-60}"
 SOAK_OUT="${SOAK_OUT:-/tmp/swing-soak}"
 mkdir -p "$SOAK_OUT"
 SWING_SOAK=1 SWING_SOAK_SECONDS="$SOAK_SECONDS" \
-    go test -race -run 'TestChaosSoak|TestMasterKillSoak' -v \
+    go test -race -run 'TestChaosSoak|TestMasterKillSoak|TestFailoverSoak' -v \
     -timeout "$((2 * SOAK_SECONDS + 240))s" ./internal/runtime/
 # No pipefail in POSIX sh: capture the log first, then fail explicitly,
 # so a broken soak is never masked by tee.

@@ -317,6 +317,26 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) { return runtime.StartWorker
 // Worker.Err return an error wrapping it.
 var ErrReconnectExhausted = runtime.ErrReconnectExhausted
 
+// ErrStaleMaster reports a worker's epoch fence firing: the dialed
+// master is an older incarnation than the one that last deployed the
+// worker — a zombie primary outlived by its promoted standby.
+var ErrStaleMaster = runtime.ErrStaleMaster
+
+// Standby is a hot-standby master: it tails a primary's write-ahead
+// journal over the replication stream and promotes itself — running the
+// ordinary crash-recovery path over its mirror, with a bumped epoch
+// fencing out the dead primary — once the primary has been silent past
+// StandbyConfig.TakeoverAfter.
+type Standby = runtime.Standby
+
+// StandbyConfig configures StartStandby.
+type StandbyConfig = runtime.StandbyConfig
+
+// StartStandby connects a hot standby to a primary master whose
+// MasterConfig.ReplicateAddr is set. Promotion is signaled on the
+// standby's Promoted channel.
+func StartStandby(cfg StandbyConfig) (*Standby, error) { return runtime.StartStandby(cfg) }
+
 // Transport abstracts the byte transport under the live runtime (default
 // TCP); swap it for an in-memory network in tests or wrap it with fault
 // injection.
