@@ -47,6 +47,9 @@ type masterOpts struct {
 	shards                   int
 	parallelism              int
 	linger                   time.Duration
+	opDeadline               time.Duration
+	poisonAttempts           int
+	hedgeAfter               time.Duration
 	statusEvery              time.Duration
 	statusAddr               string
 	journal                  string
@@ -90,6 +93,11 @@ func run(args []string) error {
 		brCool    = fs.Duration("breaker-cooldown", 2*time.Second, "master: how long an open breaker blocks a worker before the half-open probe")
 		brAckTO   = fs.Duration("breaker-ack-timeout", 0, "master: unacked-tuple age counted as a breaker failure (0 = drops alone drive breakers)")
 		inflHW    = fs.Int("inflight-high-water", 0, "master: in-flight tuples beyond which Submit sheds oldest-first instead of blocking (0 = block on backpressure)")
+
+		// Failure containment (master).
+		opDL      = fs.Duration("op-deadline", 0, "master: per-tuple operator deadline deployed to every worker; a hung chain is abandoned as a deadline drop (0 = no watchdog)")
+		poisonAtt = fs.Int("poison-attempts", 0, "master: distinct workers a tuple may burn with drop notices before it is quarantined as poison (0 = no quarantine)")
+		hedgeAft  = fs.Duration("hedge-after", 0, "master: age past which a straggling in-flight tuple is speculatively duplicated to a second worker, floored by 2x the worker's recent p95 latency (0 = no hedging)")
 		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
 		statusAdr = fs.String("status-addr", "", "master: HTTP observability endpoint address serving /statusz, /status.json and /events (empty = off; \":0\" picks a free port)")
 
@@ -131,6 +139,23 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Contradictory flag combinations fail loudly with usage instead of
+	// silently misbehaving at runtime (a standby that never mirrors, a
+	// takeover timer nothing reads, a shaping pack that does not exist).
+	if *standbyF && *replAddr == "" {
+		return usageErr(fs, "-standby needs -replicate-addr (the primary's replication address to mirror)")
+	}
+	if *standbyF && *journalP == "" {
+		return usageErr(fs, "-standby needs -journal (the mirrored journal lives there)")
+	}
+	if !*standbyF && flagSet(fs, "takeover-after") {
+		return usageErr(fs, "-takeover-after only applies to a -standby master")
+	}
+	if *shapeSpec != "" {
+		if _, err := swing.ParseScenario(*shapeSpec); err != nil {
+			return usageErr(fs, "bad -shape: %v", err)
+		}
+	}
 	app, err := loadApp(*appName)
 	if err != nil {
 		return err
@@ -152,6 +177,7 @@ func run(args []string) error {
 			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
 			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
 			inflightHighWater: *inflHW, shards: *shards, parallelism: *parallel, linger: *linger,
+			opDeadline: *opDL, poisonAttempts: *poisonAtt, hedgeAfter: *hedgeAft,
 			statusEvery: *statusEv, statusAddr: *statusAdr,
 			journal: *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
 			replicateAddr: *replAddr, standby: *standbyF, takeoverAfter: *takeover,
@@ -179,6 +205,25 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("missing or invalid -role %q (master or worker)", *role)
 	}
+}
+
+// flagSet reports whether the named flag was explicitly set on the
+// command line (as opposed to resting at its default).
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// usageErr prints the flag usage and returns the validation error, so a
+// contradictory invocation exits non-zero with the full flag reference.
+func usageErr(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return fmt.Errorf(format, args...)
 }
 
 // faultTransport wraps the production TCP transport with fault injection
@@ -228,6 +273,9 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		BreakerCooldown:   opt.breakerCooldown,
 		BreakerAckTimeout: opt.breakerAckTimeout,
 		InflightHighWater: opt.inflightHighWater,
+		OpDeadline:        opt.opDeadline,
+		PoisonAttempts:    opt.poisonAttempts,
+		HedgeAfter:        opt.hedgeAfter,
 		Shards:            opt.shards,
 		Parallelism:       opt.parallelism,
 		AckLinger:         opt.linger,
@@ -367,8 +415,12 @@ func serveMaster(app *swing.App, opt masterOpts, m *swing.Master) error {
 			st := m.Stats()
 			fmt.Printf("done: submitted=%d dropped=%d arrived=%d played=%d skipped=%d\n",
 				submitted, dropped, st.Arrived, st.Played, st.Skipped)
-			fmt.Printf("ledger: acked=%d retransmitted=%d shed=%d (overload %d) workerDropped=%d evicted=%d inFlight=%d\n",
-				st.Acked, st.Retransmitted, st.Shed, st.ShedOverload, st.WorkerDropped, st.Evicted, st.InFlight)
+			fmt.Printf("ledger: acked=%d retransmitted=%d hedged=%d shed=%d (overload %d, poison %d) workerDropped=%d evicted=%d inFlight=%d\n",
+				st.Acked, st.Retransmitted, st.Hedged, st.Shed, st.ShedOverload, st.ShedPoison, st.WorkerDropped, st.Evicted, st.InFlight)
+			if st.WorkerDropped > 0 {
+				fmt.Printf("drops: errors=%d panics=%d deadlines=%d filtered=%d\n",
+					st.DropErrors, st.DropPanics, st.DropDeadlines, st.Filtered)
+			}
 			return nil
 		case <-interrupted:
 			fmt.Println("interrupted")

@@ -68,6 +68,46 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// TestRunRejectsContradictoryFlags pins the flag cross-validation: the
+// combinations below would each silently misbehave at runtime (a standby
+// with nothing to mirror, a takeover timer nothing reads, a shaping pack
+// that does not exist), so run must refuse them up front.
+func TestRunRejectsContradictoryFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"standby without replicate-addr", []string{
+			"-role", "master", "-standby", "-journal", "/tmp/j"}},
+		{"standby without journal", []string{
+			"-role", "master", "-standby", "-replicate-addr", "127.0.0.1:7717"}},
+		{"takeover-after on non-standby", []string{
+			"-role", "master", "-takeover-after", "1s"}},
+		{"unknown shape pack", []string{
+			"-role", "master", "-shape", "solar-flare"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Fatalf("contradictory flags accepted: %v", tc.args)
+			}
+		})
+	}
+}
+
+// TestRunAcceptsContainmentFlags runs a short master session with every
+// containment flag armed, proving the flags parse and wire through.
+func TestRunAcceptsContainmentFlags(t *testing.T) {
+	err := run([]string{
+		"-role", "master", "-listen", "127.0.0.1:0",
+		"-fps", "24", "-duration", "1s",
+		"-op-deadline", "100ms", "-poison-attempts", "3", "-hedge-after", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("containment flags rejected: %v", err)
+	}
+}
+
 // TestMasterWorkerSession drives a short live session end to end through
 // the daemon entry points.
 func TestMasterWorkerSession(t *testing.T) {

@@ -1,0 +1,71 @@
+// Package chaos is the seeded nemesis harness: it composes worker churn,
+// link shaping, primary crash + standby takeover, and poison/hang tuple
+// injection into a deterministic schedule, runs the swarm under that
+// schedule on the in-memory transport, and checks the runtime's
+// end-to-end invariants on every observability poll — ledger balance,
+// cross-epoch at-most-once delivery, no healthy-worker evictions, and
+// goroutine-leak-free shutdown.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/swingframework/swing/internal/apps"
+	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/tuple"
+)
+
+// Tuple fields interpreted by the chaos app's operator. A plain frame
+// tuple (none of these set) emits a result like any sensing app; marked
+// tuples misbehave in the specific way the nemesis injected.
+const (
+	// FieldPoison makes the operator panic — the worker sandbox must
+	// contain it, and the master must quarantine the tuple after it burns
+	// K distinct workers.
+	FieldPoison = "chaos_poison"
+	// FieldHangMS makes the operator sleep this many milliseconds —
+	// finite, so an op-deadline watchdog abandons the tuple but the
+	// runner goroutine still drains before shutdown.
+	FieldHangMS = "chaos_hang_ms"
+	// FieldFail makes the operator return a plain error.
+	FieldFail = "chaos_fail"
+)
+
+// App builds the single-operator application the nemesis deploys: the
+// operator obeys the chaos_* fields above and otherwise echoes a result,
+// so every injected fault mode (panic, hang, error, healthy) is reachable
+// from the tuple content alone.
+func App() (*apps.App, error) {
+	g, err := graph.NewBuilder("chaosapp").
+		Source("source").
+		Operator("op",
+			graph.WithWork(0.05),
+			graph.WithProcessor(func() graph.Processor { return graph.ProcessorFunc(process) })).
+		Sink("sink").
+		Chain("source", "op", "sink").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return &apps.App{Graph: g, FrameBytes: 600, TargetFPS: 24, TotalWork: 0.05}, nil
+}
+
+func process(em graph.Emitter, tp *tuple.Tuple) error {
+	if _, err := tp.Get(FieldPoison); err == nil {
+		panic(fmt.Sprintf("chaos: injected poison tuple %d", tp.ID))
+	}
+	if v, err := tp.Get(FieldHangMS); err == nil {
+		if ms, ok := v.AsInt64(); ok && ms > 0 {
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+		}
+	}
+	if _, err := tp.Get(FieldFail); err == nil {
+		return errors.New("chaos: injected failure")
+	}
+	out := tuple.New(tp.ID, tp.SeqNo)
+	out.EmitNanos = tp.EmitNanos
+	out.Set(apps.FieldResult, tuple.String("ok"))
+	return em.Emit(out)
+}

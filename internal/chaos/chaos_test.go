@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic pins the reproducibility contract: the same
+// (seed, config) must always compose the identical action list, and a
+// different seed must not (with overwhelming probability) collide.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Duration: 4 * time.Second, Workers: 5, Churn: true, CrashPrimary: true}
+	a := Compose(42, cfg)
+	b := Compose(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed composed different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("churn+crash config composed an empty schedule")
+	}
+	c := Compose(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds composed identical schedules: %v", a)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not time-ordered: %v", a)
+		}
+	}
+}
+
+// TestNemesisSmoke is the always-on seeded run: poison tuples and hangs
+// against a healthy swarm with sandboxing, quarantine and hedging armed.
+// Every invariant must hold, and in this controlled setting — no churn,
+// no crash — every poison tuple lands in ShedPoison: nothing is delivered
+// (the Run invariant), nothing stays in flight (quiescence), and the
+// plain shed paths cannot claim a poison-mode drop. Hang tuples quarantine
+// the same way (deadline drops burn workers too), so ShedPoison is a
+// lower-bounded superset of the injected poison.
+func TestNemesisSmoke(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:           7,
+		Duration:       1500 * time.Millisecond,
+		Workers:        4,
+		PoisonEvery:    20,
+		HangEvery:      31,
+		PoisonAttempts: 3,
+		OpDeadline:     50 * time.Millisecond,
+		HedgeAfter:     250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("invariant violations: %v", rep.Violations)
+	}
+	if rep.PoisonSubmitted == 0 {
+		t.Fatal("smoke injected no poison; PoisonEvery misconfigured")
+	}
+	if rep.Quarantined < rep.PoisonSubmitted {
+		t.Fatalf("quarantined %d < %d poison tuples injected", rep.Quarantined, rep.PoisonSubmitted)
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("no healthy tuple reached the sink")
+	}
+	if rep.Polls == 0 || rep.BalancedPolls != rep.Polls {
+		t.Fatalf("ledger balanced on %d/%d polls", rep.BalancedPolls, rep.Polls)
+	}
+}
+
+// TestNemesisComposedSoak is the full composed schedule from the issue:
+// worker churn, link shaping, one primary crash with hot-standby
+// takeover, and injected poison — all from one seed. Gated behind
+// SWING_SOAK=1 (see scripts/soak.sh).
+func TestNemesisComposedSoak(t *testing.T) {
+	if os.Getenv("SWING_SOAK") == "" {
+		t.Skip("set SWING_SOAK=1 (see scripts/soak.sh) to run the composed nemesis")
+	}
+	dur := 4 * time.Second
+	if s := os.Getenv("SWING_SOAK_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad SWING_SOAK_SECONDS %q", s)
+		}
+		dur = time.Duration(secs) * time.Second
+	}
+	seed := int64(11)
+	if s := os.Getenv("SWING_NEMESIS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SWING_NEMESIS_SEED %q", s)
+		}
+		seed = v
+	}
+	rep, err := Run(Config{
+		Seed:           seed,
+		Duration:       dur,
+		Workers:        6,
+		Churn:          true,
+		Shape:          "wifi-degrade:500ms",
+		CrashPrimary:   true,
+		Dir:            t.TempDir(),
+		PoisonEvery:    25,
+		HangEvery:      40,
+		PoisonAttempts: 3,
+		OpDeadline:     60 * time.Millisecond,
+		HedgeAfter:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nemesis seed=%d schedule=%v", rep.Seed, rep.Schedule)
+	t.Logf("submitted=%d (poison %d) delivered=%d quarantined=%d hedged=%d crashes=%d kills=%d restarts=%d epoch=%d polls=%d",
+		rep.Submitted, rep.PoisonSubmitted, rep.Delivered, rep.Quarantined,
+		rep.Hedged, rep.Crashes, rep.Kills, rep.Restarts, rep.FinalEpoch, rep.Polls)
+	if rep.Failed() {
+		t.Fatalf("invariant violations: %v", rep.Violations)
+	}
+	if rep.Crashes != 1 {
+		t.Fatalf("composed schedule executed %d primary crashes, want 1", rep.Crashes)
+	}
+	if rep.FinalEpoch < 2 {
+		t.Fatalf("final epoch %d: standby takeover did not advance the epoch", rep.FinalEpoch)
+	}
+	if rep.Kills == 0 || rep.Restarts == 0 {
+		t.Fatalf("churn did not execute: %d kills, %d restarts", rep.Kills, rep.Restarts)
+	}
+	if rep.PoisonSubmitted == 0 || rep.Quarantined == 0 {
+		t.Fatalf("poison path unexercised: %d injected, %d quarantined",
+			rep.PoisonSubmitted, rep.Quarantined)
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("no healthy tuple reached the sink")
+	}
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Action kinds the nemesis can schedule.
+const (
+	// ActKillWorker closes a worker abruptly (no goodbye); the master's
+	// connection-drop path must retransmit its backlog.
+	ActKillWorker = "kill-worker"
+	// ActRestartWorker starts a fresh worker under the target ID.
+	ActRestartWorker = "restart-worker"
+	// ActCrashPrimary kills the primary master the way SIGKILL would; the
+	// hot standby must take over and re-adopt the swarm.
+	ActCrashPrimary = "crash-primary"
+)
+
+// Action is one timed nemesis intervention.
+type Action struct {
+	// At is the offset from run start.
+	At time.Duration
+	// Kind is one of the Act* constants.
+	Kind string
+	// Target is the worker ID for kill/restart actions.
+	Target string
+}
+
+func (a Action) String() string {
+	if a.Target == "" {
+		return fmt.Sprintf("%s@%s", a.Kind, a.At)
+	}
+	return fmt.Sprintf("%s(%s)@%s", a.Kind, a.Target, a.At)
+}
+
+// Compose derives a deterministic schedule from the seed: the same
+// (seed, cfg) always yields the identical action list, so a failing
+// nemesis run reproduces from its logged seed alone. Churn kills each
+// chosen worker once and restarts it a bounded pause later (the swarm
+// never loses more than one worker to churn at a time), and the primary
+// crash — when enabled — lands in the middle half of the run, after the
+// standby has attached and with time left to verify the takeover.
+func Compose(seed int64, cfg Config) []Action {
+	rng := rand.New(rand.NewSource(seed))
+	var acts []Action
+	if cfg.Churn && cfg.Workers > 1 {
+		// One kill/restart pair per churn round, round-robin over workers,
+		// spread over the run but clear of the final quiescence window.
+		rounds := int(cfg.Duration / (800 * time.Millisecond))
+		if rounds < 1 {
+			rounds = 1
+		}
+		window := cfg.Duration * 3 / 4
+		for i := 0; i < rounds; i++ {
+			at := time.Duration(rng.Int63n(int64(window)))
+			id := workerID(rng.Intn(cfg.Workers))
+			down := 100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+			acts = append(acts,
+				Action{At: at, Kind: ActKillWorker, Target: id},
+				Action{At: at + down, Kind: ActRestartWorker, Target: id},
+			)
+		}
+	}
+	if cfg.CrashPrimary {
+		quarter := cfg.Duration / 4
+		at := quarter + time.Duration(rng.Int63n(int64(2*quarter)))
+		acts = append(acts, Action{At: at, Kind: ActCrashPrimary})
+	}
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	return acts
+}
+
+func workerID(i int) string { return fmt.Sprintf("w%d", i) }

@@ -50,17 +50,29 @@ type Snapshot struct {
 // exactly the window where the classic three-term balance transiently
 // under-counts.
 type Ledger struct {
-	Submitted      int64 `json:"submitted"`
-	Acked          int64 `json:"acked"`
-	Retransmitted  int64 `json:"retransmitted"`
-	Shed           int64 `json:"shed"`
-	ShedOverload   int64 `json:"shed_overload"`
+	Submitted     int64 `json:"submitted"`
+	Acked         int64 `json:"acked"`
+	Retransmitted int64 `json:"retransmitted"`
+	Shed          int64 `json:"shed"`
+	ShedOverload  int64 `json:"shed_overload"`
+	// ShedPoison is the subset of Shed quarantined after failing on
+	// PoisonAttempts distinct workers.
+	ShedPoison     int64 `json:"shed_poison,omitempty"`
 	InFlight       int   `json:"in_flight"`
 	Retransmitting int64 `json:"retransmitting"`
 	WorkerDropped  int64 `json:"worker_dropped"`
-	Evicted        int64 `json:"evicted"`
-	Readopted      int64 `json:"readopted"`
-	Recovered      int64 `json:"recovered"`
+	// Hedged counts speculative duplicate transmissions of stragglers; a
+	// hedge does not create a ledger entry, so it sits outside the balance.
+	Hedged  int64 `json:"hedged,omitempty"`
+	Evicted int64 `json:"evicted"`
+	// Per-reason breakdown of WorkerDropped, plus Filtered: tuples a
+	// pipeline stage legitimately discarded (acked, not dropped).
+	DropErrors    int64 `json:"drop_errors,omitempty"`
+	DropPanics    int64 `json:"drop_panics,omitempty"`
+	DropDeadlines int64 `json:"drop_deadlines,omitempty"`
+	Filtered      int64 `json:"filtered,omitempty"`
+	Readopted     int64 `json:"readopted"`
+	Recovered     int64 `json:"recovered"`
 	// Balanced reports whether the invariant held when the sample was
 	// taken; it is computed by the producer under the ledger locks.
 	Balanced bool `json:"balanced"`
@@ -93,17 +105,21 @@ type Routing struct {
 
 // Worker is one worker's health, breaker, queue, and routing view.
 type Worker struct {
-	ID            string  `json:"id"`
-	Health        string  `json:"health"`
-	SilenceMillis int64   `json:"silence_millis"`
-	Breaker       string  `json:"breaker"`
-	BreakerOpens  int64   `json:"breaker_opens"`
-	QueueLen      int     `json:"queue_len"`
-	Processed     int64   `json:"processed"`
-	Dropped       int64   `json:"dropped"`
-	Reconnects    int64   `json:"reconnects"`
-	Selected      bool    `json:"selected"`
-	Weight        float64 `json:"weight"`
+	ID            string `json:"id"`
+	Health        string `json:"health"`
+	SilenceMillis int64  `json:"silence_millis"`
+	Breaker       string `json:"breaker"`
+	BreakerOpens  int64  `json:"breaker_opens"`
+	QueueLen      int    `json:"queue_len"`
+	Processed     int64  `json:"processed"`
+	Dropped       int64  `json:"dropped"`
+	// Panics / Deadlined are the worker's own sandbox counters: operator
+	// panics recovered per-tuple and tuples cut off by the op deadline.
+	Panics     int64   `json:"panics,omitempty"`
+	Deadlined  int64   `json:"deadlined,omitempty"`
+	Reconnects int64   `json:"reconnects"`
+	Selected   bool    `json:"selected"`
+	Weight     float64 `json:"weight"`
 	// LatencyMillis / ProcessingMillis are the router's EWMA estimates.
 	LatencyMillis    float64 `json:"latency_millis"`
 	ProcessingMillis float64 `json:"processing_millis"`
@@ -173,6 +189,11 @@ const (
 	EventStandbyAttach = "standby-attach"
 	EventStandbyDetach = "standby-detach"
 	EventPromoted      = "promoted"
+	// Failure-containment events: a poison tuple quarantined after burning
+	// its attempt budget across distinct workers, and a straggler hedged
+	// to a second worker.
+	EventQuarantine = "quarantine"
+	EventHedge      = "hedge"
 )
 
 // Event is one entry of the ring-buffered event log.

@@ -234,7 +234,7 @@ func TestStandbyFailoverPromotion(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
-	m1.crash()
+	m1.Crash()
 	st1 := m1.Stats()
 	if !ledgerBalanced(st1) {
 		t.Fatalf("primary ledger unbalanced at crash: %+v", st1)
@@ -436,7 +436,7 @@ func TestWorkerReconnectBudgetCumulative(t *testing.T) {
 	// Without cumulative accounting the worker would survive indefinitely.
 	for cycle := 0; cycle < 8; cycle++ {
 		waitFor(t, 3*time.Second, func() bool { return len(m.Workers()) == 1 }, "worker joined")
-		m.crash()
+		m.Crash()
 		time.Sleep(50 * time.Millisecond)
 		select {
 		case err := <-errCh:
@@ -504,7 +504,7 @@ func TestWorkerReconnectBudgetReset(t *testing.T) {
 	for cycle := 0; cycle < 5; cycle++ {
 		waitFor(t, 3*time.Second, func() bool { return len(m.Workers()) == 1 }, "worker joined")
 		time.Sleep(250 * time.Millisecond) // session outlives the reset window
-		m.crash()
+		m.Crash()
 		time.Sleep(40 * time.Millisecond) // a dial failure or two
 		m = startMaster()
 		t.Cleanup(func() { _ = m.Close() })
@@ -582,7 +582,7 @@ func TestFailoverSoak(t *testing.T) {
 		prevAcked := m.Stats().Acked
 		waitFor(t, 10*time.Second, func() bool { return m.Stats().Acked >= prevAcked+40 },
 			"load in progress")
-		m.crash()
+		m.Crash()
 
 		select {
 		case <-sb.Promoted():

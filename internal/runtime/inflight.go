@@ -22,6 +22,14 @@ type inflightEntry struct {
 	// timedOut marks an entry already counted as a breaker failure, so a
 	// long-stuck tuple charges its worker once, not once per sweep.
 	timedOut bool
+	// failedOn lists the distinct workers whose drop notices burned this
+	// tuple (poison-quarantine mode). It travels with the tuple across
+	// re-dispatches; at PoisonAttempts distinct workers the tuple is
+	// quarantined as ShedPoison. Mutated only under the shard lock.
+	failedOn []string
+	// hedged marks an entry already speculatively duplicated to a second
+	// worker, so a straggler is hedged once, not once per sweep.
+	hedged bool
 }
 
 // maxShards caps hot-state fan-out: each shard is a map plus a mutex, and
@@ -70,6 +78,15 @@ type ledgerCounters struct {
 	retransmitted int64
 	shed          int64
 	shedOverload  int64
+	// shedPoison is the quarantine subset of shed: tuples abandoned after
+	// failing on PoisonAttempts distinct workers (or with no unburned
+	// worker left to try).
+	shedPoison int64
+	// hedged counts entries speculatively duplicated to a second worker.
+	// It annotates the in-flight column rather than extending the balance:
+	// a hedge duplicates a dispatch, not a tuple, so
+	// acked + shed + inflight + orphaned == submitted is untouched.
+	hedged int64
 	// orphaned counts entries taken off the table by takeWorker and not
 	// yet re-dispatched (trackSubmit) or abandoned (shedOrphan/
 	// shedUntracked): a dead worker's backlog in the retransmitter's
@@ -89,6 +106,8 @@ func (l *ledgerCounters) add(o ledgerCounters) {
 	l.retransmitted += o.retransmitted
 	l.shed += o.shed
 	l.shedOverload += o.shedOverload
+	l.shedPoison += o.shedPoison
+	l.hedged += o.hedged
 	l.orphaned += o.orphaned
 }
 
@@ -242,6 +261,66 @@ func (t *inflightTable) shedOrphan(id uint64) {
 	s.mu.Unlock()
 }
 
+// shedOrphanPoison is shedOrphan with the quarantine subset counted: the
+// tuple was in the poison redispatcher's hands and nowhere unburned could
+// take it.
+func (t *inflightTable) shedOrphanPoison(id uint64) {
+	s := t.shard(id)
+	s.mu.Lock()
+	s.led.shed++
+	s.led.shedPoison++
+	s.led.orphaned--
+	s.mu.Unlock()
+}
+
+// failVerdict is failAttempt's decision for one drop notice.
+type failVerdict int
+
+const (
+	// failUntracked: no entry — a straggler notice for a tuple already
+	// acked, shed, or in another path's hands. Nothing to do.
+	failUntracked failVerdict = iota
+	// failRetry: the tuple should be re-dispatched to a worker it has not
+	// burned yet; the entry moved to the orphaned column and is returned.
+	failRetry
+	// failQuarantined: the tuple reached PoisonAttempts distinct workers
+	// and was shed as poison in the same critical section.
+	failQuarantined
+)
+
+// failAttempt processes a worker's drop notice in quarantine mode: the
+// worker joins the tuple's distinct-failure history, and the tuple is
+// either quarantined (k distinct workers burned — shed as poison) or
+// surrendered to the caller for re-dispatch, in one critical section.
+func (t *inflightTable) failAttempt(id uint64, worker string, k int) (*inflightEntry, failVerdict) {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return nil, failUntracked
+	}
+	burned := false
+	for _, w := range e.failedOn {
+		if w == worker {
+			burned = true
+			break
+		}
+	}
+	if !burned {
+		e.failedOn = append(e.failedOn, worker)
+	}
+	delete(s.m, id)
+	t.approx.Add(-1)
+	if len(e.failedOn) >= k {
+		s.led.shed++
+		s.led.shedPoison++
+		return e, failQuarantined
+	}
+	s.led.orphaned++
+	return e, failRetry
+}
+
 // takeWorker removes and returns every entry assigned to the worker — the
 // un-acked backlog of a broken connection. Each taken entry moves from
 // the live count into the orphaned column in the same critical section,
@@ -360,6 +439,8 @@ func (t *inflightTable) seedLedger(c *checkpointState) {
 		retransmitted: c.Retransmitted,
 		shed:          c.Shed,
 		shedOverload:  c.ShedOverload,
+		shedPoison:    c.ShedPoison,
+		hedged:        c.Hedged,
 	}
 	s.mu.Unlock()
 }

@@ -3,7 +3,6 @@ package runtime
 import (
 	"errors"
 	"os"
-	stdruntime "runtime"
 	"strconv"
 	"sync/atomic"
 	"testing"
@@ -11,6 +10,7 @@ import (
 
 	"github.com/swingframework/swing/internal/apps"
 	"github.com/swingframework/swing/internal/graph"
+	"github.com/swingframework/swing/internal/testutil"
 	"github.com/swingframework/swing/internal/transport"
 	"github.com/swingframework/swing/internal/tuple"
 )
@@ -372,7 +372,7 @@ func TestChaosSoak(t *testing.T) {
 		}
 		dur = time.Duration(secs) * time.Second
 	}
-	baseline := stdruntime.NumGoroutine()
+	baseline := testutil.LeakBaseline()
 
 	mem := transport.NewMem()
 	app, err := apps.FaceRecognition()
@@ -449,8 +449,5 @@ func TestChaosSoak(t *testing.T) {
 	_ = m.Close()
 
 	// Every goroutine the run spawned must drain.
-	waitFor(t, 15*time.Second, func() bool {
-		stdruntime.GC()
-		return stdruntime.NumGoroutine() <= baseline+2
-	}, "goroutines drain after shutdown")
+	testutil.CheckLeaked(t, baseline, 15*time.Second)
 }

@@ -109,6 +109,26 @@ type MasterConfig struct {
 	// ShedOverload) and never blocks the caller. Zero disables admission
 	// control, restoring pure TCP-backpressure blocking.
 	InflightHighWater int
+	// OpDeadline is the per-tuple processing deadline deployed to every
+	// worker: an operator chain that has not returned within it is
+	// abandoned by the worker's watchdog and the tuple reported as a
+	// deadline drop notice, so one hung operator costs a tuple, not the
+	// worker. Zero disables the watchdog (chains run inline).
+	OpDeadline time.Duration
+	// PoisonAttempts arms poison-tuple quarantine: a tuple whose drop
+	// notices burned this many DISTINCT workers is shed as ShedPoison
+	// instead of being bounced around the swarm — and only the first
+	// burned worker's breaker is charged, so a poison tuple cannot trip
+	// the breakers of the healthy workers it visits. Zero disables
+	// quarantine: a drop notice then simply acks the tuple (the
+	// pre-quarantine behavior).
+	PoisonAttempts int
+	// HedgeAfter arms hedged retransmits for stragglers: an un-acked tuple
+	// older than max(HedgeAfter, 2× its worker's recent p95 ack latency)
+	// is speculatively duplicated to a second worker. First result wins
+	// (the sink's dedup keeps delivery at-most-once); the duplicate is
+	// counted in the ledger's Hedged column. Zero disables hedging.
+	HedgeAfter time.Duration
 	// JournalPath enables master crash recovery: every tuple lifecycle
 	// event (submit, retransmit, ack, shed) is appended to a write-ahead
 	// journal at this path, and StartMaster recovers state — ledger
@@ -275,12 +295,19 @@ type workerConn struct {
 	ackLat  atomic.Int64 // summed end-to-end latency, nanos
 	ackProc atomic.Int64 // summed worker-reported processing, nanos
 
+	// lat is a fixed ring of recent end-to-end ack latencies feeding the
+	// hedging threshold (its own lock; written per ack only when hedging
+	// is armed).
+	lat latRing
+
 	mu         sync.Mutex
 	writeMu    sync.Mutex
 	processed  int64
 	dropped    int64 // last Stats-reported processor-drop count
 	queueLen   int   // last Stats-reported input queue length
 	reconnects int64 // last Stats-reported rejoin count
+	panics     int64 // last Stats-reported sandbox-recovered panic count
+	deadlined  int64 // last Stats-reported watchdog-abandoned count
 
 	// Liveness (guarded by mu): lastHeard is the arrival time of the most
 	// recent frame of any kind; health is the failure detector's verdict.
@@ -337,6 +364,13 @@ type Master struct {
 	evicted       atomic.Int64
 	readopted     atomic.Int64
 	nextSeq       atomic.Uint64
+
+	// Per-reason drop accounting (worker notices, classified by the wire
+	// reason code) plus the filtered count — legitimate empty pipelines.
+	dropErrors    atomic.Int64
+	dropPanics    atomic.Int64
+	dropDeadlines atomic.Int64
+	filtered      atomic.Int64
 
 	// pickSeq drives Submit's weighted-random draws: a shared splitmix64
 	// counter, so concurrent submitters draw without locks or per-caller
@@ -472,7 +506,7 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 	m.wg.Add(2)
 	go m.acceptLoop()
 	go m.reconfigureLoop(rc.ReconfigurePeriod)
-	if cfg.Heartbeat > 0 || cfg.BreakerAckTimeout > 0 {
+	if cfg.Heartbeat > 0 || cfg.BreakerAckTimeout > 0 || cfg.HedgeAfter > 0 {
 		m.wg.Add(1)
 		go m.monitorLoop()
 	}
@@ -558,6 +592,10 @@ func (m *Master) initRecovery() error {
 	c := rs.counters
 	m.inflight.seedLedger(&c)
 	m.workerDropped.Store(c.WorkerDropped)
+	m.dropErrors.Store(c.DropErrors)
+	m.dropPanics.Store(c.DropPanics)
+	m.dropDeadlines.Store(c.DropDeadlines)
+	m.filtered.Store(c.Filtered)
 	m.evicted.Store(c.Evicted)
 	m.readopted.Store(c.Readopted)
 	m.arrived, m.played, m.skipped = c.Arrived, c.Played, c.Skipped
@@ -691,6 +729,21 @@ type MasterStats struct {
 	Retransmitting int64
 	// WorkerDropped counts tuples workers discarded on processor errors.
 	WorkerDropped int64
+	// DropErrors / DropPanics / DropDeadlines break WorkerDropped down by
+	// the typed reason on each drop notice (legacy notices with no reason
+	// count as errors). Filtered counts tuples a pipeline stage
+	// legitimately discarded — acked, not dropped.
+	DropErrors    int64
+	DropPanics    int64
+	DropDeadlines int64
+	Filtered      int64
+	// ShedPoison is the quarantine subset of Shed: tuples abandoned after
+	// failing on PoisonAttempts distinct workers.
+	ShedPoison int64
+	// Hedged counts stragglers speculatively duplicated to a second
+	// worker. A hedge duplicates a dispatch, not a tuple, so it annotates
+	// the ledger without extending the balance.
+	Hedged int64
 	// Evicted counts hung workers the failure detector removed: their
 	// connection was alive but silent past DeadAfter.
 	Evicted int64
@@ -731,6 +784,11 @@ type WorkerStatus struct {
 	Processed  int64
 	Dropped    int64
 	Reconnects int64
+	// Panics / Deadlined are the worker's sandbox counters: operator
+	// panics recovered per-tuple, and tuples cut off by the processing
+	// deadline watchdog.
+	Panics    int64
+	Deadlined int64
 }
 
 // Stats returns the ledger, sink counters and the per-worker liveness
@@ -750,8 +808,14 @@ func (m *Master) Stats() MasterStats {
 		Retransmitted:  led.retransmitted,
 		Shed:           led.shed,
 		ShedOverload:   led.shedOverload,
+		ShedPoison:     led.shedPoison,
+		Hedged:         led.hedged,
 		Retransmitting: led.orphaned,
 		WorkerDropped:  m.workerDropped.Load(),
+		DropErrors:     m.dropErrors.Load(),
+		DropPanics:     m.dropPanics.Load(),
+		DropDeadlines:  m.dropDeadlines.Load(),
+		Filtered:       m.filtered.Load(),
 		Evicted:        m.evicted.Load(),
 		Epoch:          m.epoch,
 		Readopted:      m.readopted.Load(),
@@ -774,6 +838,8 @@ func (m *Master) Stats() MasterStats {
 			Processed:    wc.processed,
 			Dropped:      wc.dropped,
 			Reconnects:   wc.reconnects,
+			Panics:       wc.panics,
+			Deadlined:    wc.deadlined,
 		}
 		if wc.br.enabled() {
 			ws.Breaker = wc.br.state.String()
@@ -912,6 +978,7 @@ func (m *Master) admitWorker(conn net.Conn) (*workerConn, bool) {
 		Epoch:             m.epoch,
 		Parallelism:       m.cfg.Parallelism,
 		AckLingerMicros:   m.cfg.AckLinger.Microseconds(),
+		OpDeadlineMillis:  m.cfg.OpDeadline.Milliseconds(),
 	}
 	db, err := wire.EncodeJSON(deploy)
 	if err != nil {
@@ -1083,6 +1150,8 @@ func (m *Master) readLoop(wc *workerConn) {
 				wc.dropped = st.Dropped
 				wc.queueLen = st.QueueLen
 				wc.reconnects = st.Reconnects
+				wc.panics = st.Panics
+				wc.deadlined = st.Deadlined
 				wc.mu.Unlock()
 			}
 		case wire.FramePong:
@@ -1121,6 +1190,9 @@ func (m *Master) monitorLoop() {
 				for id, n := range m.inflight.sweepTimeouts(now, m.cfg.BreakerAckTimeout) {
 					m.chargeBreaker(id, n, now)
 				}
+			}
+			if m.cfg.HedgeAfter > 0 {
+				m.hedgeSweep(now)
 			}
 		case <-m.stop:
 			return
@@ -1251,7 +1323,7 @@ func (m *Master) retransmitAll(from string, orphans []*inflightEntry) {
 		case time.Now().After(e.deadline):
 			reason = "deadline passed"
 		default:
-			if err := m.submit(e.t, e.attempt+1, e.deadline); err != nil {
+			if err := m.submit(e.t, e.attempt+1, e.deadline, e.failedOn); err != nil {
 				reason = err.Error()
 			} else {
 				resent++
@@ -1307,7 +1379,7 @@ func (m *Master) reconfigureLoop(period time.Duration) {
 // if its worker dies first it is retransmitted to a survivor or shed at
 // its retry deadline.
 func (m *Master) Submit(t *tuple.Tuple) error {
-	return m.submit(t, 0, time.Now().Add(m.cfg.RetryDeadline))
+	return m.submit(t, 0, time.Now().Add(m.cfg.RetryDeadline), nil)
 }
 
 // admissionShed is Submit-side overload protection, run before a fresh
@@ -1343,8 +1415,10 @@ func (m *Master) routerOverloaded() bool {
 // is the first transmission and counts into the submitted total that
 // feeds the Λ estimate; retransmissions (attempt > 0) are tracked
 // separately so retried traffic cannot inflate the input-rate measurement
-// that drives Worker Selection.
-func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error {
+// that drives Worker Selection. avoid lists workers this tuple already
+// burned (poison-quarantine attempt history); routing steers around them
+// and the list is carried onto the new in-flight entry.
+func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time, avoid []string) error {
 	if attempt == 0 {
 		// nextSeq is the source-resumption high-water mark: every sequence
 		// number handed to Submit is burned, successful or not, so a
@@ -1375,6 +1449,11 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		id, err := m.table.Load().Pick(m.pickU(), func(id string) bool {
 			if refused[id] {
 				return true
+			}
+			for _, a := range avoid {
+				if a == id {
+					return true
+				}
 			}
 			wc, ok := workers[id]
 			return !ok || len(wc.slots) == cap(wc.slots)
@@ -1433,6 +1512,7 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time) error
 		// ledger never observes a tracked-but-uncounted tuple.
 		m.inflight.trackSubmit(t.ID, &inflightEntry{
 			t: t, worker: id, attempt: attempt, deadline: deadline, sentAt: now,
+			failedOn: avoid,
 		})
 		if m.cfg.InflightHighWater > 0 {
 			// Admission-control mode: never block the caller. A full queue
@@ -1548,7 +1628,10 @@ func (m *Master) snapshotState() *checkpointState {
 	led, _ := m.inflight.ledgerSnapshot()
 	st.Submitted, st.Acked, st.Retransmitted = led.submitted, led.acked, led.retransmitted
 	st.Shed, st.ShedOverload = led.shed, led.shedOverload
+	st.ShedPoison, st.Hedged = led.shedPoison, led.hedged
 	st.WorkerDropped = m.workerDropped.Load()
+	st.DropErrors, st.DropPanics = m.dropErrors.Load(), m.dropPanics.Load()
+	st.DropDeadlines, st.Filtered = m.dropDeadlines.Load(), m.filtered.Load()
 	st.Evicted, st.Readopted = m.evicted.Load(), m.readopted.Load()
 	st.NextSeq = m.nextSeq.Load()
 	m.sinkMu.Lock()
@@ -1681,6 +1764,18 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	wc.ackLat.Add(int64(latency))
 	wc.ackProc.Add(meta.ProcNanos)
 	wc.ackN.Add(1)
+	if m.cfg.HedgeAfter > 0 {
+		wc.lat.add(latency)
+	}
+	if meta.Dropped && m.cfg.PoisonAttempts > 0 {
+		// Quarantine mode: a drop notice is a failed attempt, not an ack —
+		// the tuple either re-dispatches to a worker it has not burned or
+		// is quarantined after PoisonAttempts distinct workers.
+		m.workerDropped.Add(1)
+		m.countDrop(meta.Reason)
+		m.handlePoisonDrop(wc, meta)
+		return
+	}
 	if m.inflight.ack(meta.TupleID) {
 		// Journal the ack before the result can reach the sink: a crash
 		// between the two drops the frame (at-most-once) rather than
@@ -1694,19 +1789,14 @@ func (m *Master) handleResult(wc *workerConn, payload []byte) {
 	}
 	if meta.Dropped {
 		m.workerDropped.Add(1)
+		m.countDrop(meta.Reason)
 		// A processor-error drop is a breaker failure: the worker is
 		// reachable but not producing results.
-		wc.mu.Lock()
-		prev := wc.br.state
-		wc.br.onFailure(time.Now())
-		next := wc.br.state
-		wc.mu.Unlock()
-		if prev != breakerOpen && next == breakerOpen {
-			m.events.Record(obs.EventBreakerOpen, wc.id, "processor drops", 0)
-			m.cfg.Logger.Warn("swing master: breaker opened", "worker", wc.id,
-				"reason", "processor drops")
-		}
+		m.chargeDropBreaker(wc)
 	} else {
+		if meta.Reason == wire.DropFiltered {
+			m.filtered.Add(1)
+		}
 		wc.mu.Lock()
 		prev := wc.br.state
 		wc.br.onSuccess()
@@ -1807,11 +1897,12 @@ func (m *Master) Close() error {
 	return nil
 }
 
-// crash tears the master down the way a process kill would: the listener
+// Crash tears the master down the way a process kill would: the listener
 // and connections close and goroutines drain, but no Stop frames are sent
-// and no final checkpoint is written. Recovery tests restart from exactly
-// the on-disk state an abrupt termination leaves behind.
-func (m *Master) crash() {
+// and no final checkpoint is written. Recovery tests and the chaos
+// nemesis restart from exactly the on-disk state an abrupt termination
+// leaves behind.
+func (m *Master) Crash() {
 	m.once.Do(func() {
 		close(m.stop)
 		_ = m.ln.Close()

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	stdruntime "runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -12,6 +11,7 @@ import (
 
 	"github.com/swingframework/swing/internal/apps"
 	"github.com/swingframework/swing/internal/routing"
+	"github.com/swingframework/swing/internal/testutil"
 	"github.com/swingframework/swing/internal/transport"
 	"github.com/swingframework/swing/internal/tuple"
 )
@@ -350,7 +350,7 @@ func TestMasterCrashRecovery(t *testing.T) {
 			t.Fatalf("Submit: %v", err)
 		}
 	}
-	m1.crash()
+	m1.Crash()
 	st1 := m1.Stats()
 	if !ledgerBalanced(st1) {
 		t.Fatalf("incarnation 1 ledger unbalanced at crash: %+v", st1)
@@ -607,7 +607,7 @@ func TestMasterKillSoak(t *testing.T) {
 		}
 		dur = time.Duration(secs) * time.Second
 	}
-	baseline := stdruntime.NumGoroutine()
+	baseline := testutil.LeakBaseline()
 
 	mem := transport.NewMem()
 	jpath := filepath.Join(t.TempDir(), "wal")
@@ -658,7 +658,7 @@ func TestMasterKillSoak(t *testing.T) {
 	var sent, refused, kills int
 	for time.Now().Before(deadline) {
 		if time.Now().After(nextKill) {
-			m.crash()
+			m.Crash()
 			kills++
 			m = incarnate()
 			src.SeekTo(m.NextSeq())
@@ -705,9 +705,6 @@ func TestMasterKillSoak(t *testing.T) {
 	// Workers close via t.Cleanup; crashed incarnations already drained
 	// their goroutines inside crash(). Everything else must drain now.
 	t.Cleanup(func() {
-		waitFor(t, 15*time.Second, func() bool {
-			stdruntime.GC()
-			return stdruntime.NumGoroutine() <= baseline+2
-		}, "goroutines drain after shutdown")
+		testutil.CheckLeaked(t, baseline, 15*time.Second)
 	})
 }

@@ -33,9 +33,15 @@ func (m *Master) StatusSnapshot() obs.Snapshot {
 			Retransmitted:  led.retransmitted,
 			Shed:           led.shed,
 			ShedOverload:   led.shedOverload,
+			ShedPoison:     led.shedPoison,
 			InFlight:       inflight,
 			Retransmitting: led.orphaned,
 			WorkerDropped:  m.workerDropped.Load(),
+			Hedged:         led.hedged,
+			DropErrors:     m.dropErrors.Load(),
+			DropPanics:     m.dropPanics.Load(),
+			DropDeadlines:  m.dropDeadlines.Load(),
+			Filtered:       m.filtered.Load(),
 			Evicted:        m.evicted.Load(),
 			Readopted:      m.readopted.Load(),
 			Recovered:      m.recovered,
@@ -86,6 +92,8 @@ func (m *Master) StatusSnapshot() obs.Snapshot {
 			w.QueueLen = wc.queueLen
 			w.Processed = wc.processed
 			w.Dropped = wc.dropped
+			w.Panics = wc.panics
+			w.Deadlined = wc.deadlined
 			w.Reconnects = wc.reconnects
 			wc.mu.Unlock()
 		}

@@ -120,9 +120,11 @@ type workerSession struct {
 	// master, not merely reconnected to the same one.
 	epoch uint64
 	// parallelism is the processor-pool width from the deployment;
-	// ackLinger is its result-batching window.
+	// ackLinger is its result-batching window; opDeadline is the per-tuple
+	// watchdog budget (0 = watchdog off, chains run inline).
 	parallelism int
 	ackLinger   time.Duration
+	opDeadline  time.Duration
 
 	// queue feeds the processor pool; order carries the same jobs in
 	// arrival order to the send loop, which restores input order on the
@@ -151,6 +153,8 @@ type Worker struct {
 	statsMu    sync.Mutex
 	processed  int64
 	dropped    int64
+	panics     int64 // operator panics recovered by the sandbox
+	deadlined  int64 // tuples abandoned by the per-tuple watchdog
 	reconnects int64
 	lastEpoch  uint64 // master incarnation of the current session
 	termErr    error  // terminal failure (e.g. reconnect budget exhausted)
@@ -264,6 +268,7 @@ func dialSession(cfg WorkerConfig, lastEpoch uint64) (*workerSession, error) {
 		epoch:       deploy.Epoch,
 		parallelism: par,
 		ackLinger:   time.Duration(deploy.AckLingerMicros) * time.Microsecond,
+		opDeadline:  time.Duration(deploy.OpDeadlineMillis) * time.Millisecond,
 		queue:       make(chan *procJob, cfg.QueueCap),
 		// order must hold every admitted-but-unsent job: the queue's worth
 		// plus one per pool slot plus the one mid-handoff in the read loop.
@@ -506,6 +511,7 @@ type procJob struct {
 	outs    []*tuple.Tuple
 	proc    time.Duration
 	dropped bool
+	reason  wire.DropReason
 	done    chan struct{}
 }
 
@@ -527,7 +533,7 @@ func (j *procJob) recycle() {
 		j.outs[i] = nil
 	}
 	j.outs = j.outs[:0]
-	j.proc, j.dropped = 0, false
+	j.proc, j.dropped, j.reason = 0, false, wire.DropNone
 	jobPool.Put(j)
 }
 
@@ -547,7 +553,9 @@ func (c *collectEmitter) Emit(t *tuple.Tuple) error {
 // processLoop runs the session's processor pool: parallelism goroutines,
 // each with its own operator chain (processors may be stateful, so pool
 // members never share one), pulling jobs off the shared queue. Result
-// order is not this loop's problem — the send loop restores it.
+// order is not this loop's problem — the send loop restores it. With a
+// per-tuple deadline deployed, each slot runs its chain on a watchdogged
+// child goroutine instead of inline.
 func (w *Worker) processLoop(s *workerSession) {
 	var wg sync.WaitGroup
 	for i := 0; i < s.parallelism; i++ {
@@ -565,46 +573,78 @@ func (w *Worker) processLoop(s *workerSession) {
 		wg.Add(1)
 		go func(chain []graph.Processor) {
 			defer wg.Done()
+			if s.opDeadline > 0 {
+				w.poolSlotWatchdog(s, chain)
+				return
+			}
 			// Per-goroutine scratch, reused across jobs, keeps the hot
 			// path allocation-free.
 			var em collectEmitter
 			var cur []*tuple.Tuple
 			for job := range s.queue {
-				cur = w.runJob(chain, &em, cur, job)
+				var panicked bool
+				cur, panicked = w.runJob(chain, &em, cur, job)
 				job.done <- struct{}{}
+				if panicked {
+					chain = w.rebuildChain(s, chain)
+				}
 			}
 		}(chain)
 	}
 	wg.Wait()
 }
 
+// rebuildChain replaces a slot's operator chain after a panic: a
+// processor that panicked may have corrupted its internal state, so it is
+// never trusted with another tuple. Falls back to the old chain if the
+// rebuild fails (which the deploy-time build proved it cannot).
+func (w *Worker) rebuildChain(s *workerSession, old []graph.Processor) []graph.Processor {
+	fresh, err := buildChain(w.cfg.App, s.units)
+	if err != nil {
+		w.cfg.Logger.Warn("swing worker: rebuild chain after panic", "err", err)
+		return old
+	}
+	return fresh
+}
+
 // runJob runs one tuple through an operator chain (the vertical pipeline
 // slice), leaving results and ACK metadata on the job. Every consumed
-// tuple is answered: a processor error marks a drop notice, a
-// filtered-out tuple leaves no outputs (a plain ack) — so the master's
-// in-flight tracker and latency estimate for this worker never go stale
-// on a silent discard. Returns the (possibly regrown) scratch slice.
-func (w *Worker) runJob(chain []graph.Processor, em *collectEmitter, scratch []*tuple.Tuple, job *procJob) []*tuple.Tuple {
+// tuple is answered: a processor error or panic marks a typed drop
+// notice, a filtered-out tuple leaves no outputs (a plain ack with
+// DropFiltered) — so the master's in-flight tracker and latency estimate
+// for this worker never go stale on a silent discard. Returns the
+// (possibly regrown) scratch slice and whether a processor panicked (the
+// caller must retire the chain).
+func (w *Worker) runJob(chain []graph.Processor, em *collectEmitter, scratch []*tuple.Tuple, job *procJob) ([]*tuple.Tuple, bool) {
 	begin := time.Now()
 	cur := append(scratch[:0], job.t)
 	for _, p := range chain {
 		em.out = em.out[:0]
 		for _, in := range cur {
-			if err := p.ProcessData(em, in); err != nil {
+			err, panicked := w.safeProcess(p, em, in)
+			if err != nil {
 				w.cfg.Logger.Warn("swing worker: process", "err", err)
 				w.statsMu.Lock()
 				w.dropped++
+				if panicked {
+					w.panics++
+				}
 				w.statsMu.Unlock()
 				job.dropped = true
+				job.reason = wire.DropError
+				if panicked {
+					job.reason = wire.DropPanic
+				}
 				job.proc = time.Since(begin)
-				return cur
+				return cur, panicked
 			}
 		}
 		cur = append(cur[:0], em.out...)
 		if len(cur) == 0 {
 			// A stage filtered the tuple out: legitimate, but still ack.
+			job.reason = wire.DropFiltered
 			job.proc = time.Since(begin)
-			return cur
+			return cur, false
 		}
 	}
 	proc := time.Since(begin)
@@ -618,7 +658,157 @@ func (w *Worker) runJob(chain []graph.Processor, em *collectEmitter, scratch []*
 	w.statsMu.Unlock()
 	job.outs = append(job.outs[:0], cur...)
 	job.proc = proc
-	return cur
+	return cur, false
+}
+
+// safeProcess invokes one processor under the panic sandbox: a panicking
+// operator becomes an error (and panicked=true) instead of killing the
+// worker process.
+func (w *Worker) safeProcess(p graph.Processor, em graph.Emitter, in *tuple.Tuple) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("processor panic: %v", r)
+		}
+	}()
+	err = p.ProcessData(em, in)
+	return
+}
+
+// chainJob hands one tuple to a chain-runner child. The tuple's byte
+// fields alias buf; the runner only reads them, and buf's release stays
+// with the parent (normal completion) or a reaper (abandonment).
+type chainJob struct {
+	t *tuple.Tuple
+}
+
+// chainRun is a chain runner's verdict on one tuple. outs alias the
+// runner's scratch, which it will not touch again until the parent sends
+// the next job, so the parent copies them out before doing so.
+type chainRun struct {
+	outs     []*tuple.Tuple
+	proc     time.Duration
+	dropped  bool
+	reason   wire.DropReason
+	panicked bool
+}
+
+// chainRunner is a pool slot's child goroutine in watchdog mode: it owns
+// an operator chain and processes one chainJob at a time. The parent
+// abandons a runner (close(in), fresh runner spawned) when a tuple blows
+// its deadline or panics; the abandoned runner exits as soon as its
+// current chain invocation returns.
+type chainRunner struct {
+	in  chan chainJob
+	out chan chainRun // buffered(1): an abandoned runner never blocks here
+}
+
+func (w *Worker) spawnChainRunner(chain []graph.Processor) *chainRunner {
+	r := &chainRunner{in: make(chan chainJob), out: make(chan chainRun, 1)}
+	go func() {
+		var em collectEmitter
+		var scratch []*tuple.Tuple
+		for cj := range r.in {
+			job := procJob{t: cj.t}
+			var panicked bool
+			scratch, panicked = w.runJob(chain, &em, scratch, &job)
+			r.out <- chainRun{
+				outs:     job.outs,
+				proc:     job.proc,
+				dropped:  job.dropped,
+				reason:   job.reason,
+				panicked: panicked,
+			}
+		}
+	}()
+	return r
+}
+
+// poolSlotWatchdog is a pool slot with the per-tuple deadline armed. The
+// chain runs on a child goroutine; if it has not returned within
+// opDeadline the slot reports the tuple as a DropDeadline notice, hands
+// the (still running) child to a reaper that releases the frame buffer
+// when — if — it finishes, and replaces child and chain. A processor
+// stuck forever therefore costs one leaked goroutine, not the worker
+// process; a finite hang drains on its own.
+func (w *Worker) poolSlotWatchdog(s *workerSession, chain []graph.Processor) {
+	runner := w.spawnChainRunner(chain)
+	defer func() {
+		if runner != nil {
+			close(runner.in)
+		}
+	}()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for job := range s.queue {
+		runner.in <- chainJob{t: job.t}
+		timer.Reset(s.opDeadline)
+		select {
+		case run := <-runner.out:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			job.outs = append(job.outs[:0], run.outs...)
+			job.proc = run.proc
+			job.dropped = run.dropped
+			job.reason = run.reason
+			if run.panicked {
+				// runJob already counted the panic; retire the chain by
+				// retiring the whole runner (it owns the chain).
+				close(runner.in)
+				runner = w.respawnRunner(s)
+			}
+		case <-timer.C:
+			w.cfg.Logger.Warn("swing worker: tuple blew processing deadline",
+				"tuple", job.t.ID, "deadline", s.opDeadline)
+			w.statsMu.Lock()
+			w.dropped++
+			w.deadlined++
+			w.statsMu.Unlock()
+			job.outs = job.outs[:0]
+			job.proc = s.opDeadline
+			job.dropped = true
+			job.reason = wire.DropDeadline
+			// The child may still be inside the operator, reading tuple
+			// bytes that alias the frame buffer: ownership of the buffer
+			// moves to a reaper that releases it once the child surfaces.
+			buf := job.buf
+			job.buf = nil
+			abandoned := runner
+			go func() {
+				select {
+				case <-abandoned.out:
+					buf.Release()
+				case <-w.stop:
+				}
+			}()
+			close(abandoned.in)
+			runner = w.respawnRunner(s)
+		case <-w.stop:
+			return
+		}
+		job.done <- struct{}{}
+		if runner == nil {
+			// Chain rebuild failed (cannot really happen — the deploy-time
+			// build succeeded); degrade by retiring this slot.
+			return
+		}
+	}
+}
+
+// respawnRunner builds a fresh chain on a fresh runner, or nil if the
+// chain cannot be rebuilt (the slot must then retire — an empty chain
+// would echo inputs as outputs).
+func (w *Worker) respawnRunner(s *workerSession) *chainRunner {
+	fresh, err := buildChain(w.cfg.App, s.units)
+	if err != nil {
+		w.cfg.Logger.Warn("swing worker: rebuild chain", "err", err)
+		return nil
+	}
+	return w.spawnChainRunner(fresh)
 }
 
 // Result-batch flush thresholds: a batch flushes when it crosses either,
@@ -743,6 +933,7 @@ func (w *Worker) addResults(batch *wire.ResultBatch, scratch []byte, job *procJo
 		EmitNanos: job.t.EmitNanos,
 		ProcNanos: int64(job.proc),
 		Dropped:   job.dropped,
+		Reason:    job.reason,
 	}
 	if len(job.outs) == 0 {
 		batch.Add(meta, nil)
@@ -756,6 +947,7 @@ func (w *Worker) addResults(batch *wire.ResultBatch, scratch []byte, job *procJo
 				w.statsMu.Unlock()
 				dm := meta
 				dm.Dropped = true
+				dm.Reason = wire.DropError
 				batch.Add(dm, nil)
 				continue
 			}
@@ -801,6 +993,8 @@ func (w *Worker) statsLoop(s *workerSession) {
 				Dropped:    w.dropped,
 				QueueLen:   len(s.queue),
 				Reconnects: w.reconnects,
+				Panics:     w.panics,
+				Deadlined:  w.deadlined,
 				UptimeMS:   time.Since(w.start).Milliseconds(),
 			}
 			w.statsMu.Unlock()
@@ -832,6 +1026,21 @@ func (w *Worker) Dropped() int64 {
 	w.statsMu.Lock()
 	defer w.statsMu.Unlock()
 	return w.dropped
+}
+
+// Panics reports how many operator panics this worker's sandbox has
+// recovered (each retired the panicking chain and dropped one tuple).
+func (w *Worker) Panics() int64 {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.panics
+}
+
+// Deadlined reports how many tuples the per-tuple watchdog abandoned.
+func (w *Worker) Deadlined() int64 {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.deadlined
 }
 
 // Reconnects reports how many times this worker has rejoined the master

@@ -1,0 +1,43 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites. It may only import the standard library, so any package's tests
+// can use it without import cycles.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSlack tolerates background goroutines the runtime itself parks and
+// unparks (timer scavenger, GC workers) between the two samples.
+const leakSlack = 2
+
+// LeakBaseline samples the live goroutine count before a test spawns the
+// subsystem under test. Pair with CheckLeaked after shutdown.
+func LeakBaseline() int { return runtime.NumGoroutine() }
+
+// CheckLeaked fails the test unless the live goroutine count returns to
+// within a small slack of the baseline before the timeout — the shared
+// leak check behind every "goroutines drain after shutdown" assertion.
+// On failure it dumps all goroutine stacks, so the leaked goroutine is
+// named in the test log rather than left to guesswork.
+func CheckLeaked(tb testing.TB, baseline int, timeout time.Duration) {
+	tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+leakSlack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			tb.Fatalf("goroutine leak: %d live, baseline %d (+%d slack)\n%s",
+				n, baseline, leakSlack, buf)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -192,6 +192,47 @@ func TestResultBinaryMeta(t *testing.T) {
 	}
 }
 
+// TestResultDropReasons: every reason code survives the binary meta
+// round trip, and the reason bits stay compatible in both directions
+// with pre-reason peers (which used only bit 0 of the flags byte).
+func TestResultDropReasons(t *testing.T) {
+	for _, reason := range []DropReason{DropNone, DropError, DropPanic, DropDeadline, DropFiltered} {
+		meta := ResultMeta{
+			TupleID: 7, EmitNanos: 9,
+			Dropped: reason != DropNone && reason != DropFiltered,
+			Reason:  reason,
+		}
+		payload := AppendResult(nil, meta, nil)
+		got, _, err := DecodeResult(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != meta {
+			t.Fatalf("reason %v: meta %+v, want %+v", reason, got, meta)
+		}
+		// An old decoder masks bit 0 only: Dropped must sit in bit 0
+		// regardless of the reason bits.
+		flags := payload[4+binaryMetaSize-1]
+		if (flags&1 != 0) != meta.Dropped {
+			t.Fatalf("reason %v: dropped bit %08b", reason, flags)
+		}
+	}
+	// A pre-reason encoder writes flags ∈ {0, 1}; those must decode as
+	// DropNone, never as a phantom reason.
+	legacy := AppendResult(nil, ResultMeta{TupleID: 1, Dropped: true}, nil)
+	legacy[4+binaryMetaSize-1] = 1
+	got, _, err := DecodeResult(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dropped || got.Reason != DropNone {
+		t.Fatalf("legacy flags: %+v", got)
+	}
+	if DropPanic.String() != "panic" || DropReason(7).String() != "reason(7)" {
+		t.Fatalf("DropReason.String: %q %q", DropPanic, DropReason(7))
+	}
+}
+
 // TestResultJSONFallback: payloads from the original JSON meta encoding
 // (clear high bit) still decode, so mixed-version captures and fuzz
 // corpora remain valid.

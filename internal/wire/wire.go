@@ -316,6 +316,52 @@ type Deploy struct {
 	// (results still batch opportunistically when they are already
 	// queued behind each other).
 	AckLingerMicros int64 `json:"ackLingerMicros,omitempty"`
+	// OpDeadlineMillis arms the worker's per-tuple watchdog: an operator
+	// chain that has not returned within this budget is abandoned and the
+	// tuple reported as a DropDeadline notice. 0 disables the watchdog
+	// (and pre-watchdog workers ignore the field).
+	OpDeadlineMillis int64 `json:"opDeadlineMillis,omitempty"`
+}
+
+// DropReason classifies why a worker consumed a tuple without producing
+// a result. It rides in spare bits of the binary ResultMeta flags byte
+// (and a JSON field in the legacy encoding), so old encoders simply
+// produce DropNone and old decoders ignore the bits.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropNone: not dropped, or a legacy encoding that carried no reason.
+	DropNone DropReason = iota
+	// DropError: a processor returned an error for this tuple.
+	DropError
+	// DropPanic: a processor panicked; the worker's sandbox recovered and
+	// the operator chain was rebuilt.
+	DropPanic
+	// DropDeadline: the per-tuple processing deadline expired before the
+	// operator chain returned (the watchdog abandoned the attempt).
+	DropDeadline
+	// DropFiltered: a stage legitimately emitted nothing. Reported on
+	// ack-only frames with Dropped unset — it is accounting, not failure.
+	DropFiltered
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropError:
+		return "error"
+	case DropPanic:
+		return "panic"
+	case DropDeadline:
+		return "deadline"
+	case DropFiltered:
+		return "filtered"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
 }
 
 // ResultMeta prefixes a FrameResult payload (before the tuple bytes).
@@ -336,9 +382,12 @@ type ResultMeta struct {
 	EmitNanos int64 `json:"emitNanos"`
 	// ProcNanos is the worker's measured pure processing time.
 	ProcNanos int64 `json:"procNanos"`
-	// Dropped marks an ack-only frame caused by a processor error; the
+	// Dropped marks an ack-only frame caused by a processor failure; the
 	// master counts these so silently-failing workers stay visible.
 	Dropped bool `json:"dropped,omitempty"`
+	// Reason classifies the drop (or marks a filtered tuple). DropNone on
+	// successful results and on frames from pre-reason workers.
+	Reason DropReason `json:"reason,omitempty"`
 }
 
 // Stats is the worker's periodic report.
@@ -353,7 +402,11 @@ type Stats struct {
 	// master after a broken link, so the master can explain suspect/dead
 	// transitions on a flapping device.
 	Reconnects int64 `json:"reconnects,omitempty"`
-	UptimeMS   int64 `json:"uptimeMillis"`
+	// Panics counts operator panics the sandbox recovered on this worker.
+	Panics int64 `json:"panics,omitempty"`
+	// Deadlined counts tuples abandoned by the per-tuple watchdog.
+	Deadlined int64 `json:"deadlined,omitempty"`
+	UptimeMS  int64 `json:"uptimeMillis"`
 }
 
 // Ping is the payload of a FramePing, echoed verbatim in the FramePong.
@@ -386,9 +439,18 @@ func DecodeJSON(data []byte, v any) error {
 // (the hot path, allocation-free), a clear high bit a JSON meta (the
 // original encoding, still accepted on decode). Tuple bytes follow the
 // meta either way.
+// The flags byte packs Dropped in bit 0 and the DropReason in bits 1-3.
+// Reason bits were spare (always zero) before reasons existed, so both
+// directions stay compatible: an old decoder masks bit 0 only, an old
+// encoder yields DropNone.
 const (
 	binaryMetaFlag = 1 << 31
 	binaryMetaSize = 8 + 1 + 8 + 8 + 1 // id, attempt, emit, proc, flags
+
+	metaFlagDropped    = 1 << 0
+	metaReasonShift    = 1
+	metaReasonMask     = 0x7
+	maxEncodableReason = DropReason(metaReasonMask)
 )
 
 // AppendResult appends one encoded result payload (binary meta + tuple
@@ -401,7 +463,10 @@ func AppendResult(dst []byte, meta ResultMeta, tupleBytes []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(meta.ProcNanos))
 	var flags byte
 	if meta.Dropped {
-		flags = 1
+		flags = metaFlagDropped
+	}
+	if meta.Reason <= maxEncodableReason {
+		flags |= byte(meta.Reason) << metaReasonShift
 	}
 	dst = append(dst, flags)
 	return append(dst, tupleBytes...)
@@ -431,7 +496,8 @@ func DecodeResult(payload []byte) (ResultMeta, []byte, error) {
 			Attempt:   b[8],
 			EmitNanos: int64(binary.LittleEndian.Uint64(b[9:17])),
 			ProcNanos: int64(binary.LittleEndian.Uint64(b[17:25])),
-			Dropped:   b[25]&1 != 0,
+			Dropped:   b[25]&metaFlagDropped != 0,
+			Reason:    DropReason(b[25]>>metaReasonShift) & metaReasonMask,
 		}
 		return meta, payload[4+binaryMetaSize:], nil
 	}

@@ -41,6 +41,14 @@ go test -race -count=1 -run 'TestShaped|TestStatusEndpoint|TestParseScenario' \
 go test -race -count=1 \
     -run 'TestStandbyReplicationStream|TestStandbyFailoverPromotion|TestZombiePrimaryFenced|TestWorkerReconnectBudget' \
     ./internal/runtime/
+# Failure-containment smoke under the race detector: operator panic
+# isolation, the per-tuple deadline watchdog, poison quarantine vs
+# breaker semantics, hedged retransmits, and the seeded chaos nemesis
+# (deterministic schedule + a short composed run with invariant polling).
+go test -race -count=1 \
+    -run 'TestOperatorPanicContained|TestOpDeadlineAbandonsHungTuple|TestPoisonQuarantineSparesHealthyBreakers|TestSickWorkerStillTripsBreaker|TestHedgedRetransmitStragglers' \
+    ./internal/runtime/
+go test -race -count=1 -run 'TestScheduleDeterministic|TestNemesisSmoke' ./internal/chaos/
 # Live /statusz curl smoke: boot a real swingd master with a status
 # endpoint and a shaped transport, fetch the JSON from the URL the
 # process announces, and check the ledger reports balanced. Falls back

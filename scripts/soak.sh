@@ -18,6 +18,13 @@
 #      polled throughout; LRS must shift probability mass off the degraded
 #      link, and the endpoint's final JSON is archived next to the soak
 #      log (SOAK_OUT, default /tmp/swing-soak).
+#   5. TestNemesisComposedSoak — the seeded chaos nemesis composes worker
+#      churn, link shaping, one primary crash with hot-standby takeover,
+#      and poison/hang tuple injection into a single deterministic
+#      schedule (override the seed with SWING_NEMESIS_SEED), polling the
+#      ledger invariant throughout; every poison tuple must quarantine
+#      within its distinct-worker budget and no healthy worker may be
+#      evicted.
 #
 # All assert the fault-tolerance ledger invariant
 # (Acked + Shed + InFlight == Submitted) at quiescence — cumulative across
@@ -46,3 +53,6 @@ cat "$SOAK_OUT/shaped-soak.log"
 [ "$shaped_ok" -eq 1 ]
 echo "shaped soak: log at $SOAK_OUT/shaped-soak.log," \
     "final status JSON at $SOAK_OUT/shaped-status.json"
+SWING_SOAK=1 SWING_SOAK_SECONDS="$SOAK_SECONDS" \
+    go test -race -run 'TestNemesisComposedSoak' -v \
+    -timeout "$((2 * SOAK_SECONDS + 240))s" ./internal/chaos/
