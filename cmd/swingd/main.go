@@ -52,6 +52,9 @@ type masterOpts struct {
 	hedgeAfter               time.Duration
 	statusEvery              time.Duration
 	statusAddr               string
+	pprof                    bool
+	submitBatch              int
+	submitLinger             time.Duration
 	journal                  string
 	checkpointEvery          time.Duration
 	fsync                    string
@@ -100,6 +103,7 @@ func run(args []string) error {
 		hedgeAft  = fs.Duration("hedge-after", 0, "master: age past which a straggling in-flight tuple is speculatively duplicated to a second worker, floored by 2x the worker's recent p95 latency (0 = no hedging)")
 		statusEv  = fs.Duration("status-every", 5*time.Second, "master: period of the status log line (0 = silent)")
 		statusAdr = fs.String("status-addr", "", "master: HTTP observability endpoint address serving /statusz, /status.json and /events (empty = off; \":0\" picks a free port)")
+		pprofF    = fs.Bool("pprof", false, "master: mount net/http/pprof under /debug/pprof/ on the -status-addr listener (requires -status-addr)")
 
 		// Live network emulation (master; shapes the downlink of every
 		// accepted worker connection).
@@ -110,6 +114,8 @@ func run(args []string) error {
 		shards   = fs.Int("shards", 0, "master: hot-state shard count, rounded up to a power of two and capped at 128 (0 = GOMAXPROCS)")
 		parallel = fs.Int("parallelism", 0, "master: worker processor-pool width deployed to every worker (0 = worker GOMAXPROCS)")
 		linger   = fs.Duration("linger", 0, "master: worker ack/result batching window; a result may wait up to this long to share a frame (0 = opportunistic batching only)")
+		subBatch = fs.Int("submit-batch", 1, "master: source-side submit batch size; frames accumulate into one SubmitBatch of up to this many tuples (1 = per-tuple submit)")
+		subLing  = fs.Duration("submit-linger", 0, "master: submit-side linger window; a partial submit batch flushes after waiting at most this long for more frames (0 = flush only on a full batch)")
 
 		// Crash recovery (master).
 		journalP = fs.String("journal", "", "master: write-ahead journal path enabling crash recovery (empty = off); a restart with the same path resumes the previous incarnation")
@@ -156,6 +162,15 @@ func run(args []string) error {
 			return usageErr(fs, "bad -shape: %v", err)
 		}
 	}
+	if *pprofF && *statusAdr == "" {
+		return usageErr(fs, "-pprof needs -status-addr (the profiling handlers mount on that listener)")
+	}
+	if *subBatch < 1 {
+		return usageErr(fs, "-submit-batch must be >= 1")
+	}
+	if *subLing > 0 && *subBatch <= 1 {
+		return usageErr(fs, "-submit-linger only applies with -submit-batch > 1")
+	}
 	app, err := loadApp(*appName)
 	if err != nil {
 		return err
@@ -177,8 +192,9 @@ func run(args []string) error {
 			heartbeat: *heartbeat, suspectAfter: *suspectN, deadAfter: *deadN,
 			breakerThreshold: *brThresh, breakerCooldown: *brCool, breakerAckTimeout: *brAckTO,
 			inflightHighWater: *inflHW, shards: *shards, parallelism: *parallel, linger: *linger,
+			submitBatch: *subBatch, submitLinger: *subLing,
 			opDeadline: *opDL, poisonAttempts: *poisonAtt, hedgeAfter: *hedgeAft,
-			statusEvery: *statusEv, statusAddr: *statusAdr,
+			statusEvery: *statusEv, statusAddr: *statusAdr, pprof: *pprofF,
 			journal: *journalP, checkpointEvery: *ckptEv, fsync: *fsyncM,
 			replicateAddr: *replAddr, standby: *standbyF, takeoverAfter: *takeover,
 			transport: faults,
@@ -264,6 +280,7 @@ func runMaster(app *swing.App, opt masterOpts) error {
 		ListenAddr:        opt.listen,
 		Transport:         opt.transport,
 		StatusAddr:        opt.statusAddr,
+		StatusPprof:       opt.pprof,
 		RetryDeadline:     opt.retryDeadline,
 		MaxAttempts:       opt.maxAttempts,
 		Heartbeat:         opt.heartbeat,
@@ -401,17 +418,63 @@ func serveMaster(app *swing.App, opt masterOpts, m *swing.Master) error {
 		statusTick = status.C
 	}
 	submitted, dropped := 0, 0
+	// Submit-side batching: frames accumulate into one SubmitBatch of up
+	// to opt.submitBatch tuples; a partial batch flushes after waiting at
+	// most opt.submitLinger for stragglers (0 = only full batches flush,
+	// which at a steady fps just trades one frame interval of latency).
+	batchN := opt.submitBatch
+	if batchN < 1 {
+		batchN = 1
+	}
+	var (
+		pend        []*swing.Tuple
+		lingerTimer *time.Timer
+		lingerC     <-chan time.Time
+	)
+	flush := func() {
+		if lingerTimer != nil {
+			lingerTimer.Stop()
+		}
+		lingerC = nil
+		if len(pend) == 0 {
+			return
+		}
+		if err := m.SubmitBatch(pend); err != nil {
+			dropped += len(pend)
+		} else {
+			submitted += len(pend)
+		}
+		pend = pend[:0]
+	}
 	for {
 		select {
 		case <-ticker.C:
-			if err := m.Submit(src.Next()); err != nil {
-				dropped++
-			} else {
-				submitted++
+			if batchN <= 1 {
+				if err := m.Submit(src.Next()); err != nil {
+					dropped++
+				} else {
+					submitted++
+				}
+				break
 			}
+			pend = append(pend, src.Next())
+			if len(pend) >= batchN {
+				flush()
+			} else if opt.submitLinger > 0 && lingerC == nil {
+				if lingerTimer == nil {
+					lingerTimer = time.NewTimer(opt.submitLinger)
+				} else {
+					lingerTimer.Reset(opt.submitLinger)
+				}
+				lingerC = lingerTimer.C
+			}
+		case <-lingerC:
+			lingerC = nil
+			flush()
 		case <-statusTick:
 			printStatus(m.StatusSnapshot())
 		case <-deadline:
+			flush()
 			st := m.Stats()
 			fmt.Printf("done: submitted=%d dropped=%d arrived=%d played=%d skipped=%d\n",
 				submitted, dropped, st.Arrived, st.Played, st.Skipped)

@@ -31,6 +31,9 @@ type Snapshot struct {
 	Sink    Sink     `json:"sink"`
 	Routing Routing  `json:"routing"`
 	Workers []Worker `json:"workers"`
+	// Batch is the batched submit dataplane's counters: present only
+	// once a SubmitBatch has taken the batched fast path.
+	Batch   *Batch   `json:"batch,omitempty"`
 	Journal *Journal `json:"journal,omitempty"`
 	// Replication is the hot-standby view: present only on a journaling
 	// master with a replication listener.
@@ -82,6 +85,17 @@ type Ledger struct {
 // counters (what Balanced asserted at sample time).
 func (l Ledger) CheckBalance() bool {
 	return l.Acked+l.Shed+int64(l.InFlight)+l.Retransmitting == l.Submitted
+}
+
+// Batch summarizes the batched submit dataplane: SubmitBatch calls that
+// took the fast path, tuples carried inside FrameTupleBatch frames, and
+// the frames themselves. Tuples ÷ Frames is the realized coalescing
+// factor; tuples routed per-tuple (fallbacks, retransmits, hedges) do
+// not count here.
+type Batch struct {
+	Submits int64 `json:"submits"`
+	Tuples  int64 `json:"tuples"`
+	Frames  int64 `json:"frames"`
 }
 
 // Sink is the play-out side: results arriving from workers, frames played

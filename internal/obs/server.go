@@ -6,6 +6,7 @@ import (
 	"html"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 )
@@ -26,15 +27,42 @@ type Server struct {
 	srv *http.Server
 }
 
+// ServeOption customizes the observability endpoint.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+// same listener, so live soaks can be profiled (CPU, heap, block, mutex)
+// against the node that is actually serving traffic. The handlers are
+// registered explicitly on the endpoint's private mux — nothing leaks
+// onto http.DefaultServeMux.
+func WithPprof() ServeOption {
+	return func(c *serveConfig) { c.pprof = true }
+}
+
 // Serve starts the endpoint on addr (host:port; :0 picks a free port).
 // snapshot is invoked once per status request; events may be nil, which
 // disables /events.
-func Serve(addr string, snapshot func() Snapshot, events *EventLog) (*Server, error) {
+func Serve(addr string, snapshot func() Snapshot, events *EventLog, opts ...ServeOption) (*Server, error) {
+	var sc serveConfig
+	for _, o := range opts {
+		o(&sc)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	if sc.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		snap := snapshot()
 		if r.URL.Query().Get("format") == "json" ||

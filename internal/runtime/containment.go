@@ -193,7 +193,11 @@ func (m *Master) hedge(e *inflightEntry, workers map[string]*workerConn) bool {
 		wc.mu.Unlock()
 		return !closed
 	})
-	if err != nil {
+	if err != nil || id == e.worker {
+		// Pick's avoid hint is only binding in probe mode; a draw that
+		// lands back on the straggler's own worker would burn the one-shot
+		// hedge flag on a duplicate down the same stalled link. Leave the
+		// entry unhedged so the next sweep redraws.
 		return false
 	}
 	wc, ok := workers[id]

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	goruntime "runtime"
 	"sync/atomic"
 	"testing"
@@ -16,8 +17,8 @@ import (
 // emits its input tuple unchanged, so the benchmark measures framework
 // dataplane overhead — framing, queues, acks, reordering — rather than
 // app kernel cost.
-func benchApp(b *testing.B) *apps.App {
-	b.Helper()
+func benchApp(tb testing.TB) *apps.App {
+	tb.Helper()
 	g, err := graph.NewBuilder("benchapp").
 		Source("src").
 		Operator("echo",
@@ -31,7 +32,7 @@ func benchApp(b *testing.B) *apps.App {
 		Chain("src", "echo", "sink").
 		Build()
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return &apps.App{Graph: g, FrameBytes: 6000, TargetFPS: 24, TotalWork: 0.001}
 }
@@ -108,6 +109,190 @@ func BenchmarkLiveRoundTrip(b *testing.B) {
 		goruntime.Gosched()
 	}
 	b.StopTimer()
+}
+
+// benchSwarm boots the bench master/worker pair used by the round-trip
+// benchmarks and returns the master plus the played counter.
+func benchSwarm(b *testing.B) (*Master, *atomic.Int64) {
+	b.Helper()
+	app := benchApp(b)
+	mem := transport.NewMem()
+	var played atomic.Int64
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "bench-master",
+		Transport:  mem,
+		OutboxCap:  256,
+		OnResult:   func(Result) { played.Add(1) },
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = m.Close() })
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "bench-worker",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		QueueCap:   256,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = w.Close() })
+	return m, &played
+}
+
+// BenchmarkLiveRoundTripBatch is BenchmarkLiveRoundTrip's batched twin:
+// the same echo round trip, submitted 64 tuples per SubmitBatch call so
+// the whole spine — routing pass, ledger insert, frame build, queue
+// slot, worker decode, result batch — amortizes per batch instead of
+// per tuple. Compare its ns/op and allocs/op directly against
+// BenchmarkLiveRoundTrip; the delta is what batching buys.
+func BenchmarkLiveRoundTripBatch(b *testing.B) {
+	m, played := benchSwarm(b)
+	const warm = 32
+	if err := m.SubmitBatch(benchTuples(warm, 0)); err != nil {
+		b.Fatal(err)
+	}
+	for played.Load() < warm {
+		goruntime.Gosched()
+	}
+
+	const per = 64
+	tuples := benchTuples(b.N, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < len(tuples); i += per {
+		end := i + per
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		if err := m.SubmitBatch(tuples[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	want := int64(warm + b.N)
+	for played.Load() < want {
+		goruntime.Gosched()
+	}
+	b.StopTimer()
+}
+
+// BenchmarkSubmitBatch sweeps the coalescing factor: the same round
+// trip at batch sizes 16/64/256, reporting per-tuple cost. The curve
+// flattening out is the point where per-frame overhead has fully
+// amortized and per-tuple work (marshal, ledger, processing) dominates.
+func BenchmarkSubmitBatch(b *testing.B) {
+	for _, per := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", per), func(b *testing.B) {
+			m, played := benchSwarm(b)
+			const warm = 32
+			if err := m.SubmitBatch(benchTuples(warm, 0)); err != nil {
+				b.Fatal(err)
+			}
+			for played.Load() < warm {
+				goruntime.Gosched()
+			}
+			tuples := benchTuples(b.N, warm)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < len(tuples); i += per {
+				end := i + per
+				if end > len(tuples) {
+					end = len(tuples)
+				}
+				if err := m.SubmitBatch(tuples[i:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			want := int64(warm + b.N)
+			for played.Load() < want {
+				goruntime.Gosched()
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// TestBatchRoundTripAllocs pins the batched dataplane's allocation
+// budget: a full 64-tuple SubmitBatch round trip (submit, dispatch,
+// worker decode + process, ack, in-order delivery) must average
+// strictly under 4 allocations per tuple — the per-tuple path's PR 5
+// figure — across every goroutine involved. Regressing this means a
+// per-tuple cost crept back into a per-batch path.
+func TestBatchRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceiling holds for production builds only")
+	}
+	if goruntime.GOMAXPROCS(0) > 1 {
+		// AllocsPerRun counts every goroutine's allocations; beyond one
+		// core, unrelated scheduler-parallel work pollutes the figure.
+		t.Skip("alloc accounting is only stable at GOMAXPROCS=1")
+	}
+	app := benchApp(t)
+	mem := transport.NewMem()
+	var played atomic.Int64
+	m, err := StartMaster(MasterConfig{
+		App:        app,
+		Policy:     routing.LRS,
+		ListenAddr: "bench-master",
+		Transport:  mem,
+		OutboxCap:  256,
+		OnResult:   func(Result) { played.Add(1) },
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	w, err := StartWorker(WorkerConfig{
+		DeviceID:   "bench-worker",
+		MasterAddr: m.Addr(),
+		App:        app,
+		Transport:  mem,
+		QueueCap:   256,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+
+	const per, runs, warm = 64, 20, 32
+	for _, tp := range benchTuples(warm, 0) {
+		if err := m.Submit(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for played.Load() < warm {
+		goruntime.Gosched()
+	}
+	// Tuples for every run (AllocsPerRun calls f runs+1 times) are built
+	// ahead so construction stays out of the measured window; each call
+	// consumes the next fresh batch.
+	tuples := benchTuples((runs+1)*per, warm)
+	next := 0
+	want := int64(warm)
+	allocs := testing.AllocsPerRun(runs, func() {
+		batch := tuples[next : next+per]
+		next += per
+		if err := m.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		want += per
+		for played.Load() < want {
+			goruntime.Gosched()
+		}
+	})
+	perTuple := allocs / per
+	t.Logf("batched round trip: %.2f allocs/tuple (%.0f per %d-tuple batch)", perTuple, allocs, per)
+	if perTuple >= 4.0 {
+		t.Fatalf("batched round trip costs %.2f allocs/tuple, want strictly < 4 (the per-tuple figure)", perTuple)
+	}
 }
 
 // BenchmarkJournalAppendFsyncAlways measures the Submit-path journal cost

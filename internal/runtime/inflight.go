@@ -177,6 +177,45 @@ func (t *inflightTable) trackSubmit(id uint64, e *inflightEntry) {
 	s.mu.Unlock()
 }
 
+// trackSubmitBatch records a batch of dispatches with one lock
+// acquisition per touched shard instead of one per tuple. The slice is
+// regrouped in place (callers pass scratch the submit path owns); each
+// entry gets exactly trackSubmit's semantics — its ledger count moves in
+// the same critical section as its map insert.
+func (t *inflightTable) trackSubmitBatch(entries []*inflightEntry) {
+	var added int64
+	for lo := 0; lo < len(entries); {
+		idx := mix64(entries[lo].t.ID) & t.mask
+		hi := lo
+		for j := lo; j < len(entries); j++ {
+			if mix64(entries[j].t.ID)&t.mask == idx {
+				entries[hi], entries[j] = entries[j], entries[hi]
+				hi++
+			}
+		}
+		s := &t.shards[idx]
+		s.mu.Lock()
+		for _, e := range entries[lo:hi] {
+			id := e.t.ID
+			if _, had := s.m[id]; !had {
+				added++
+			}
+			s.m[id] = e
+			if e.attempt == 0 {
+				s.led.submitted++
+			} else {
+				s.led.retransmitted++
+				s.led.orphaned--
+			}
+		}
+		s.mu.Unlock()
+		lo = hi
+	}
+	if added != 0 {
+		t.approx.Add(added)
+	}
+}
+
 // track inserts an entry without touching the ledger — the recovered
 // backlog, whose counters were restored wholesale from the checkpoint.
 func (t *inflightTable) track(id uint64, e *inflightEntry) {

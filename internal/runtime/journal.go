@@ -423,6 +423,47 @@ func (j *journal) appendSubmit(t *tuple.Tuple) error {
 	return j.commitAndUnlock()
 }
 
+// appendSubmitBatch logs a batch of first-attempt dispatches under one
+// lock acquisition and one group-commit entry: every tuple's record is
+// reserved, serialized and sealed into the same pending buffer, then a
+// single commitAndUnlock rides them all out on one flush. Each record
+// still gets its own sequence number, so recovery is indistinguishable
+// from per-tuple appends. A tuple that fails to marshal is truncated
+// back out of the buffer; the first such error is reported after the
+// rest of the batch commits.
+func (j *journal) appendSubmitBatch(ts []*tuple.Tuple) error {
+	j.mu.Lock()
+	var firstErr error
+	sealed := 0
+	for _, t := range ts {
+		seq := j.seq.Add(1)
+		start, err := j.reserveLocked(recSubmit)
+		if err != nil {
+			j.mu.Unlock()
+			return err // broken journal: nothing more can append
+		}
+		p, err := tuple.AppendMarshal(binary.LittleEndian.AppendUint64(j.pending, seq), t)
+		if err != nil {
+			j.pending = j.pending[:start]
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		j.pending = p
+		j.sealLocked(start)
+		sealed++
+	}
+	if sealed == 0 {
+		j.mu.Unlock()
+		return firstErr
+	}
+	if err := j.commitAndUnlock(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
 // appendResend logs a retransmission's new attempt counter.
 func (j *journal) appendResend(id uint64, attempt uint8) error {
 	b := make([]byte, 0, 17)

@@ -123,6 +123,33 @@ func (js *journalSet) appendSubmit(t *tuple.Tuple) error {
 	return js.seg(t.ID).appendSubmit(t)
 }
 
+// appendSubmitBatch logs a batch of first-attempt dispatches, regrouped
+// in place by owning segment so each touched segment takes its lock once
+// and commits the whole group under one group-commit entry. Callers pass
+// scratch the submit path owns; the reorder is harmless because recovery
+// merges segments by sequence number, not append order.
+func (js *journalSet) appendSubmitBatch(ts []*tuple.Tuple) error {
+	if js.mask == 0 {
+		return js.segs[0].appendSubmitBatch(ts)
+	}
+	var firstErr error
+	for lo := 0; lo < len(ts); {
+		idx := mix64(ts[lo].ID) & js.mask
+		hi := lo
+		for j := lo; j < len(ts); j++ {
+			if mix64(ts[j].ID)&js.mask == idx {
+				ts[hi], ts[j] = ts[j], ts[hi]
+				hi++
+			}
+		}
+		if err := js.segs[idx].appendSubmitBatch(ts[lo:hi]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		lo = hi
+	}
+	return firstErr
+}
+
 // appendResend logs a retransmission's new attempt counter.
 func (js *journalSet) appendResend(id uint64, attempt uint8) error {
 	return js.seg(id).appendResend(id, attempt)

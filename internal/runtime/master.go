@@ -185,6 +185,11 @@ type MasterConfig struct {
 	// StatusSnapshot, so they can never disagree. Empty disables the
 	// listener (events are still recorded).
 	StatusAddr string
+	// StatusPprof additionally mounts net/http/pprof's profiling handlers
+	// under /debug/pprof/ on the StatusAddr listener, so a live soak can
+	// be profiled with go tool pprof without a separate server. No effect
+	// without StatusAddr.
+	StatusPprof bool
 	// Seed drives the router's weighted-random draws (default 1).
 	Seed int64
 	// Logger defaults to slog.Default.
@@ -377,6 +382,13 @@ type Master struct {
 	// rng state.
 	pickSeq atomic.Uint64
 
+	// Batched-dataplane counters: SubmitBatch calls that took the batched
+	// fast path, tuples dispatched inside FrameTupleBatch frames, and the
+	// frames themselves (frames ≤ tuples; the gap measures coalescing).
+	batchSubmits atomic.Int64
+	batchTuples  atomic.Int64
+	batchFrames  atomic.Int64
+
 	// Crash recovery (immutable after StartMaster returns, except
 	// generation, which only the single-threaded checkpointer advances —
 	// atomically, so status sampling can read it without the journal
@@ -490,7 +502,11 @@ func StartMaster(cfg MasterConfig) (*Master, error) {
 		m.rep = rep
 	}
 	if cfg.StatusAddr != "" {
-		srv, err := obs.Serve(cfg.StatusAddr, m.StatusSnapshot, m.events)
+		var opts []obs.ServeOption
+		if cfg.StatusPprof {
+			opts = append(opts, obs.WithPprof())
+		}
+		srv, err := obs.Serve(cfg.StatusAddr, m.StatusSnapshot, m.events, opts...)
 		if err != nil {
 			_ = ln.Close()
 			if m.rep != nil {
@@ -758,6 +774,13 @@ type MasterStats struct {
 	Recovered int64
 	// InFlight is the current routed-but-unacknowledged tuple count.
 	InFlight int
+	// SubmitBatches counts SubmitBatch calls that took the batched fast
+	// path (len > 1); BatchedTuples counts tuples dispatched inside
+	// FrameTupleBatch frames, and BatchFrames the frames themselves —
+	// BatchedTuples / BatchFrames is the realized coalescing factor.
+	SubmitBatches int64
+	BatchedTuples int64
+	BatchFrames   int64
 	// Workers is the per-worker liveness view, sorted by ID.
 	Workers []WorkerStatus
 }
@@ -821,6 +844,9 @@ func (m *Master) Stats() MasterStats {
 		Readopted:      m.readopted.Load(),
 		Recovered:      m.recovered,
 		InFlight:       inflight,
+		SubmitBatches:  m.batchSubmits.Load(),
+		BatchedTuples:  m.batchTuples.Load(),
+		BatchFrames:    m.batchFrames.Load(),
 	}
 	m.sinkMu.Lock()
 	st.Arrived, st.Played, st.Skipped = m.arrived, m.played, m.skipped
@@ -1382,6 +1408,276 @@ func (m *Master) Submit(t *tuple.Tuple) error {
 	return m.submit(t, 0, time.Now().Add(m.cfg.RetryDeadline), nil)
 }
 
+// submitBatchMaxBytes caps one FrameTupleBatch payload: a group bound
+// for one worker is split into frames of at most this many tuple bytes,
+// which keeps the pooled frame buffer recyclable (below wire's pooling
+// cap) and matches the writer's coalescing flush threshold — a bigger
+// frame would not cut syscalls further, only add queue latency.
+const submitBatchMaxBytes = 256 << 10
+
+// SubmitBatch routes a slice of fresh tuples into the swarm as one
+// dataplane operation: the routing snapshot is loaded once, ledger
+// inserts take one lock per touched in-flight shard, journal records
+// land under one group-commit entry per touched segment, and tuples
+// bound for the same worker coalesce into FrameTupleBatch frames — one
+// queue slot, one header and one Write per frame instead of per tuple.
+//
+// Per-tuple semantics are preserved: every sequence number is burned,
+// admission shedding runs once up front, breaker admission is checked
+// per tuple, and any tuple the snapshot cannot place (no worker, full
+// queue, refused breaker, enqueue race) falls back to the per-tuple
+// path with its steering loop. Retransmission, hedging and poison
+// quarantine keep operating per tuple on re-dispatch; Submit is the
+// batch-of-one special case of this path. Returns ErrStopped if the
+// master shuts down mid-batch (tuples not yet dispatched stay
+// untracked, exactly as per-tuple Submit leaves them), otherwise the
+// first per-tuple routing error while the rest of the batch proceeds.
+func (m *Master) SubmitBatch(ts []*tuple.Tuple) error {
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		return m.Submit(ts[0])
+	}
+	deadline := time.Now().Add(m.cfg.RetryDeadline)
+	for _, t := range ts {
+		for {
+			cur := m.nextSeq.Load()
+			if t.SeqNo < cur || m.nextSeq.CompareAndSwap(cur, t.SeqNo+1) {
+				break
+			}
+		}
+	}
+	if m.cfg.InflightHighWater > 0 {
+		m.admissionShed()
+	}
+	m.batchSubmits.Add(1)
+
+	// One routing pass against one snapshot and one worker map, grouping
+	// tuples by destination. Breaker admission stays per tuple so a
+	// half-open breaker still meters probes one at a time; anything the
+	// snapshot cannot place falls to the slow list.
+	table := m.table.Load()
+	workers := m.workerMap()
+	now := time.Now()
+	groups := make(map[*workerConn][]*tuple.Tuple, 8)
+	var order []*workerConn
+	var slow []*tuple.Tuple
+	skip := func(id string) bool {
+		wc, ok := workers[id]
+		return !ok || len(wc.slots) == cap(wc.slots)
+	}
+	for _, t := range ts {
+		id, err := table.Pick(m.pickU(), skip)
+		if err != nil {
+			slow = append(slow, t)
+			continue
+		}
+		wc, ok := workers[id]
+		if !ok {
+			slow = append(slow, t)
+			continue
+		}
+		wc.mu.Lock()
+		wasOpen := wc.br.state == breakerOpen
+		admitted := wc.br.allow(now)
+		wc.mu.Unlock()
+		if !admitted {
+			slow = append(slow, t)
+			continue
+		}
+		if wasOpen {
+			m.events.Record(obs.EventBreakerProbe, id, "half-open probe admitted", 0)
+		}
+		if _, seen := groups[wc]; !seen {
+			order = append(order, wc)
+		}
+		groups[wc] = append(groups[wc], t)
+	}
+
+	var firstErr error
+	for _, wc := range order {
+		if err := m.dispatchGroup(wc, groups[wc], deadline); err != nil {
+			if errors.Is(err, ErrStopped) {
+				// Groups not yet dispatched were never journaled or
+				// tracked; like per-tuple Submit on stop, their tuples
+				// leave only burned sequence numbers behind.
+				return err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, t := range slow {
+		if err := m.submitFrom(t, 0, deadline, nil, false); err != nil {
+			if errors.Is(err, ErrStopped) {
+				return err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// dispatchGroup ships one batch's tuples bound for a single worker:
+// write-ahead records first (one group commit per touched segment),
+// then ledger inserts (one lock per touched shard), then the tuples
+// packed into FrameTupleBatch frames of at most submitBatchMaxBytes,
+// each enqueued as one outFrame holding one queue slot. Tuples that
+// cannot be enqueued are reclaimed and re-routed per tuple; their
+// journal records already exist, so the fallback skips journaling.
+func (m *Master) dispatchGroup(wc *workerConn, group []*tuple.Tuple, deadline time.Time) error {
+	now := time.Now()
+	stamp := now.UnixNano()
+	for _, t := range group {
+		t.EmitNanos = stamp
+		t.Attempt = 0
+	}
+	// Journal before tracking or enqueueing — the same write-ahead order
+	// as the per-tuple path: once a tuple can reach a worker, its record
+	// must already exist. appendSubmitBatch regroups the slice by segment
+	// in place; intra-batch order is not significant (the sink reorders
+	// by sequence number, recovery merges by journal sequence).
+	if m.journal != nil {
+		if err := m.journal.appendSubmitBatch(group); err != nil {
+			m.cfg.Logger.Warn("swing master: journal append", "err", err)
+		}
+	}
+	// One backing block for the whole batch's entries: a batch's tuples
+	// retire together in the common case, so per-entry allocations would
+	// only fragment the heap. A straggler pins its batch's block (a few
+	// KiB) until the last entry releases — a fine trade for 1 allocation
+	// where there were len(group).
+	block := make([]inflightEntry, len(group))
+	entries := make([]*inflightEntry, len(group))
+	for i, t := range group {
+		block[i] = inflightEntry{t: t, worker: wc.id, attempt: 0, deadline: deadline, sentAt: now}
+		entries[i] = &block[i]
+	}
+	m.inflight.trackSubmitBatch(entries)
+
+	var (
+		firstErr error
+		batch    wire.TupleBatch
+		cur      *tuple.Tuple
+	)
+	appendCur := func(dst []byte) ([]byte, error) { return tuple.AppendMarshal(dst, cur) }
+	chunk := make([]*tuple.Tuple, 0, len(group))
+	i := 0
+	for i < len(group) {
+		fb := wire.GetBuf(0)
+		batch.SetBuf(fb.B)
+		chunk = chunk[:0]
+		for i < len(group) && batch.Size() < submitBatchMaxBytes {
+			cur = group[i]
+			i++
+			start := batch.Begin()
+			if err := batch.Append(appendCur); err != nil {
+				// Unmarshalable tuple: it is journaled and tracked, so
+				// un-count it rather than strand an entry nothing sends.
+				batch.Cancel(start)
+				m.inflight.reclaim(cur.ID, wc.id)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("runtime: submit: %w", err)
+				}
+				continue
+			}
+			batch.End(start)
+			chunk = append(chunk, cur)
+		}
+		payload := batch.Payload()
+		if payload == nil {
+			fb.Release()
+			continue
+		}
+		fb.B = payload // recover the (possibly reallocated) backing
+		if err := m.enqueueBatchFrame(wc, fb, chunk, deadline); err != nil {
+			if errors.Is(err, ErrStopped) {
+				for _, t := range group[i:] {
+					m.inflight.reclaim(t.ID, wc.id)
+				}
+				return err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// enqueueBatchFrame enqueues one packed FrameTupleBatch toward wc,
+// taking one queue slot for the whole frame — the slot semaphore counts
+// frames, matching the writer's one-Write-per-frame cost and the shaped
+// transport's per-frame loss unit. On a full queue (admission mode) or
+// a dead worker the frame's tuples are reclaimed and re-routed per
+// tuple; on master stop they are reclaimed and ErrStopped returned.
+func (m *Master) enqueueBatchFrame(wc *workerConn, fb *wire.Buf, chunk []*tuple.Tuple, deadline time.Time) error {
+	if m.cfg.InflightHighWater > 0 {
+		select {
+		case wc.slots <- struct{}{}:
+		default:
+			fb.Release()
+			return m.redispatchChunk(wc, chunk, deadline)
+		}
+	} else {
+		select {
+		case wc.slots <- struct{}{}:
+		case <-wc.gone:
+			fb.Release()
+			return m.redispatchChunk(wc, chunk, deadline)
+		case <-m.stop:
+			fb.Release()
+			for _, t := range chunk {
+				m.inflight.reclaim(t.ID, wc.id)
+			}
+			return ErrStopped
+		}
+	}
+	wc.out <- outFrame{typ: wire.FrameTupleBatch, payload: fb.B, buf: fb}
+	m.noteDispatchedN(wc, len(chunk))
+	m.batchFrames.Add(1)
+	m.batchTuples.Add(int64(len(chunk)))
+	return nil
+}
+
+// redispatchChunk re-routes a frame's tuples after a failed enqueue:
+// each is reclaimed (un-counting the dispatch) and re-submitted through
+// the per-tuple path, which steers to another worker, blocks or sheds
+// per the admission mode. A tuple whose entry a dead worker's drop path
+// already claimed belongs to the retransmitter and is skipped.
+func (m *Master) redispatchChunk(wc *workerConn, chunk []*tuple.Tuple, deadline time.Time) error {
+	var firstErr error
+	for _, t := range chunk {
+		if _, ours := m.inflight.reclaim(t.ID, wc.id); !ours {
+			continue
+		}
+		if err := m.submitFrom(t, 0, deadline, nil, true); err != nil {
+			if errors.Is(err, ErrStopped) {
+				return err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// noteDispatchedN is noteDispatched for a batch frame: one lock, n
+// probe-slot claims, pairing each admitted tuple's br.allow with its
+// dispatch.
+func (m *Master) noteDispatchedN(wc *workerConn, n int) {
+	wc.mu.Lock()
+	for i := 0; i < n; i++ {
+		wc.br.noteDispatch()
+	}
+	wc.mu.Unlock()
+}
+
 // admissionShed is Submit-side overload protection, run before a fresh
 // tuple is routed. Two triggers: the in-flight table crossing its
 // high-water mark, and the router reporting Λ > Σμ infeasibility while
@@ -1419,6 +1715,14 @@ func (m *Master) routerOverloaded() bool {
 // burned (poison-quarantine attempt history); routing steers around them
 // and the list is carried onto the new in-flight entry.
 func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time, avoid []string) error {
+	return m.submitFrom(t, attempt, deadline, avoid, false)
+}
+
+// submitFrom is submit with the write-ahead state made explicit:
+// journaled marks a tuple whose submit record was already appended by
+// SubmitBatch's group commit, so a fallback re-route here must not
+// append a second one (recovery would double-count it).
+func (m *Master) submitFrom(t *tuple.Tuple, attempt uint8, deadline time.Time, avoid []string, journaled bool) error {
 	if attempt == 0 {
 		// nextSeq is the source-resumption high-water mark: every sequence
 		// number handed to Submit is burned, successful or not, so a
@@ -1437,7 +1741,6 @@ func (m *Master) submit(t *tuple.Tuple, attempt uint8, deadline time.Time, avoid
 	// probing re-draws steer around them; the snapshot's weighted mode
 	// ignores avoid by design, hence the bounded-retry loop. Routing runs
 	// against the RCU-published table — no lock on this path.
-	journaled := false
 	var refused map[string]bool
 	for tries := 0; ; tries++ {
 		select {

@@ -1,0 +1,8 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// ceilings are skipped under race because its runtime instrumentation
+// adds allocations the production build never pays.
+const raceEnabled = true

@@ -49,6 +49,13 @@ func (m *Master) StatusSnapshot() obs.Snapshot {
 		EventsTotal: m.events.Total(),
 	}
 	snap.Ledger.Balanced = snap.Ledger.CheckBalance()
+	if bs := m.batchSubmits.Load(); bs > 0 {
+		snap.Batch = &obs.Batch{
+			Submits: bs,
+			Tuples:  m.batchTuples.Load(),
+			Frames:  m.batchFrames.Load(),
+		}
+	}
 
 	m.sinkMu.Lock()
 	snap.Sink = obs.Sink{Arrived: m.arrived, Played: m.played, Skipped: m.skipped}

@@ -82,10 +82,16 @@ func throughputTuples(n int, firstSeq uint64) []*tuple.Tuple {
 // Run it fixed-count so each round's worker-swarm setup cost stays out of
 // the comparison:
 //
+// SWING_BENCH_SUBMIT_BATCH (default 1 = per-tuple Submit) switches the
+// submitters to SubmitBatch in chunks of that size, exercising the
+// batched spine end to end on the identical swarm — the A/B behind
+// BENCH_PR10.json is this benchmark with the knob off versus at 64.
+//
 //	go test -run=NONE -bench=ManyWorkerThroughput -benchtime=30000x ./internal/runtime
 func BenchmarkManyWorkerThroughput(b *testing.B) {
 	nWorkers := envInt("SWING_BENCH_WORKERS", 1000)
 	nSubmitters := envInt("SWING_BENCH_SUBMITTERS", 8)
+	submitBatch := envInt("SWING_BENCH_SUBMIT_BATCH", 1)
 
 	app := throughputApp(b)
 	mem := transport.NewMem()
@@ -176,6 +182,19 @@ func BenchmarkManyWorkerThroughput(b *testing.B) {
 		wg.Add(1)
 		go func(batch []*tuple.Tuple) {
 			defer wg.Done()
+			if submitBatch > 1 {
+				for i := 0; i < len(batch); i += submitBatch {
+					end := i + submitBatch
+					if end > len(batch) {
+						end = len(batch)
+					}
+					if err := m.SubmitBatch(batch[i:end]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				return
+			}
 			for _, t := range batch {
 				if err := m.Submit(t); err != nil {
 					errs <- err

@@ -8,6 +8,7 @@ import (
 	"net"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/swingframework/swing/internal/apps"
@@ -480,6 +481,39 @@ func (w *Worker) readLoop(s *workerSession) {
 				return
 			}
 			continue // buffer ownership moved to the job
+		case wire.FrameTupleBatch:
+			// A batch decodes into a chain of jobs sharing one refcounted
+			// frame buffer (every tuple's byte fields alias it) and takes
+			// ONE handoff on each channel for the whole chain — the
+			// per-tuple queue/order round trips collapse to per-batch.
+			head, n, derr := w.decodeTupleBatch(payload)
+			if derr != nil {
+				w.cfg.Logger.Warn("swing worker: bad tuple batch", "err", derr)
+			}
+			if head == nil {
+				buf.Release()
+				continue
+			}
+			shared := &batchBuf{buf: buf}
+			shared.refs.Store(int32(n))
+			for j := head; j != nil; j = j.next {
+				j.shared = shared
+			}
+			select {
+			case s.queue <- head:
+			case <-w.stop:
+				return
+			case <-s.sendGone:
+				return
+			}
+			select {
+			case s.order <- head:
+			case <-w.stop:
+				return
+			case <-s.sendGone:
+				return
+			}
+			continue // buffer ownership moved to the chain
 		case wire.FramePing:
 			// Echo the payload verbatim: the pong is the master's proof of
 			// life for this link, and a worker whose processing queue is
@@ -505,14 +539,39 @@ func (w *Worker) readLoop(s *workerSession) {
 // in turn, so results leave in tuple-arrival order however the pool
 // interleaves. Jobs are pooled: the send loop recycles each one after
 // encoding its results.
+//
+// Jobs decoded from one FrameTupleBatch are linked through next into an
+// intra-batch chain: the read loop hands only the chain head to the
+// queue and order channels (one handoff per batch, not per tuple), and
+// the consumers walk the chain. All jobs of a chain alias one shared
+// refcounted frame buffer instead of owning buf.
 type procJob struct {
 	t       *tuple.Tuple
-	buf     *wire.Buf // pooled frame backing t's byte fields
+	buf     *wire.Buf // pooled frame backing t's byte fields (single tuples)
+	shared  *batchBuf // refcounted frame shared by a batch chain (nil otherwise)
+	next    *procJob  // next job of the same batch chain
 	outs    []*tuple.Tuple
 	proc    time.Duration
 	dropped bool
 	reason  wire.DropReason
 	done    chan struct{}
+}
+
+// batchBuf is one FrameTupleBatch's pooled frame buffer, shared by every
+// job decoded from it: each tuple's byte fields alias the same backing,
+// which can return to the pool only after the last job is done with it —
+// including a job abandoned to a watchdog reaper.
+type batchBuf struct {
+	buf  *wire.Buf
+	refs atomic.Int32
+}
+
+// release drops one reference, returning the frame to the pool with the
+// last one.
+func (b *batchBuf) release() {
+	if b.refs.Add(-1) == 0 {
+		b.buf.Release()
+	}
 }
 
 var jobPool = sync.Pool{New: func() any { return &procJob{done: make(chan struct{}, 1)} }}
@@ -523,18 +582,50 @@ func getJob(t *tuple.Tuple, buf *wire.Buf) *procJob {
 	return j
 }
 
-// recycle releases the job's frame buffer and returns it to the pool.
-// Only the send loop calls it, after the done token has been consumed,
-// so the channel is guaranteed empty for the next user.
+// recycle releases the job's frame buffer (or its reference on a shared
+// batch frame) and returns it to the pool. Only the send loop calls it,
+// after the done token has been consumed, so the channel is guaranteed
+// empty for the next user. Callers walking a chain must read next before
+// recycling — recycle severs it.
 func (j *procJob) recycle() {
-	j.buf.Release()
-	j.t, j.buf = nil, nil
+	if j.shared != nil {
+		j.shared.release()
+	} else {
+		j.buf.Release()
+	}
+	j.t, j.buf, j.shared, j.next = nil, nil, nil, nil
 	for i := range j.outs {
 		j.outs[i] = nil
 	}
 	j.outs = j.outs[:0]
 	j.proc, j.dropped, j.reason = 0, false, wire.DropNone
 	jobPool.Put(j)
+}
+
+// decodeTupleBatch decodes a FrameTupleBatch payload into a chain of
+// jobs, without per-tuple frame reads or copies — every tuple's byte
+// fields alias the one frame buffer the caller still owns. Returns the
+// chain head and its length; a decode error aborts the remainder (the
+// jobs built so far still run).
+func (w *Worker) decodeTupleBatch(payload []byte) (*procJob, int, error) {
+	var head, tail *procJob
+	n := 0
+	err := wire.DecodeTupleBatch(payload, func(entry []byte) error {
+		t, terr := tuple.UnmarshalShared(entry)
+		if terr != nil {
+			return terr
+		}
+		j := getJob(t, nil)
+		if head == nil {
+			head = j
+		} else {
+			tail.next = j
+		}
+		tail = j
+		n++
+		return nil
+	})
+	return head, n, err
 }
 
 // collectEmitter gathers a processor's outputs.
@@ -578,15 +669,21 @@ func (w *Worker) processLoop(s *workerSession) {
 				return
 			}
 			// Per-goroutine scratch, reused across jobs, keeps the hot
-			// path allocation-free.
+			// path allocation-free. A queue item is a batch chain (or a
+			// chain of one); next is read before done is signaled, since
+			// the send loop may recycle a signaled job at any moment.
 			var em collectEmitter
 			var cur []*tuple.Tuple
-			for job := range s.queue {
-				var panicked bool
-				cur, panicked = w.runJob(chain, &em, cur, job)
-				job.done <- struct{}{}
-				if panicked {
-					chain = w.rebuildChain(s, chain)
+			for head := range s.queue {
+				for job := head; job != nil; {
+					nxt := job.next
+					var panicked bool
+					cur, panicked = w.runJob(chain, &em, cur, job)
+					job.done <- struct{}{}
+					if panicked {
+						chain = w.rebuildChain(s, chain)
+					}
+					job = nxt
 				}
 			}
 		}(chain)
@@ -743,58 +840,69 @@ func (w *Worker) poolSlotWatchdog(s *workerSession, chain []graph.Processor) {
 		<-timer.C
 	}
 	defer timer.Stop()
-	for job := range s.queue {
-		runner.in <- chainJob{t: job.t}
-		timer.Reset(s.opDeadline)
-		select {
-		case run := <-runner.out:
-			if !timer.Stop() {
-				<-timer.C
-			}
-			job.outs = append(job.outs[:0], run.outs...)
-			job.proc = run.proc
-			job.dropped = run.dropped
-			job.reason = run.reason
-			if run.panicked {
-				// runJob already counted the panic; retire the chain by
-				// retiring the whole runner (it owns the chain).
-				close(runner.in)
-				runner = w.respawnRunner(s)
-			}
-		case <-timer.C:
-			w.cfg.Logger.Warn("swing worker: tuple blew processing deadline",
-				"tuple", job.t.ID, "deadline", s.opDeadline)
-			w.statsMu.Lock()
-			w.dropped++
-			w.deadlined++
-			w.statsMu.Unlock()
-			job.outs = job.outs[:0]
-			job.proc = s.opDeadline
-			job.dropped = true
-			job.reason = wire.DropDeadline
-			// The child may still be inside the operator, reading tuple
-			// bytes that alias the frame buffer: ownership of the buffer
-			// moves to a reaper that releases it once the child surfaces.
-			buf := job.buf
-			job.buf = nil
-			abandoned := runner
-			go func() {
-				select {
-				case <-abandoned.out:
-					buf.Release()
-				case <-w.stop:
+	for head := range s.queue {
+		for job := head; job != nil; {
+			nxt := job.next // read before done: a signaled job may be recycled
+			runner.in <- chainJob{t: job.t}
+			timer.Reset(s.opDeadline)
+			select {
+			case run := <-runner.out:
+				if !timer.Stop() {
+					<-timer.C
 				}
-			}()
-			close(abandoned.in)
-			runner = w.respawnRunner(s)
-		case <-w.stop:
-			return
-		}
-		job.done <- struct{}{}
-		if runner == nil {
-			// Chain rebuild failed (cannot really happen — the deploy-time
-			// build succeeded); degrade by retiring this slot.
-			return
+				job.outs = append(job.outs[:0], run.outs...)
+				job.proc = run.proc
+				job.dropped = run.dropped
+				job.reason = run.reason
+				if run.panicked {
+					// runJob already counted the panic; retire the chain by
+					// retiring the whole runner (it owns the chain).
+					close(runner.in)
+					runner = w.respawnRunner(s)
+				}
+			case <-timer.C:
+				w.cfg.Logger.Warn("swing worker: tuple blew processing deadline",
+					"tuple", job.t.ID, "deadline", s.opDeadline)
+				w.statsMu.Lock()
+				w.dropped++
+				w.deadlined++
+				w.statsMu.Unlock()
+				job.outs = job.outs[:0]
+				job.proc = s.opDeadline
+				job.dropped = true
+				job.reason = wire.DropDeadline
+				// The child may still be inside the operator, reading tuple
+				// bytes that alias the frame buffer: ownership of the buffer
+				// (or the batch frame reference, when the tuple rode a
+				// FrameTupleBatch) moves to a reaper that releases it once
+				// the child surfaces.
+				buf := job.buf
+				shared := job.shared
+				job.buf, job.shared = nil, nil
+				abandoned := runner
+				go func() {
+					select {
+					case <-abandoned.out:
+						if shared != nil {
+							shared.release()
+						} else {
+							buf.Release()
+						}
+					case <-w.stop:
+					}
+				}()
+				close(abandoned.in)
+				runner = w.respawnRunner(s)
+			case <-w.stop:
+				return
+			}
+			job.done <- struct{}{}
+			if runner == nil {
+				// Chain rebuild failed (cannot really happen — the deploy-time
+				// build succeeded); degrade by retiring this slot.
+				return
+			}
+			job = nxt
 		}
 	}
 }
@@ -831,11 +939,15 @@ func (w *Worker) sendLoop(s *workerSession) {
 		batch   wire.ResultBatch
 		scratch []byte
 		carry   *procJob // pulled from order but not yet complete
+		pending *procJob // next unconsumed job of the current batch chain
 		timer   *time.Timer
 	)
 	for {
 		job := carry
 		carry = nil
+		if job == nil {
+			job = pending
+		}
 		if job == nil {
 			var ok bool
 			select {
@@ -847,6 +959,11 @@ func (w *Worker) sendLoop(s *workerSession) {
 				return
 			}
 		}
+		// Advance the chain before waiting: once done is consumed and the
+		// job recycled, its next link is severed. An order item is a batch
+		// chain head (or a chain of one); its tail jobs drain from pending
+		// before the next order receive, preserving arrival order.
+		pending = job.next
 		// Head-of-line wait is unbounded: nothing may be sent before the
 		// oldest tuple finishes anyway, or order would be lost.
 		select {
@@ -867,25 +984,30 @@ func (w *Worker) sendLoop(s *workerSession) {
 	gather:
 		for batch.Size() < ackFlushBytes && batch.Count() < ackFlushEntries {
 			var next *procJob
-			var ok bool
-			select {
-			case next, ok = <-s.order:
-			default:
-				if deadline == nil {
-					break gather
-				}
+			if pending != nil {
+				next = pending
+			} else {
+				var ok bool
 				select {
 				case next, ok = <-s.order:
-				case <-deadline:
-					deadline = nil
-					break gather
-				case <-w.stop:
-					return
+				default:
+					if deadline == nil {
+						break gather
+					}
+					select {
+					case next, ok = <-s.order:
+					case <-deadline:
+						deadline = nil
+						break gather
+					case <-w.stop:
+						return
+					}
+				}
+				if !ok {
+					break gather // read loop closed the order channel
 				}
 			}
-			if !ok {
-				break gather // read loop closed the order channel
-			}
+			pending = next.next
 			if deadline == nil {
 				select {
 				case <-next.done:

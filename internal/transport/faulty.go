@@ -53,6 +53,7 @@ type Faulty struct {
 
 	framesWritten atomic.Int64
 	writeCalls    atomic.Int64
+	tuplesWritten atomic.Int64
 }
 
 // FramesWritten reports how many whole wire frames have been written
@@ -64,6 +65,13 @@ func (f *Faulty) FramesWritten() int64 { return f.framesWritten.Load() }
 // With frame coalescing upstream, FramesWritten / WriteCalls measures
 // the batching factor — how many frames each would-be syscall carries.
 func (f *Faulty) WriteCalls() int64 { return f.writeCalls.Load() }
+
+// TuplesWritten reports how many data tuples have been written through
+// all connections: a tuple frame counts one, a tuple-batch frame counts
+// its element count. TuplesWritten / FramesWritten exposes downstream
+// coalescing — per-tuple dispatch pins it at ≤1, a batched dataplane
+// pushes it above.
+func (f *Faulty) TuplesWritten() int64 { return f.tuplesWritten.Load() }
 
 var _ Transport = (*Faulty)(nil)
 
@@ -170,6 +178,16 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		frame := c.buf[:total]
 		c.frames++
 		c.f.framesWritten.Add(1)
+		// Tuple accounting mirrors wire: frame type 5 is one tuple, 16 is
+		// a tuple batch whose payload leads with a u32 element count.
+		switch frame[4] {
+		case frameTuple:
+			c.f.tuplesWritten.Add(1)
+		case frameTupleBatch:
+			if total >= frameHeaderSize+4 {
+				c.f.tuplesWritten.Add(int64(binary.LittleEndian.Uint32(frame[frameHeaderSize:])))
+			}
+		}
 		if d := c.frameDelay(); d > 0 {
 			time.Sleep(d)
 		}

@@ -336,6 +336,11 @@ func (l *shapedListener) Accept() (net.Conn, error) {
 const (
 	framePing = 8
 	framePong = 9
+	// Tuple-bearing frame types, for Faulty's tuple accounting: a single
+	// tuple frame and the batch frame whose payload leads with a u32
+	// element count.
+	frameTuple      = 5
+	frameTupleBatch = 16
 )
 
 // shapedConn applies the scenario's shape to whole frames on the write

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/swingframework/swing/internal/wire"
+)
+
+// batchFrame builds one FrameTupleBatch wire frame carrying n opaque
+// tuple payloads.
+func batchFrame(t *testing.T, n int) []byte {
+	t.Helper()
+	var tb wire.TupleBatch
+	for i := 0; i < n; i++ {
+		tb.Add([]byte{byte(i), 0xee, 0xff})
+	}
+	frame, err := wire.AppendFrame(nil, wire.FrameTupleBatch, tb.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// shapedPair stacks Shaped over Faulty over Mem and dials one link: the
+// Faulty layer (fault-free) counts what the shaper actually forwards.
+func shapedPair(t *testing.T, scn Scenario) (*Faulty, net.Conn, net.Conn) {
+	t.Helper()
+	mem := NewMem()
+	f := WithFaults(mem, FaultConfig{})
+	sh := WithShaping(f, scn, 7)
+	ln, err := sh.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := sh.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	server := <-accepted
+	t.Cleanup(func() { _ = server.Close() })
+	return f, client, server
+}
+
+// TestShapedBatchFrameIsOneWrite pins the batch dataplane's shaping
+// unit: a tuple-batch frame, however the caller's writes slice it, is
+// reassembled and forwarded as ONE downstream write charged its full
+// byte cost — the shaper treats the batch as a single large frame, not
+// as its per-tuple parts.
+func TestShapedBatchFrameIsOneWrite(t *testing.T) {
+	f, client, server := shapedPair(t, constScenario{})
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+
+	frame := batchFrame(t, 3)
+	// Split the frame across two writes to exercise reassembly.
+	if _, err := client.Write(frame[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(frame[7:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.WriteCalls(); got != 1 {
+		t.Fatalf("inner WriteCalls = %d, want 1 (one shaped forward per batch frame)", got)
+	}
+	if got := f.FramesWritten(); got != 1 {
+		t.Fatalf("inner FramesWritten = %d, want 1", got)
+	}
+	if got := f.TuplesWritten(); got != 3 {
+		t.Fatalf("TuplesWritten = %d, want 3 (batch elements)", got)
+	}
+}
+
+// TestShapedBatchPaysFullByteCost: rate shaping charges the batch frame
+// its whole serialized size, so a batch buys fewer syscalls and headers
+// but never a transmission-time discount.
+func TestShapedBatchPaysFullByteCost(t *testing.T) {
+	// 1 Mbit/s, no fixed delay: transmission time is bytes*8/1e6 seconds.
+	_, client, server := shapedPair(t, constScenario{Shape{RateBps: 1e6}})
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+
+	frame := batchFrame(t, 200) // ~1.4 KiB -> ~11 ms at 1 Mbit/s
+	begin := time.Now()
+	if _, err := client.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(begin)
+	want := time.Duration(float64(len(frame)*8) / 1e6 * float64(time.Second))
+	if elapsed < want {
+		t.Fatalf("batch frame of %d bytes held %v, want >= %v (full byte cost)",
+			len(frame), elapsed, want)
+	}
+}
+
+// TestShapedLossDropsWholeBatch: the loss draw is per frame, so a lost
+// tuple-batch frame vanishes in one piece — nothing is forwarded to the
+// inner transport, and every element inside is gone together (the ledger
+// recovers them via the master's retransmit/hedge path, exercised by the
+// runtime's shaped-loss test).
+func TestShapedLossDropsWholeBatch(t *testing.T) {
+	f, client, server := shapedPair(t, constScenario{Shape{Loss: 1}})
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+
+	if _, err := client.Write(batchFrame(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.WriteCalls(); got != 0 {
+		t.Fatalf("inner WriteCalls = %d, want 0 (lost batch forwards nothing)", got)
+	}
+	// Heartbeats stay exempt even at loss 1, so liveness survives the
+	// same link conditions that eat data batches.
+	if err := wire.WriteFrame(client, wire.FramePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.FramesWritten(); got != 1 {
+		t.Fatalf("inner FramesWritten = %d, want 1 (ping exempt from loss)", got)
+	}
+}
+
+// TestFaultyTupleCounters: TuplesWritten counts a bare tuple frame as
+// one and a batch frame by its element count, while control frames count
+// zero — the measurement behind the batching acceptance criterion.
+func TestFaultyTupleCounters(t *testing.T) {
+	f, client, server := faultyPair(t, FaultConfig{})
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+
+	if err := wire.WriteFrame(client, wire.FrameTuple, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(batchFrame(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(client, wire.FramePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.TuplesWritten(); got != 5 {
+		t.Fatalf("TuplesWritten = %d, want 5 (1 tuple + 4 batched, ping excluded)", got)
+	}
+	if got := f.FramesWritten(); got != 3 {
+		t.Fatalf("FramesWritten = %d, want 3", got)
+	}
+}

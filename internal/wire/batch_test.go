@@ -363,8 +363,123 @@ func TestFrameResultBatchType(t *testing.T) {
 		t.Fatalf("typ=%v err=%v", typ, err)
 	}
 	// One past the last known type is still rejected.
-	bad := []byte{0, 0, 0, 0, byte(FrameRepPing) + 1}
+	bad := []byte{0, 0, 0, 0, byte(FrameTupleBatch) + 1}
 	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("unknown type: err = %v", err)
+	}
+}
+
+// TestTupleBatchRoundTrip: N tuples in, the same N out, in order,
+// through a framed write/read cycle, and each entry is an exact
+// sub-slice (the tuple decoder rejects trailing bytes).
+func TestTupleBatchRoundTrip(t *testing.T) {
+	var batch TupleBatch
+	if got := batch.Payload(); got != nil {
+		t.Fatalf("empty batch payload %v", got)
+	}
+	bodies := [][]byte{[]byte("tuple-1"), nil, []byte("tuple-three")}
+	for _, b := range bodies {
+		batch.Add(b)
+	}
+	if batch.Count() != len(bodies) {
+		t.Fatalf("count %d", batch.Count())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameTupleBatch, batch.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != FrameTupleBatch {
+		t.Fatalf("typ=%v err=%v", typ, err)
+	}
+	var i int
+	err = DecodeTupleBatch(payload, func(entry []byte) error {
+		if !bytes.Equal(entry, bodies[i]) {
+			t.Fatalf("entry %d = %q, want %q", i, entry, bodies[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(bodies) {
+		t.Fatalf("decoded %d entries, want %d", i, len(bodies))
+	}
+	if n, err := TupleBatchCount(payload); err != nil || n != len(bodies) {
+		t.Fatalf("TupleBatchCount = %d, %v", n, err)
+	}
+
+	// Reset keeps the buffer but empties the batch.
+	batch.Reset()
+	if batch.Count() != 0 || batch.Payload() != nil {
+		t.Fatal("Reset did not empty the batch")
+	}
+	batch.Add(bodies[0])
+	if batch.Count() != 1 {
+		t.Fatal("batch unusable after Reset")
+	}
+}
+
+// TestTupleBatchBeginEnd: the in-place marshal path (Begin/Append/End)
+// produces the same layout as Add, and Cancel abandons a reserved entry
+// without corrupting the batch.
+func TestTupleBatchBeginEnd(t *testing.T) {
+	var direct, staged TupleBatch
+	direct.Add([]byte("abc"))
+	direct.Add([]byte("defgh"))
+
+	start := staged.Begin()
+	if err := staged.Append(func(dst []byte) ([]byte, error) {
+		return append(dst, "abc"...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	staged.End(start)
+	// A cancelled entry leaves no trace.
+	start = staged.Begin()
+	staged.Cancel(start)
+	start = staged.Begin()
+	if err := staged.Append(func(dst []byte) ([]byte, error) {
+		return append(dst, "defgh"...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	staged.End(start)
+
+	if !bytes.Equal(direct.Payload(), staged.Payload()) {
+		t.Fatalf("staged payload %x != direct %x", staged.Payload(), direct.Payload())
+	}
+}
+
+// TestDecodeTupleBatchErrors rejects malformed batch payloads instead
+// of panicking or silently truncating.
+func TestDecodeTupleBatchErrors(t *testing.T) {
+	nop := func([]byte) error { return nil }
+	if err := DecodeTupleBatch([]byte{1, 2}, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload: err = %v", err)
+	}
+	if err := DecodeTupleBatch([]byte{1, 0, 0, 0}, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("missing entry: err = %v", err)
+	}
+	if err := DecodeTupleBatch([]byte{1, 0, 0, 0, 0xff, 0, 0, 0}, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overrun entry: err = %v", err)
+	}
+	var batch TupleBatch
+	batch.Add([]byte{1})
+	bad := append(append([]byte{}, batch.Payload()...), 0xEE)
+	if err := DecodeTupleBatch(bad, nop); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing bytes: err = %v", err)
+	}
+	sentinel := errors.New("stop")
+	if err := DecodeTupleBatch(batch.Payload(), func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error: err = %v", err)
+	}
+	if _, err := TupleBatchCount([]byte{1}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short count: err = %v", err)
+	}
+	if FrameTupleBatch.String() != "tupleBatch" {
+		t.Fatalf("String() = %q", FrameTupleBatch.String())
 	}
 }

@@ -84,6 +84,11 @@ const (
 	// link, carrying its current journal sequence; the standby answers
 	// with a FrameRepAck and uses ping silence to arm takeover.
 	FrameRepPing
+	// FrameTupleBatch carries many FrameTuple payloads in one frame —
+	// the downstream mirror of FrameResultBatch: u32 count, then count ×
+	// (u32 length, marshaled tuple). The master uses it to dispatch a
+	// whole SubmitBatch bound for one worker as a single write.
+	FrameTupleBatch
 )
 
 // String names the frame type.
@@ -119,6 +124,8 @@ func (t FrameType) String() string {
 		return "repAck"
 	case FrameRepPing:
 		return "repPing"
+	case FrameTupleBatch:
+		return "tupleBatch"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -272,7 +279,7 @@ func checkHeader(rawType byte, n uint32) (FrameType, error) {
 		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	typ := FrameType(rawType)
-	if typ < FrameHello || typ > FrameRepPing {
+	if typ < FrameHello || typ > FrameTupleBatch {
 		return 0, fmt.Errorf("%w: unknown type %d", ErrBadFrame, rawType)
 	}
 	return typ, nil
@@ -581,4 +588,131 @@ func DecodeResultBatch(payload []byte, fn func(entry []byte) error) error {
 		return fmt.Errorf("%w: %d trailing bytes after result batch", ErrBadFrame, len(rest))
 	}
 	return nil
+}
+
+// TupleBatch accumulates marshaled tuples for one FrameTupleBatch frame
+// — the downstream mirror of ResultBatch. The zero value is ready to
+// use; Reset after each flush keeps the underlying buffer for reuse.
+// Layout: u32 count, then count × (u32 entry length, tuple bytes).
+//
+// AppendEntry is split into Begin/End so callers can marshal a tuple
+// directly into the batch buffer (no intermediate copy): Begin reserves
+// the entry length, the caller appends via Append, End patches it.
+type TupleBatch struct {
+	buf   []byte
+	count uint32
+}
+
+// Add appends one pre-marshaled tuple to the batch.
+func (b *TupleBatch) Add(tupleBytes []byte) {
+	start := b.Begin()
+	b.buf = append(b.buf, tupleBytes...)
+	b.End(start)
+}
+
+// Begin reserves an entry header and returns its offset for End. The
+// caller appends the tuple bytes with Append before calling End.
+func (b *TupleBatch) Begin() int {
+	if len(b.buf) == 0 {
+		b.buf = append(b.buf, 0, 0, 0, 0) // count, patched in Payload
+	}
+	start := len(b.buf)
+	b.buf = append(b.buf, 0, 0, 0, 0) // entry length, patched in End
+	return start
+}
+
+// Append extends the current entry via fn, which appends the tuple's
+// encoding to dst and returns the extended slice (tuple.AppendMarshal's
+// shape). Must sit between Begin and End.
+func (b *TupleBatch) Append(fn func(dst []byte) ([]byte, error)) error {
+	grown, err := fn(b.buf)
+	if err != nil {
+		return err
+	}
+	b.buf = grown
+	return nil
+}
+
+// End patches the entry length reserved by Begin and counts the entry.
+func (b *TupleBatch) End(start int) {
+	binary.LittleEndian.PutUint32(b.buf[start:], uint32(len(b.buf)-start-4))
+	b.count++
+}
+
+// Cancel abandons the entry reserved by Begin (e.g. a marshal error),
+// truncating the buffer back to the entry start.
+func (b *TupleBatch) Cancel(start int) {
+	b.buf = b.buf[:start]
+}
+
+// SetBuf points the batch at an external backing buffer (typically a
+// pooled frame buffer from GetBuf), resetting any accumulated entries.
+// Payload then aliases that buffer — or its reallocation, which the
+// caller recovers via Payload — so a submit path can build the frame
+// directly in pool-managed memory.
+func (b *TupleBatch) SetBuf(buf []byte) {
+	b.buf = buf[:0]
+	b.count = 0
+}
+
+// Count reports how many tuples the batch holds.
+func (b *TupleBatch) Count() int { return int(b.count) }
+
+// Size reports the encoded payload size in bytes.
+func (b *TupleBatch) Size() int { return len(b.buf) }
+
+// Payload finalizes the count prefix and returns the frame payload
+// (nil for an empty batch). The slice aliases the batch's buffer and is
+// invalidated by the next Add or Reset.
+func (b *TupleBatch) Payload() []byte {
+	if b.count == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(b.buf[:4], b.count)
+	return b.buf
+}
+
+// Reset empties the batch, keeping the buffer capacity.
+func (b *TupleBatch) Reset() {
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
+// DecodeTupleBatch walks a FrameTupleBatch payload, invoking fn with
+// each entry's tuple bytes. Entries alias the input and are exact
+// sub-slices (no trailing bytes), so they decode directly with
+// tuple.UnmarshalShared against the one frame buffer. Decoding stops at
+// the first error from fn.
+func DecodeTupleBatch(payload []byte, fn func(entry []byte) error) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("%w: short tuple batch", ErrBadFrame)
+	}
+	count := binary.LittleEndian.Uint32(payload[:4])
+	rest := payload[4:]
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: tuple batch truncated at entry %d", ErrBadFrame, i)
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if uint64(n) > uint64(len(rest)-4) {
+			return fmt.Errorf("%w: tuple batch entry %d length %d", ErrBadFrame, i, n)
+		}
+		if err := fn(rest[4 : 4+n]); err != nil {
+			return err
+		}
+		rest = rest[4+n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after tuple batch", ErrBadFrame, len(rest))
+	}
+	return nil
+}
+
+// TupleBatchCount reads the count prefix of a FrameTupleBatch payload
+// without walking the entries (transport-side subframe accounting).
+func TupleBatchCount(payload []byte) (int, error) {
+	if len(payload) < 4 {
+		return 0, fmt.Errorf("%w: short tuple batch", ErrBadFrame)
+	}
+	return int(binary.LittleEndian.Uint32(payload[:4])), nil
 }

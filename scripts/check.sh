@@ -26,6 +26,11 @@ go test -run=NONE -bench=. -benchtime=1x ./internal/wire ./internal/tuple ./inte
 # real concurrency on every check run without benchmark-scale cost.
 SWING_BENCH_WORKERS=64 SWING_BENCH_SUBMITTERS=4 \
     go test -race -run=NONE -bench=ManyWorkerThroughput -benchtime=200x ./internal/runtime
+# Same smoke with batched submitters: SubmitBatch packing, per-shard
+# group tracking, group journal commits, and the worker's chained batch
+# decode, all under the race detector.
+SWING_BENCH_WORKERS=64 SWING_BENCH_SUBMITTERS=4 SWING_BENCH_SUBMIT_BATCH=16 \
+    go test -race -run=NONE -bench=ManyWorkerThroughput -benchtime=200x ./internal/runtime
 # The live runtime's fault-tolerance and liveness paths (retransmit,
 # reconnect, heartbeat eviction, breakers, fault injection) are
 # timing-sensitive; run them a second time under the race detector.
@@ -49,6 +54,13 @@ go test -race -count=1 \
     -run 'TestOperatorPanicContained|TestOpDeadlineAbandonsHungTuple|TestPoisonQuarantineSparesHealthyBreakers|TestSickWorkerStillTripsBreaker|TestHedgedRetransmitStragglers' \
     ./internal/runtime/
 go test -race -count=1 -run 'TestScheduleDeterministic|TestNemesisSmoke' ./internal/chaos/
+# Batched-dataplane smoke under the race detector: downstream frame
+# coalescing with exact tuple accounting, the ledger invariant under
+# concurrent SubmitBatch, whole-batch loss recovery through the
+# hedge/retransmit path, and per-tuple drop semantics inside a batch.
+go test -race -count=1 \
+    -run 'TestBatchedDispatchReducesDownstreamFrames|TestLedgerConsistentUnderConcurrentSubmitBatch|TestSubmitBatchShapedLossRecovery|TestSubmitBatchProcessorDrops|TestShapedBatch|TestFaultyTupleCounters' \
+    ./internal/runtime/ ./internal/transport/
 # Live /statusz curl smoke: boot a real swingd master with a status
 # endpoint and a shaped transport, fetch the JSON from the URL the
 # process announces, and check the ledger reports balanced. Falls back
